@@ -1,0 +1,98 @@
+// Ablation (DESIGN.md §8): speedup-class granularity. The paper uses seven
+// relative-time classes (C0-C6); this ablation retrains the pipeline with a
+// coarse 3-class scheme (slower / parity / faster) and compares the
+// end-to-end speedup WISE achieves. Coarser classes blur the ranking among
+// winning configurations and should cost real speedup.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "features/extractor.hpp"
+#include "ml/validation.hpp"
+#include "wise/selector.hpp"
+#include "wise/speedup_class.hpp"
+
+using namespace wise;
+using namespace wise::bench;
+
+namespace {
+
+/// Generic CV evaluation with a custom rel-time → class mapping.
+double eval_with_classes(const std::vector<MatrixRecord>& records,
+                         int num_classes, int (*classify)(double)) {
+  const auto configs = all_method_configs();
+  std::vector<int> strata(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    strata[i] = static_cast<int>(winning_family(records[i]));
+  }
+  const auto folds = stratified_kfold(strata, 10, 0xC1A55);
+
+  std::vector<double> speedups(records.size());
+  for (const auto& test_fold : folds) {
+    std::vector<bool> in_test(records.size(), false);
+    for (std::size_t idx : test_fold) in_test[idx] = true;
+
+    // One tree per configuration on the coarse labels.
+    std::vector<DecisionTree> trees(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      Dataset train(feature_names(), num_classes);
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        if (in_test[i]) continue;
+        train.add(records[i].features, classify(records[i].rel_time(c)));
+      }
+      trees[c].fit(train, {.max_depth = 15, .ccp_alpha = 0.005});
+    }
+    for (std::size_t idx : test_fold) {
+      std::vector<int> classes(configs.size());
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        classes[c] = trees[c].predict(records[idx].features);
+      }
+      const std::size_t sel = select_best_config(configs, classes);
+      speedups[idx] =
+          records[idx].mkl_seconds / records[idx].config_seconds[sel];
+    }
+  }
+  return mean(speedups);
+}
+
+int classify7(double rel) { return classify_relative_time(rel); }
+
+int classify3(double rel) {
+  if (rel > 1.05) return 0;  // slower
+  if (rel > 0.85) return 1;  // parity-ish
+  return 2;                  // clearly faster
+}
+
+// 9 classes: the paper's C0..C5 plus C6 split into three bands. On this
+// substrate speedups beyond 2x are common, so the paper's open-ended C6
+// saturates and the tie-break (not the model) ranks the contenders; extra
+// granularity below 0.55 restores ranking power.
+int classify9(double rel) {
+  const int base = classify_relative_time(rel);
+  if (base < 6) return base;
+  if (rel > 0.45) return 6;
+  if (rel > 0.35) return 7;
+  return 8;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: speedup-class granularity (3 vs 7 vs 9) ==\n");
+  const auto records = load_records(full_corpus());
+
+  const double seven = eval_with_classes(records, kNumSpeedupClasses,
+                                         classify7);
+  const double three = eval_with_classes(records, 3, classify3);
+  const double nine = eval_with_classes(records, 9, classify9);
+
+  std::printf("\nMean WISE speedup over MKL:\n");
+  std::printf("  3 classes (coarse):             %.2fx\n", three);
+  std::printf("  7 classes (paper's C0-C6):      %.2fx\n", seven);
+  std::printf("  9 classes (C6 split, see note): %.2fx\n", nine);
+  std::printf("\n(On this substrate speedups beyond 2x are common, so the\n");
+  std::printf(" paper's open-ended C6 saturates; the 9-class arm shows how\n");
+  std::printf(" much ranking power finer fast-end classes restore.)\n");
+  return 0;
+}

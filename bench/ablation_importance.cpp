@@ -1,0 +1,63 @@
+// Feature-importance report: which of the 67 features each representative
+// model actually splits on. This grounds the paper's Table 2 "What They
+// Determine" column in measurements — e.g. the CSR-scheduling model should
+// lean on row-skew features, the LAV models on column-skew and size.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "features/extractor.hpp"
+#include "wise/speedup_class.hpp"
+
+using namespace wise;
+using namespace wise::bench;
+
+int main() {
+  std::printf("== Feature importances per representative model ==\n");
+  const auto records = load_records(full_corpus());
+  const auto configs = all_method_configs();
+  const auto& names = feature_names();
+
+  const std::vector<std::string> representative = {
+      "CSR/Dyn",
+      "SELLPACK/c8/StCont",
+      "Sell-c-s/c8/s4096/StCont",
+      "Sell-c-R/c8",
+      "LAV-1Seg/c8",
+      "LAV/c8/T0.8",
+  };
+
+  for (const auto& name : representative) {
+    std::size_t target = configs.size();
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      if (configs[c].name() == name) target = c;
+    }
+    Dataset ds(names, kNumSpeedupClasses);
+    for (const auto& rec : records) {
+      ds.add(rec.features, classify_relative_time(rec.rel_time(target)));
+    }
+    DecisionTree tree;
+    tree.fit(ds, {.max_depth = 15, .ccp_alpha = 0.005});
+    const auto imp = tree.feature_importances(names.size());
+
+    std::vector<std::size_t> order(names.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&imp](std::size_t a, std::size_t b) {
+      return imp[a] > imp[b];
+    });
+
+    std::printf("\n--- %s (%d nodes, depth %d) ---\n", name.c_str(),
+                tree.num_nodes(), tree.depth());
+    for (int k = 0; k < 8 && imp[order[static_cast<std::size_t>(k)]] > 0;
+         ++k) {
+      const std::size_t f = order[static_cast<std::size_t>(k)];
+      std::printf("  %-20s %5.1f%%\n", names[f].c_str(), 100.0 * imp[f]);
+    }
+  }
+  std::printf("\n(Expected per Table 2: scheduling/padding models lean on\n");
+  std::printf(" R-distribution skew; LAV-family models on C-distribution\n");
+  std::printf(" skew and matrix size.)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+#pragma once
+// Shared plumbing for the figure/table reproduction binaries.
+//
+// Every bench loads (or lazily builds) the shared measurement cache, so the
+// first binary run pays the corpus measurement cost and the rest start
+// instantly. All analysis helpers consume MatrixRecords.
+
+#include <string>
+#include <vector>
+
+#include "exp/cache.hpp"
+#include "exp/corpus.hpp"
+#include "ml/decision_tree.hpp"
+#include "spmv/method.hpp"
+
+namespace wise::bench {
+
+/// Measures (or loads) the given specs through the shared cache.
+std::vector<MatrixRecord> load_records(const std::vector<MatrixSpec>& specs);
+
+/// Method family of a configuration index (into all_method_configs()).
+MethodKind family_of(std::size_t config_index);
+
+/// Best (fastest) configuration index restricted to one family.
+std::size_t best_config_in_family(const MatrixRecord& rec, MethodKind kind);
+
+/// Family of the overall fastest configuration.
+MethodKind winning_family(const MatrixRecord& rec);
+
+/// Single-character glyph per family for the Fig 5/6 grids:
+/// CSR 'o', SELLPACK 'A', Sell-c-σ '*', Sell-c-R 'x', LAV-1Seg '+',
+/// LAV 'v' (mirroring the paper's legend).
+char family_glyph(MethodKind kind);
+
+/// Per-matrix outcome of a cross-validated WISE evaluation.
+struct WiseOutcome {
+  std::string id;
+  std::size_t selected_config = 0;   ///< index into all_method_configs()
+  int predicted_class = 0;
+  double wise_seconds = 0;           ///< measured time of the selected config
+  double speedup_over_mkl = 0;       ///< mkl_seconds / wise_seconds
+  double oracle_speedup_over_mkl = 0;
+  double overhead_mkl_iters = 0;     ///< (features + conversion) / mkl time
+};
+
+/// Trains per-config models with k-fold cross-validation and evaluates the
+/// full WISE pipeline on each held-out matrix (paper §6.3). Every matrix is
+/// scored exactly once, by a model bank that never saw it.
+std::vector<WiseOutcome> wise_cross_validation(
+    const std::vector<MatrixRecord>& records, const TreeParams& params = {},
+    int folds = 10, std::uint64_t seed = 0xf01d5);
+
+/// Arithmetic mean of a vector (0 for empty).
+double mean(const std::vector<double>& values);
+
+/// Feature-vector column by name (throws on unknown names).
+double record_feature(const MatrixRecord& rec, const std::string& name);
+
+}  // namespace wise::bench

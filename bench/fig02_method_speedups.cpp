@@ -1,0 +1,63 @@
+// Fig 2 reproduction: per-matrix speedup of each vectorized SpMV method
+// (and the MKL stand-in) over the best CSR implementation, on the
+// scientific corpus, grouped by the winning method.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "util/ascii_plot.hpp"
+
+using namespace wise;
+using namespace wise::bench;
+
+int main() {
+  std::printf("== Fig 2: method speedups over best CSR (sci corpus) ==\n");
+  const auto records = load_records(sci_corpus());
+
+  const std::vector<MethodKind> families = {
+      MethodKind::kSellpack, MethodKind::kSellCSigma, MethodKind::kSellCR,
+      MethodKind::kLav1Seg, MethodKind::kLav};
+
+  // Group matrices by winning family, like the paper's x-axis grouping.
+  std::vector<std::size_t> order(records.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return static_cast<int>(winning_family(records[a])) <
+           static_cast<int>(winning_family(records[b]));
+  });
+
+  std::printf("%-22s %8s %8s %8s %8s %8s %8s %10s\n", "matrix", "SELLP",
+              "Sell-c-s", "Sell-c-R", "LAV-1Seg", "LAV", "MKL", "winner");
+  for (std::size_t idx : order) {
+    const auto& rec = records[idx];
+    const double best_csr = rec.best_csr_seconds();
+    std::printf("%-22s", rec.id.c_str());
+    for (MethodKind f : families) {
+      const double speedup =
+          best_csr / rec.config_seconds[best_config_in_family(rec, f)];
+      std::printf(" %8.3f", speedup);
+    }
+    std::printf(" %8.3f", best_csr / rec.mkl_seconds);
+    std::printf(" %10s\n", method_kind_name(winning_family(rec)));
+  }
+
+  // Per-family summary over the matrices that family wins (paper text:
+  // SELLPACK 1.05-1.31x over 25 matrices, Sell-c-σ 1.00-1.76x over 66...).
+  std::printf("\nSummary over matrices won by each family:\n");
+  std::printf("%-10s %6s %8s %8s %8s\n", "family", "#wins", "min", "mean",
+              "max");
+  std::map<MethodKind, std::vector<double>> wins;
+  for (const auto& rec : records) {
+    const std::size_t best = rec.best_config_index();
+    wins[family_of(best)].push_back(rec.best_csr_seconds() /
+                                    rec.config_seconds[best]);
+  }
+  for (const auto& [family, speedups] : wins) {
+    const auto [mn, mx] = std::minmax_element(speedups.begin(), speedups.end());
+    std::printf("%-10s %6zu %8.3f %8.3f %8.3f\n", method_kind_name(family),
+                speedups.size(), *mn, mean(speedups), *mx);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig 10 / §6.2 reproduction: 10-fold cross-validated confusion matrices
+// for the five representative performance models (SELLPACK, Sell-c-σ,
+// Sell-c-R, LAV-1Seg, LAV with c=8), plus the per-model accuracy and
+// distance-1 statistics the paper quotes.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "features/extractor.hpp"
+#include "ml/validation.hpp"
+#include "wise/speedup_class.hpp"
+
+using namespace wise;
+using namespace wise::bench;
+
+int main() {
+  std::printf("== Fig 10: per-model confusion matrices (10-fold CV) ==\n");
+  std::printf("(paper accuracies: SELLPACK 87%%, Sell-c-s 92%%, Sell-c-R 87%%,\n");
+  std::printf(" LAV-1Seg 84%%, LAV 83%%; >=89%% of misses at distance 1)\n");
+
+  const auto records = load_records(full_corpus());
+  const auto configs = all_method_configs();
+
+  const std::vector<std::string> representative = {
+      "SELLPACK/c8/StCont", "Sell-c-s/c8/s4096/StCont", "Sell-c-R/c8",
+      "LAV-1Seg/c8", "LAV/c8/T0.8"};
+
+  for (const auto& name : representative) {
+    // Locate the configuration index.
+    std::size_t target = configs.size();
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      if (configs[c].name() == name) target = c;
+    }
+    if (target == configs.size()) {
+      std::fprintf(stderr, "unknown config %s\n", name.c_str());
+      return 1;
+    }
+
+    // Labels for this model.
+    std::vector<int> labels(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      labels[i] = classify_relative_time(records[i].rel_time(target));
+    }
+
+    const auto folds = stratified_kfold(labels, 10, 0xCF);
+    ConfusionMatrix cm(kNumSpeedupClasses);
+    for (const auto& test_fold : folds) {
+      std::vector<bool> in_test(records.size(), false);
+      for (std::size_t idx : test_fold) in_test[idx] = true;
+
+      Dataset train(feature_names(), kNumSpeedupClasses);
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        if (!in_test[i]) train.add(records[i].features, labels[i]);
+      }
+      DecisionTree tree;
+      tree.fit(train, {.max_depth = 15, .ccp_alpha = 0.005});
+      for (std::size_t idx : test_fold) {
+        cm.add(labels[idx], tree.predict(records[idx].features));
+      }
+    }
+
+    std::printf("\n--- model %s ---\n", name.c_str());
+    std::fputs(cm.render().c_str(), stdout);
+    std::printf("accuracy: %.1f%%   misclassified within distance 1: %.1f%%\n",
+                100.0 * cm.accuracy(),
+                100.0 * cm.misclassified_within(1));
+  }
+  return 0;
+}

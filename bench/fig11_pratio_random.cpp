@@ -1,0 +1,34 @@
+// Fig 11 reproduction: distribution of the row-nonzero p-ratio over the
+// RMAT/RGG random corpus, broken down by generator class. The random set
+// must cover the P_R range SuiteSparse misses (paper: HS~0.1, MS~0.2,
+// LS~0.3, locality classes and RGG ~0.4-0.5).
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "util/ascii_plot.hpp"
+
+using namespace wise;
+using namespace wise::bench;
+
+int main() {
+  std::printf("== Fig 11: P_R histogram, random corpus ==\n\n");
+  const auto records = load_records(random_corpus());
+
+  Histogram hist(0.0, 0.5, 10);
+  std::map<std::string, std::vector<double>> by_family;
+  for (const auto& rec : records) {
+    const double pr = record_feature(rec, "pratio_R");
+    hist.add(pr);
+    by_family[rec.family].push_back(pr);
+  }
+  std::fputs(hist.render().c_str(), stdout);
+
+  std::printf("\nMean P_R per class (paper: HS~0.1 MS~0.2 LS~0.3, LL/ML/HL/rgg"
+              " ~0.4-0.5):\n");
+  for (const char* fam : {"HS", "MS", "LS", "LL", "ML", "HL", "rgg"}) {
+    std::printf("  %-4s %.3f\n", fam, mean(by_family[fam]));
+  }
+  return 0;
+}

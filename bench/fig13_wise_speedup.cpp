@@ -1,0 +1,56 @@
+// Fig 13 / §6.3 reproduction: (a) distribution of WISE's speedup over the
+// MKL stand-in across the full corpus under 10-fold cross-validation,
+// (b) the same for the oracle, and (c) the distribution of WISE's
+// preprocessing overhead expressed in MKL SpMV iterations.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/ascii_plot.hpp"
+
+using namespace wise;
+using namespace wise::bench;
+
+int main() {
+  std::printf("== Fig 13: WISE vs oracle speedup over MKL ==\n");
+  std::printf("(paper: WISE mean 2.4x, oracle mean 2.5x, overhead mean 8.33\n");
+  std::printf(" MKL iterations)\n");
+
+  const auto records = load_records(full_corpus());
+  const auto outcomes = wise_cross_validation(records);
+
+  std::vector<double> wise_speedups, oracle_speedups, overheads;
+  int wise_slower_than_mkl = 0;
+  for (const auto& out : outcomes) {
+    wise_speedups.push_back(out.speedup_over_mkl);
+    oracle_speedups.push_back(out.oracle_speedup_over_mkl);
+    overheads.push_back(out.overhead_mkl_iters);
+    if (out.speedup_over_mkl < 1.0) ++wise_slower_than_mkl;
+  }
+
+  Histogram wise_hist(0.0, 8.0, 16), oracle_hist(0.0, 8.0, 16),
+      over_hist(0.0, 50.0, 10);
+  wise_hist.add_all(wise_speedups);
+  oracle_hist.add_all(oracle_speedups);
+  over_hist.add_all(overheads);
+
+  std::printf("\n--- (a) WISE speedup over MKL ---\n");
+  std::fputs(wise_hist.render().c_str(), stdout);
+  std::printf("\n--- (b) Oracle speedup over MKL ---\n");
+  std::fputs(oracle_hist.render().c_str(), stdout);
+  std::printf("\n--- (c) WISE preprocessing overhead (MKL iterations) ---\n");
+  std::fputs(over_hist.render().c_str(), stdout);
+
+  std::printf("\nWISE mean speedup over MKL:   %.2fx (paper: 2.4x)\n",
+              mean(wise_speedups));
+  std::printf("Oracle mean speedup over MKL: %.2fx (paper: 2.5x)\n",
+              mean(oracle_speedups));
+  std::printf("WISE / oracle efficiency:     %.1f%%\n",
+              100.0 * mean(wise_speedups) / mean(oracle_speedups));
+  std::printf("Mean preprocessing overhead:  %.2f MKL iterations "
+              "(paper: 8.33)\n",
+              mean(overheads));
+  std::printf("Matrices where WISE is slower than MKL: %d of %zu\n",
+              wise_slower_than_mkl, outcomes.size());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Microbenchmarks for WISE's decision costs: feature extraction, tiling
+// analysis, tree inference, and the full choose() path. These are the
+// components of the preprocessing overhead the paper reports in Fig 13c.
+
+#include <benchmark/benchmark.h>
+
+#include "features/extractor.hpp"
+#include "features/tiling.hpp"
+#include "gen/generators.hpp"
+#include "ml/decision_tree.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace wise;
+
+const CsrMatrix& fixture_matrix() {
+  static const CsrMatrix m = CsrMatrix::from_coo(generate_rmat(
+      rmat_class_params(RmatClass::kMedSkew, 16384, 16), 7));
+  return m;
+}
+
+void BM_ExtractFeatures(benchmark::State& state) {
+  const CsrMatrix& m = fixture_matrix();
+  for (auto _ : state) {
+    const FeatureVector fv = extract_features(m);
+    benchmark::DoNotOptimize(fv.values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_ExtractFeatures)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeTiling(benchmark::State& state) {
+  const CsrMatrix& m = fixture_matrix();
+  for (auto _ : state) {
+    const TilingResult t = analyze_tiling(m);
+    benchmark::DoNotOptimize(t.tile_counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_AnalyzeTiling)->Unit(benchmark::kMillisecond);
+
+void BM_RowColStats(benchmark::State& state) {
+  const CsrMatrix& m = fixture_matrix();
+  for (auto _ : state) {
+    const DistStats r = row_dist_stats(m);
+    const DistStats c = col_dist_stats(m);
+    benchmark::DoNotOptimize(r.gini + c.gini);
+  }
+}
+BENCHMARK(BM_RowColStats)->Unit(benchmark::kMillisecond);
+
+void BM_TreeInference(benchmark::State& state) {
+  // A fitted tree of realistic size; inference must be microseconds.
+  Dataset ds(feature_names(), 7);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> f(feature_count());
+    for (auto& v : f) v = rng.next_double();
+    ds.add(std::move(f), static_cast<int>(rng.next_below(7)));
+  }
+  DecisionTree tree;
+  tree.fit(ds, {.max_depth = 15, .ccp_alpha = 0.0});
+
+  std::vector<double> probe(feature_count());
+  for (auto& v : probe) v = rng.next_double();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.predict(probe));
+  }
+}
+BENCHMARK(BM_TreeInference);
+
+void BM_TreeTraining(benchmark::State& state) {
+  Dataset ds(feature_names(), 7);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    std::vector<double> f(feature_count());
+    for (auto& v : f) v = rng.next_double();
+    ds.add(std::move(f), static_cast<int>(rng.next_below(7)));
+  }
+  for (auto _ : state) {
+    DecisionTree tree;
+    tree.fit(ds, {.max_depth = 15, .ccp_alpha = 0.005});
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+}
+BENCHMARK(BM_TreeTraining)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+#pragma once
+// Shared helpers for the example programs.
+//
+// Examples that demonstrate the full WISE pipeline need a trained model
+// bank. To keep them fast and self-contained they train on a small "mini
+// corpus" of quickly-measurable matrices; measurements go through the
+// shared cache, so repeated example runs start instantly. Real deployments
+// would instead load a bank trained on the full corpus (see
+// train_models.cpp).
+
+#include <cstdio>
+#include <vector>
+
+#include "exp/cache.hpp"
+#include "exp/corpus.hpp"
+#include "exp/train.hpp"
+#include "wise/pipeline.hpp"
+
+namespace wise::examples {
+
+/// A ~40-matrix corpus of small matrices covering all generator classes.
+inline std::vector<MatrixSpec> mini_corpus() {
+  std::vector<MatrixSpec> specs;
+  std::uint64_t seed = 1000;
+  for (RmatClass cls : {RmatClass::kHighSkew, RmatClass::kMedSkew,
+                        RmatClass::kLowSkew, RmatClass::kLowLoc,
+                        RmatClass::kMedLoc, RmatClass::kHighLoc}) {
+    for (index_t n : {1024, 4096}) {
+      for (double deg : {8.0, 32.0}) {
+        auto s = rmat_spec(cls, n, deg, seed++);
+        s.id = "mini-" + s.id;
+        specs.push_back(std::move(s));
+      }
+    }
+  }
+  for (index_t n : {1024, 4096}) {
+    for (double deg : {8.0, 32.0}) {
+      auto s = rgg_spec(n, deg, seed++);
+      s.id = "mini-" + s.id;
+      specs.push_back(std::move(s));
+    }
+  }
+  return specs;  // 6*4 + 4 = 28 specs
+}
+
+/// Measures (cached) the mini corpus and trains a WISE predictor on it.
+inline Wise make_mini_wise() {
+  std::printf("[example] preparing WISE (measuring the mini corpus on first "
+              "run; cached afterwards)...\n");
+  MeasurementCache cache;
+  const auto records =
+      cache.get_or_measure(mini_corpus(), {.iters = 2, .repeats = 1});
+  return Wise(train_model_bank(records));
+}
+
+}  // namespace wise::examples

@@ -1,0 +1,61 @@
+// Quickstart: the five-line WISE user experience.
+//
+//   1. Have a sparse matrix in CSR.
+//   2. Ask WISE to pick and prepare the best SpMV method for it.
+//   3. Run SpMV — no format knowledge needed.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "example_common.hpp"
+#include "gen/generators.hpp"
+#include "spmv/csr_kernels.hpp"
+#include "wise/speedup_class.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+using namespace wise;
+
+int main() {
+  // A power-law graph matrix — the kind plain CSR handles poorly.
+  const CsrMatrix matrix = CsrMatrix::from_coo(generate_rmat(
+      rmat_class_params(RmatClass::kHighSkew, 8192, 32), /*seed=*/7));
+  std::printf("matrix: %d x %d, %lld nonzeros\n", matrix.nrows(),
+              matrix.ncols(), static_cast<long long>(matrix.nnz()));
+
+  // Train (or load from cache) a WISE predictor, then let it choose.
+  const Wise predictor = examples::make_mini_wise();
+  const WiseChoice choice = predictor.choose(matrix);
+  std::printf("WISE selected: %s (predicted class %s)\n",
+              choice.config.name().c_str(),
+              class_name(choice.predicted_class).c_str());
+  std::printf("decision cost: %.2f ms features + %.3f ms inference\n",
+              choice.feature_seconds * 1e3, choice.inference_seconds * 1e3);
+
+  PreparedMatrix prepared = PreparedMatrix::prepare(matrix, choice.config);
+  std::printf("layout conversion: %.2f ms\n", prepared.prep_seconds() * 1e3);
+
+  // Run SpMV with the chosen method and compare against the CSR baseline.
+  aligned_vector<value_t> x(static_cast<std::size_t>(matrix.ncols()));
+  aligned_vector<value_t> y(static_cast<std::size_t>(matrix.nrows()));
+  Xoshiro256 rng(1);
+  for (auto& v : x) v = static_cast<value_t>(rng.next_double());
+
+  constexpr int kIters = 50;
+  prepared.run(x, y);  // warm-up
+  Timer t;
+  for (int i = 0; i < kIters; ++i) prepared.run(x, y);
+  const double wise_ms = t.milliseconds() / kIters;
+
+  spmv_csr_mkl_like(matrix, x, y);  // warm-up
+  t.reset();
+  for (int i = 0; i < kIters; ++i) spmv_csr_mkl_like(matrix, x, y);
+  const double mkl_ms = t.milliseconds() / kIters;
+
+  std::printf("\nSpMV time per iteration:\n");
+  std::printf("  MKL-style CSR baseline: %.3f ms\n", mkl_ms);
+  std::printf("  WISE-selected method:   %.3f ms  (%.2fx)\n", wise_ms,
+              mkl_ms / wise_ms);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Production training flow: measure the full corpus (through the shared
+// cache), train one decision tree per configuration, report training
+// quality, and save the model bank to disk so applications can load a
+// ready-to-use WISE without ever measuring anything:
+//
+//   wise::Wise predictor(wise::ModelBank::load("data/models"));
+//
+// This is the "WISE ships inside a math library" deployment the paper
+// envisions (§4: "an effective extension to an existing math library").
+
+#include <cstdio>
+
+#include "exp/cache.hpp"
+#include "exp/corpus.hpp"
+#include "exp/train.hpp"
+#include "util/env.hpp"
+#include "wise/speedup_class.hpp"
+
+using namespace wise;
+
+int main() {
+  std::printf("== WISE model training ==\n");
+  MeasurementCache cache;
+  const auto records = cache.get_or_measure(full_corpus());
+  std::printf("corpus: %zu matrices measured (cache: %s)\n", records.size(),
+              cache.path().c_str());
+
+  const TreeParams params{.max_depth = 15, .ccp_alpha = 0.005};  // paper §6.5
+  const ModelBank bank = train_model_bank(records, params);
+
+  // Training-set accuracy per model family (optimistic by construction;
+  // cross-validated numbers come from the fig10 bench).
+  const auto& configs = bank.configs();
+  std::printf("\n%-28s %8s %8s %8s\n", "model", "nodes", "depth", "trainAcc");
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const auto& tree = bank.trees()[c];
+    int correct = 0;
+    for (const auto& rec : records) {
+      const int truth = classify_relative_time(rec.rel_time(c));
+      correct += tree.predict(rec.features) == truth;
+    }
+    std::printf("%-28s %8d %8d %7.1f%%\n", configs[c].name().c_str(),
+                tree.num_nodes(), tree.depth(),
+                100.0 * correct / static_cast<double>(records.size()));
+  }
+
+  const std::string dir = data_dir() + "/models";
+  bank.save(dir);
+  std::printf("\nmodel bank saved to %s\n", dir.c_str());
+  std::printf("load it with: wise::ModelBank::load(\"%s\")\n", dir.c_str());
+  return 0;
+}

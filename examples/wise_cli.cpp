@@ -1,0 +1,140 @@
+// wise_cli — command-line front end to the library, for working with
+// Matrix Market files without writing C++:
+//
+//   wise_cli analyze  <matrix.mtx>            print the 67 WISE features
+//   wise_cli bench    <matrix.mtx>            time all 29 configurations
+//   wise_cli predict  <matrix.mtx> <models>   WISE selection from a saved
+//                                             model bank (train_models)
+//   wise_cli convert  <in.mtx> <out.mtx>      parse + canonicalize + write
+//   wise_cli generate <class> <rows> <deg> <out.mtx>
+//                                             emit an RMAT/RGG matrix
+//                                             (class: HS MS LS LL ML HL rgg)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "exp/measure.hpp"
+#include "features/extractor.hpp"
+#include "gen/generators.hpp"
+#include "sparse/mmio.hpp"
+#include "spmv/method.hpp"
+#include "wise/model_bank.hpp"
+#include "wise/pipeline.hpp"
+#include "wise/speedup_class.hpp"
+
+using namespace wise;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wise_cli analyze|bench|predict|convert|generate ...\n"
+               "  analyze  <matrix.mtx>\n"
+               "  bench    <matrix.mtx>\n"
+               "  predict  <matrix.mtx> <model-dir>\n"
+               "  convert  <in.mtx> <out.mtx>\n"
+               "  generate <HS|MS|LS|LL|ML|HL|rgg> <rows> <degree> <out.mtx>\n");
+  return 2;
+}
+
+CsrMatrix load(const std::string& path) {
+  std::fprintf(stderr, "loading %s...\n", path.c_str());
+  return CsrMatrix::from_coo(read_matrix_market_file(path));
+}
+
+int cmd_analyze(const std::string& path) {
+  const CsrMatrix m = load(path);
+  std::printf("%d x %d, %lld nonzeros\n", m.nrows(), m.ncols(),
+              static_cast<long long>(m.nnz()));
+  const FeatureVector fv = extract_features(m);
+  const auto& names = feature_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::printf("%-20s %.6g\n", names[i].c_str(), fv[i]);
+  }
+  return 0;
+}
+
+int cmd_bench(const std::string& path) {
+  const CsrMatrix m = load(path);
+  const MatrixRecord rec = measure_matrix(m, path, "cli");
+  const auto configs = all_method_configs();
+  std::printf("%-28s %12s %12s %10s\n", "configuration", "time/iter", "prep",
+              "vs bestCSR");
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    std::printf("%-28s %10.3f us %10.3f ms %9.3fx\n",
+                configs[c].name().c_str(), rec.config_seconds[c] * 1e6,
+                rec.config_prep_seconds[c] * 1e3, 1.0 / rec.rel_time(c));
+  }
+  std::printf("\nfastest: %s\n",
+              configs[rec.best_config_index()].name().c_str());
+  return 0;
+}
+
+int cmd_predict(const std::string& path, const std::string& model_dir) {
+  const CsrMatrix m = load(path);
+  const Wise predictor(ModelBank::load(model_dir));
+  const WiseChoice choice = predictor.choose(m);
+  std::printf("selected: %s\n", choice.config.name().c_str());
+  std::printf("predicted class: %s (relative time %s %.2f)\n",
+              class_name(choice.predicted_class).c_str(),
+              choice.predicted_class == 0 ? ">" : "<=",
+              choice.predicted_class == 0
+                  ? 1.05
+                  : class_upper_rel(choice.predicted_class));
+  std::printf("decision cost: %.2f ms\n",
+              (choice.feature_seconds + choice.inference_seconds) * 1e3);
+  return 0;
+}
+
+int cmd_convert(const std::string& in, const std::string& out) {
+  CooMatrix coo = read_matrix_market_file(in);
+  write_matrix_market_file(out, coo);
+  std::printf("wrote %s (%d x %d, %lld nonzeros, canonical order)\n",
+              out.c_str(), coo.nrows(), coo.ncols(),
+              static_cast<long long>(coo.nnz()));
+  return 0;
+}
+
+int cmd_generate(const std::string& cls, index_t rows, double degree,
+                 const std::string& out) {
+  CooMatrix coo;
+  if (cls == "rgg") {
+    coo = generate_rgg(rows, degree, 42);
+  } else {
+    RmatClass rmat_cls;
+    if (cls == "HS") rmat_cls = RmatClass::kHighSkew;
+    else if (cls == "MS") rmat_cls = RmatClass::kMedSkew;
+    else if (cls == "LS") rmat_cls = RmatClass::kLowSkew;
+    else if (cls == "LL") rmat_cls = RmatClass::kLowLoc;
+    else if (cls == "ML") rmat_cls = RmatClass::kMedLoc;
+    else if (cls == "HL") rmat_cls = RmatClass::kHighLoc;
+    else return usage();
+    coo = generate_rmat(rmat_class_params(rmat_cls, rows, degree), 42);
+  }
+  write_matrix_market_file(out, coo);
+  std::printf("wrote %s (%d x %d, %lld nonzeros)\n", out.c_str(), coo.nrows(),
+              coo.ncols(), static_cast<long long>(coo.nnz()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "analyze" && argc == 3) return cmd_analyze(argv[2]);
+    if (cmd == "bench" && argc == 3) return cmd_bench(argv[2]);
+    if (cmd == "predict" && argc == 4) return cmd_predict(argv[2], argv[3]);
+    if (cmd == "convert" && argc == 4) return cmd_convert(argv[2], argv[3]);
+    if (cmd == "generate" && argc == 6) {
+      return cmd_generate(argv[2], static_cast<index_t>(std::stoll(argv[3])),
+                          std::stod(argv[4]), argv[5]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

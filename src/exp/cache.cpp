@@ -1,0 +1,167 @@
+#include "exp/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "features/extractor.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+
+namespace wise {
+
+namespace {
+
+std::string default_cache_path() {
+  return data_dir() + "/measurements.csv";
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::string> measurement_csv_header() {
+  std::vector<std::string> h = {"id",  "family", "nrows",
+                                "ncols", "nnz",  "feature_seconds",
+                                "mkl_seconds"};
+  for (const auto& name : feature_names()) h.push_back("f:" + name);
+  for (const auto& cfg : all_method_configs()) h.push_back("t:" + cfg.name());
+  for (const auto& cfg : all_method_configs()) h.push_back("p:" + cfg.name());
+  return h;
+}
+
+std::vector<std::string> measurement_csv_row(const MatrixRecord& rec) {
+  std::vector<std::string> row = {rec.id,
+                                  rec.family,
+                                  std::to_string(rec.nrows),
+                                  std::to_string(rec.ncols),
+                                  std::to_string(rec.nnz),
+                                  num(rec.feature_seconds),
+                                  num(rec.mkl_seconds)};
+  for (double f : rec.features) row.push_back(num(f));
+  for (double t : rec.config_seconds) row.push_back(num(t));
+  for (double p : rec.config_prep_seconds) row.push_back(num(p));
+  return row;
+}
+
+MatrixRecord measurement_from_csv_row(const std::vector<std::string>& fields) {
+  const std::size_t nf = feature_count();
+  const std::size_t nc = all_method_configs().size();
+  if (fields.size() != 7 + nf + 2 * nc) {
+    throw std::runtime_error("measurement CSV row: wrong width");
+  }
+  MatrixRecord rec;
+  std::size_t i = 0;
+  rec.id = fields[i++];
+  rec.family = fields[i++];
+  rec.nrows = static_cast<index_t>(std::stoll(fields[i++]));
+  rec.ncols = static_cast<index_t>(std::stoll(fields[i++]));
+  rec.nnz = std::stoll(fields[i++]);
+  rec.feature_seconds = std::stod(fields[i++]);
+  rec.mkl_seconds = std::stod(fields[i++]);
+  rec.features.reserve(nf);
+  for (std::size_t k = 0; k < nf; ++k) rec.features.push_back(std::stod(fields[i++]));
+  rec.config_seconds.reserve(nc);
+  for (std::size_t k = 0; k < nc; ++k) {
+    rec.config_seconds.push_back(std::stod(fields[i++]));
+  }
+  rec.config_prep_seconds.reserve(nc);
+  for (std::size_t k = 0; k < nc; ++k) {
+    rec.config_prep_seconds.push_back(std::stod(fields[i++]));
+  }
+  return rec;
+}
+
+MeasurementCache::MeasurementCache(std::string path)
+    : path_(path.empty() ? default_cache_path() : std::move(path)) {}
+
+void MeasurementCache::load() {
+  loaded_ = true;
+  records_.clear();
+  if (env_flag("WISE_REFRESH", false)) {
+    std::filesystem::remove(path_);
+    return;
+  }
+  if (!std::filesystem::exists(path_)) return;
+  const CsvTable table = read_csv(path_);
+  if (table.header != measurement_csv_header()) {
+    // Schema drift (e.g. config set changed): discard the stale cache.
+    std::fprintf(stderr, "[cache] schema mismatch in %s; remeasuring\n",
+                 path_.c_str());
+    std::filesystem::remove(path_);
+    return;
+  }
+  records_.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    records_.push_back(measurement_from_csv_row(row));
+  }
+}
+
+void MeasurementCache::append(const MatrixRecord& rec) {
+  const bool fresh = !std::filesystem::exists(path_);
+  if (fresh) {
+    ensure_dir(std::filesystem::path(path_).parent_path().string());
+    std::ofstream out(path_);
+    if (!out) throw std::runtime_error("cannot create cache: " + path_);
+    const auto header = measurement_csv_header();
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      out << (i ? "," : "") << header[i];
+    }
+    out << '\n';
+  }
+  std::ofstream out(path_, std::ios::app);
+  if (!out) throw std::runtime_error("cannot append to cache: " + path_);
+  const auto row = measurement_csv_row(rec);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    out << (i ? "," : "") << row[i];
+  }
+  out << '\n';
+}
+
+std::vector<MatrixRecord> MeasurementCache::get_or_measure(
+    const std::vector<MatrixSpec>& specs, const MeasureOptions& opts) {
+  if (!loaded_) load();
+
+  std::unordered_map<std::string, std::size_t> by_id;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    by_id.emplace(records_[i].id, i);
+  }
+
+  std::size_t missing = 0;
+  for (const auto& spec : specs) {
+    if (!by_id.contains(spec.id)) ++missing;
+  }
+  if (missing > 0) {
+    std::fprintf(stderr, "[cache] measuring %zu of %zu matrices...\n", missing,
+                 specs.size());
+  }
+
+  std::vector<MatrixRecord> out;
+  out.reserve(specs.size());
+  std::size_t done = 0;
+  for (const auto& spec : specs) {
+    const auto it = by_id.find(spec.id);
+    if (it != by_id.end()) {
+      out.push_back(records_[it->second]);
+      continue;
+    }
+    MatrixRecord rec = measure_matrix(spec, opts);
+    append(rec);
+    by_id.emplace(rec.id, records_.size());
+    records_.push_back(rec);
+    out.push_back(std::move(rec));
+    ++done;
+    if (done % 25 == 0) {
+      std::fprintf(stderr, "[cache] %zu/%zu measured\n", done, missing);
+    }
+  }
+  return out;
+}
+
+}  // namespace wise

@@ -1,0 +1,43 @@
+#pragma once
+// On-disk measurement cache.
+//
+// Measuring the full corpus takes minutes, and several bench binaries need
+// the same measurements (Figs 2-4 and 10-13 plus Table 4 all consume the
+// corpus). Records are persisted to a CSV keyed by spec id; each bench
+// computes only what is missing. Delete the file (or set WISE_REFRESH=1)
+// to force remeasurement.
+
+#include <string>
+#include <vector>
+
+#include "exp/measure.hpp"
+
+namespace wise {
+
+class MeasurementCache {
+ public:
+  /// Default path: <WISE_DATA_DIR>/measurements.csv.
+  explicit MeasurementCache(std::string path = "");
+
+  /// Returns records for `specs` (in order), measuring and persisting any
+  /// that are not yet cached. Progress is logged to stderr.
+  std::vector<MatrixRecord> get_or_measure(const std::vector<MatrixSpec>& specs,
+                                           const MeasureOptions& opts = {});
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void load();
+  void append(const MatrixRecord& rec);
+
+  std::string path_;
+  bool loaded_ = false;
+  std::vector<MatrixRecord> records_;
+};
+
+/// CSV schema helpers (exposed for tests).
+std::vector<std::string> measurement_csv_header();
+std::vector<std::string> measurement_csv_row(const MatrixRecord& rec);
+MatrixRecord measurement_from_csv_row(const std::vector<std::string>& fields);
+
+}  // namespace wise

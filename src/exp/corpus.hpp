@@ -1,0 +1,38 @@
+#pragma once
+// Experiment corpora (paper §5 "Matrices", §4.5, §3).
+//
+// Two corpora mirror the paper's setup, scaled to this machine:
+//  * sci_corpus()    — 136 "scientific-flavored" matrices standing in for
+//    the 136 SuiteSparse matrices (stencils, banded, block-diagonal,
+//    road-like meshes, RGG, and a few power-law graphs — the same mix of
+//    low-skew/high-locality behaviors with a handful of web/social-like
+//    outliers that §3 measures in SuiteSparse).
+//  * random_corpus() — the RMAT/RGG grid of Table 3: all six skew/locality
+//    classes plus RGG, swept over matrix size and average degree.
+//
+// Row counts scale with the WISE_SCALE environment variable (default 1.0).
+
+#include <vector>
+
+#include "exp/spec.hpp"
+
+namespace wise {
+
+/// 136 scientific-flavored specs (SuiteSparse stand-in).
+std::vector<MatrixSpec> sci_corpus();
+
+/// RMAT/RGG training grid: 6 classes x sizes x degrees + RGG sweep.
+std::vector<MatrixSpec> random_corpus();
+
+/// sci + random, the full training/evaluation set.
+std::vector<MatrixSpec> full_corpus();
+
+/// Fig 5/6 sweep grids: one spec per (rows, degree) cell for the given
+/// class. Rows/degrees are chosen to mirror the paper's axes.
+std::vector<MatrixSpec> sweep_grid(RmatClass cls);
+
+/// Axis values used by sweep_grid (exposed for the bench's plot labels).
+std::vector<index_t> sweep_rows();
+std::vector<double> sweep_degrees();
+
+}  // namespace wise

@@ -1,0 +1,96 @@
+#include "exp/measure.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "features/extractor.hpp"
+#include "spmv/csr_kernels.hpp"
+#include "spmv/executor.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+namespace wise {
+
+double MatrixRecord::best_csr_seconds() const {
+  const auto configs = all_method_configs();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    if (configs[c].kind == MethodKind::kCsr) {
+      best = std::min(best, config_seconds[c]);
+    }
+  }
+  return best;
+}
+
+double MatrixRecord::rel_time(std::size_t c) const {
+  return config_seconds[c] / best_csr_seconds();
+}
+
+std::size_t MatrixRecord::best_config_index() const {
+  return static_cast<std::size_t>(
+      std::min_element(config_seconds.begin(), config_seconds.end()) -
+      config_seconds.begin());
+}
+
+MatrixRecord measure_matrix(const MatrixSpec& spec,
+                            const MeasureOptions& opts) {
+  return measure_matrix(spec.materialize(), spec.id, spec.family, opts);
+}
+
+MatrixRecord measure_matrix(const CsrMatrix& m, const std::string& id,
+                            const std::string& family,
+                            const MeasureOptions& opts) {
+  MatrixRecord rec;
+  rec.id = id;
+  rec.family = family;
+  rec.nrows = m.nrows();
+  rec.ncols = m.ncols();
+  rec.nnz = m.nnz();
+
+  Timer t;
+  rec.features = extract_features(m).values;
+  rec.feature_seconds = t.seconds();
+
+  aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()));
+  aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()));
+  Xoshiro256 rng(0x5eedf00d);
+  for (auto& v : x) v = static_cast<value_t>(rng.next_double());
+
+  // Adaptive iteration count: small matrices finish one SpMV in a few
+  // microseconds, where OS jitter would swamp a 3-iteration window. Scale
+  // the per-pass iteration count so each timed window is >= ~4 ms.
+  int iters = opts.iters;
+  {
+    spmv_csr_mkl_like(m, x, y);  // warm-up (also faults in x/y)
+    Timer probe;
+    spmv_csr_mkl_like(m, x, y);
+    const double est = std::max(probe.seconds(), 1e-9);
+    constexpr double kMinWindowSeconds = 4e-3;
+    iters = std::clamp(static_cast<int>(kMinWindowSeconds / est) + 1,
+                       opts.iters, 500);
+  }
+
+  // MKL stand-in baseline.
+  {
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < opts.repeats; ++r) {
+      Timer timer;
+      for (int i = 0; i < iters; ++i) spmv_csr_mkl_like(m, x, y);
+      best = std::min(best, timer.seconds() / iters);
+    }
+    rec.mkl_seconds = best;
+  }
+
+  const auto configs = all_method_configs();
+  rec.config_seconds.resize(configs.size());
+  rec.config_prep_seconds.resize(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    PreparedMatrix pm = PreparedMatrix::prepare(m, configs[c]);
+    rec.config_prep_seconds[c] = pm.prep_seconds();
+    rec.config_seconds[c] = time_spmv(pm, x, y, iters, opts.repeats);
+  }
+  return rec;
+}
+
+}  // namespace wise

@@ -1,0 +1,53 @@
+#pragma once
+// Measurement runner: times every configuration of the method space on one
+// matrix and records everything the experiments need (features, per-config
+// SpMV time, preprocessing time, MKL-baseline time).
+
+#include <string>
+#include <vector>
+
+#include "exp/spec.hpp"
+#include "spmv/method.hpp"
+
+namespace wise {
+
+struct MeasureOptions {
+  int iters = 3;    ///< minimum SpMV iterations per timing pass
+  int repeats = 3;  ///< timing passes (minimum taken)
+};
+
+/// Everything measured for one matrix. config_* vectors are indexed in
+/// all_method_configs() order.
+struct MatrixRecord {
+  std::string id;
+  std::string family;
+  index_t nrows = 0;
+  index_t ncols = 0;
+  nnz_t nnz = 0;
+
+  std::vector<double> features;             ///< 67 WISE features
+  double feature_seconds = 0;               ///< feature-extraction time
+  double mkl_seconds = 0;                   ///< MKL stand-in per-iteration
+  std::vector<double> config_seconds;       ///< per-iteration SpMV time
+  std::vector<double> config_prep_seconds;  ///< layout-conversion time
+
+  /// Fastest CSR scheduling time — the normalization baseline of §4.3.
+  double best_csr_seconds() const;
+
+  /// t_config / t_bestCSR for configuration index c.
+  double rel_time(std::size_t c) const;
+
+  /// Index (into all_method_configs()) of the fastest configuration.
+  std::size_t best_config_index() const;
+};
+
+/// Materializes and measures one spec.
+MatrixRecord measure_matrix(const MatrixSpec& spec,
+                            const MeasureOptions& opts = {});
+
+/// Measures an already-built matrix (id/family taken from the arguments).
+MatrixRecord measure_matrix(const CsrMatrix& m, const std::string& id,
+                            const std::string& family,
+                            const MeasureOptions& opts = {});
+
+}  // namespace wise

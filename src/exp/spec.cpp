@@ -1,0 +1,65 @@
+#include "exp/spec.hpp"
+
+#include <stdexcept>
+
+namespace wise {
+
+CsrMatrix MatrixSpec::materialize() const {
+  switch (kind) {
+    case Kind::kRmat: {
+      RmatParams p;
+      p.n = n;
+      p.avg_degree = degree;
+      p.a = a;
+      p.b = b;
+      p.c = c;
+      p.d = d;
+      return CsrMatrix::from_coo(generate_rmat(p, seed));
+    }
+    case Kind::kRgg:
+      return CsrMatrix::from_coo(generate_rgg(n, degree, seed));
+    case Kind::kBanded:
+      return CsrMatrix::from_coo(generate_banded(n, half_bw, density, seed));
+    case Kind::kStencil2d:
+      return CsrMatrix::from_coo(generate_stencil2d(n, n2, points));
+    case Kind::kStencil3d:
+      return CsrMatrix::from_coo(generate_stencil3d(n, n2, n3, points));
+    case Kind::kBlockDiag:
+      return CsrMatrix::from_coo(generate_block_diag(n, block, density, seed));
+    case Kind::kRoadLike:
+      return CsrMatrix::from_coo(generate_road_like(n, seed));
+  }
+  throw std::logic_error("MatrixSpec::materialize: unknown kind");
+}
+
+MatrixSpec rmat_spec(RmatClass cls, index_t n, double degree,
+                     std::uint64_t seed) {
+  const RmatParams p = rmat_class_params(cls, n, degree);
+  MatrixSpec spec;
+  spec.kind = MatrixSpec::Kind::kRmat;
+  spec.family = rmat_class_name(cls);
+  spec.id = "rmat-" + spec.family + "-r" + std::to_string(n) + "-d" +
+            std::to_string(static_cast<int>(degree));
+  spec.n = n;
+  spec.degree = degree;
+  spec.a = p.a;
+  spec.b = p.b;
+  spec.c = p.c;
+  spec.d = p.d;
+  spec.seed = seed;
+  return spec;
+}
+
+MatrixSpec rgg_spec(index_t n, double degree, std::uint64_t seed) {
+  MatrixSpec spec;
+  spec.kind = MatrixSpec::Kind::kRgg;
+  spec.family = "rgg";
+  spec.id = "rgg-r" + std::to_string(n) + "-d" +
+            std::to_string(static_cast<int>(degree));
+  spec.n = n;
+  spec.degree = degree;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace wise

@@ -1,0 +1,52 @@
+#pragma once
+// Declarative matrix specifications for the experiment corpus.
+//
+// A MatrixSpec is a small, serializable description from which a matrix can
+// be rematerialized bit-identically (generator + parameters + seed). The
+// measurement cache is keyed by spec id, so results survive across bench
+// binaries and runs.
+
+#include <cstdint>
+#include <string>
+
+#include "gen/generators.hpp"
+#include "sparse/csr.hpp"
+
+namespace wise {
+
+struct MatrixSpec {
+  enum class Kind {
+    kRmat,
+    kRgg,
+    kBanded,
+    kStencil2d,
+    kStencil3d,
+    kBlockDiag,
+    kRoadLike,
+  };
+
+  std::string id;      ///< unique key, e.g. "rmat-HS-r4096-d16"
+  std::string family;  ///< corpus grouping, e.g. "HS", "LL", "rgg", "sci"
+  Kind kind = Kind::kRmat;
+
+  index_t n = 0;          ///< rows (or grid nx for stencils)
+  index_t n2 = 0;         ///< stencil ny
+  index_t n3 = 0;         ///< stencil nz
+  double degree = 0;      ///< target average nonzeros per row
+  double density = 0;     ///< banded / block-diag fill density
+  int points = 0;         ///< stencil points (5/9/7/27)
+  index_t half_bw = 0;    ///< banded half bandwidth
+  index_t block = 0;      ///< block-diag block size
+  double a = 0, b = 0, c = 0, d = 0;  ///< RMAT quadrant probabilities
+  std::uint64_t seed = 0;
+
+  /// Generates the matrix. Deterministic.
+  CsrMatrix materialize() const;
+};
+
+/// Convenience spec constructors used by the corpus builders.
+MatrixSpec rmat_spec(RmatClass cls, index_t n, double degree,
+                     std::uint64_t seed);
+MatrixSpec rgg_spec(index_t n, double degree, std::uint64_t seed);
+
+}  // namespace wise

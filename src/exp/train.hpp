@@ -1,0 +1,15 @@
+#pragma once
+// Convenience bridge from measured records to a trained WISE model bank.
+
+#include <vector>
+
+#include "exp/measure.hpp"
+#include "wise/model_bank.hpp"
+
+namespace wise {
+
+/// Trains one decision tree per configuration from measured records.
+ModelBank train_model_bank(const std::vector<MatrixRecord>& records,
+                           const TreeParams& params = {});
+
+}  // namespace wise

@@ -1,0 +1,116 @@
+#include "features/extractor.hpp"
+
+#include <stdexcept>
+
+namespace wise {
+
+namespace {
+
+const std::array<const char*, 5> kDistNames = {"R", "C", "T", "RB", "CB"};
+const std::array<const char*, 8> kStatNames = {"mean", "std", "var",  "gini",
+                                               "pratio", "min", "max", "ne"};
+
+void append_dist(std::vector<double>& out, const DistStats& s) {
+  out.push_back(s.mean);
+  out.push_back(s.stddev);
+  out.push_back(s.variance);
+  out.push_back(s.gini);
+  out.push_back(s.pratio);
+  out.push_back(s.min);
+  out.push_back(s.max);
+  out.push_back(s.nonempty);
+}
+
+std::vector<std::string> build_names() {
+  std::vector<std::string> names = {"n_rows", "n_cols", "n_nnz"};
+  for (const char* dist : kDistNames) {
+    for (const char* stat : kStatNames) {
+      names.push_back(std::string(stat) + "_" + dist);
+    }
+  }
+  // uniq features: X=1 is the ungrouped uniqR/uniqC; larger X prefixed GrX_.
+  for (const char* side : {"R", "C"}) {
+    for (int x : kGroupFactors) {
+      names.push_back(x == 1 ? std::string("uniq") + side
+                             : "Gr" + std::to_string(x) + "_uniq" + side);
+    }
+  }
+  for (const char* side : {"R", "C"}) {
+    for (int x : kGroupFactors) {
+      names.push_back(x == 1
+                          ? std::string("potReuse") + side
+                          : "Gr" + std::to_string(x) + "_potReuse" + side);
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = build_names();
+  return names;
+}
+
+std::size_t feature_count() { return feature_names().size(); }
+
+DistStats row_dist_stats(const CsrMatrix& m) {
+  std::vector<nnz_t> counts(static_cast<std::size_t>(m.nrows()));
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    counts[static_cast<std::size_t>(i)] = m.row_nnz(i);
+  }
+  return compute_dist_stats(counts);
+}
+
+DistStats col_dist_stats(const CsrMatrix& m) {
+  return compute_dist_stats(m.col_counts());
+}
+
+FeatureVector extract_features(const CsrMatrix& m,
+                               const FeatureParams& params) {
+  FeatureVector fv;
+  fv.values.reserve(feature_count());
+
+  // (1) Size properties.
+  fv.values.push_back(static_cast<double>(m.nrows()));
+  fv.values.push_back(static_cast<double>(m.ncols()));
+  fv.values.push_back(static_cast<double>(m.nnz()));
+
+  // (2) Skew properties: R and C distributions.
+  append_dist(fv.values, row_dist_stats(m));
+  append_dist(fv.values, col_dist_stats(m));
+
+  // (3) Locality properties: T, RB, CB distributions plus presence sums.
+  const TilingResult tiling = analyze_tiling(m, params.tile_grid);
+  append_dist(fv.values, compute_dist_stats_sparse(tiling.tile_counts,
+                                                   tiling.total_tiles));
+  append_dist(fv.values, compute_dist_stats(tiling.rowblock_counts));
+  append_dist(fv.values, compute_dist_stats(tiling.colblock_counts));
+
+  const auto dnnz = static_cast<double>(std::max<nnz_t>(1, m.nnz()));
+  // uniq*: presence pairs normalized by the nonzero count (§4.2).
+  for (auto p : tiling.row_presence) {
+    fv.values.push_back(static_cast<double>(p) / dnnz);
+  }
+  for (auto p : tiling.col_presence) {
+    fv.values.push_back(static_cast<double>(p) / dnnz);
+  }
+  // potReuse*: the same presence pairs averaged over row/column groups.
+  for (std::size_t xi = 0; xi < kGroupFactors.size(); ++xi) {
+    fv.values.push_back(
+        static_cast<double>(tiling.row_presence[xi]) /
+        static_cast<double>(std::max<nnz_t>(1, tiling.row_groups[xi])));
+  }
+  for (std::size_t xi = 0; xi < kGroupFactors.size(); ++xi) {
+    fv.values.push_back(
+        static_cast<double>(tiling.col_presence[xi]) /
+        static_cast<double>(std::max<nnz_t>(1, tiling.col_groups[xi])));
+  }
+
+  if (fv.values.size() != feature_count()) {
+    throw std::logic_error("extract_features: feature count drift");
+  }
+  return fv;
+}
+
+}  // namespace wise

@@ -1,0 +1,51 @@
+#pragma once
+// WISE matrix feature extraction (paper §4.2, Table 2).
+//
+// Produces the 67-dimensional feature vector the performance-prediction
+// models consume: 3 size features, 8 summary statistics for each of the
+// five nonzero distributions (rows, columns, tiles, row blocks, column
+// blocks), and 24 uniq/potReuse locality features.
+
+#include <string>
+#include <vector>
+
+#include "features/stats.hpp"
+#include "features/tiling.hpp"
+#include "sparse/csr.hpp"
+
+namespace wise {
+
+/// Extraction parameters. The defaults reproduce the paper's setup scaled
+/// to this repository's matrix sizes (see default_tile_grid).
+struct FeatureParams {
+  index_t tile_grid = 0;  ///< K; 0 = choose automatically from matrix size
+
+  friend bool operator==(const FeatureParams&, const FeatureParams&) = default;
+};
+
+/// A named, fixed-order feature vector.
+struct FeatureVector {
+  std::vector<double> values;
+
+  double operator[](std::size_t i) const { return values[i]; }
+  std::size_t size() const { return values.size(); }
+};
+
+/// Names of the features, in vector order. The order is part of the model
+/// serialization format and must stay stable.
+const std::vector<std::string>& feature_names();
+
+/// Number of features (67).
+std::size_t feature_count();
+
+/// Extracts all features of `m` in one pass over the matrix plus one over
+/// its transpose.
+FeatureVector extract_features(const CsrMatrix& m,
+                               const FeatureParams& params = {});
+
+/// Per-distribution stats used by extract_features; exposed so analyses
+/// (e.g. the p-ratio histogram benches) can reuse single distributions.
+DistStats row_dist_stats(const CsrMatrix& m);
+DistStats col_dist_stats(const CsrMatrix& m);
+
+}  // namespace wise

@@ -1,0 +1,101 @@
+#include "features/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wise {
+
+namespace {
+
+/// Shared implementation: `sorted` must be ascending and contain only the
+/// positive masses; `n` is the total bucket count (zeros implicit).
+DistStats stats_from_sorted_nonempty(const std::vector<nnz_t>& sorted,
+                                     nnz_t n) {
+  DistStats s;
+  if (n <= 0) return s;
+
+  const auto n_nonempty = static_cast<nnz_t>(sorted.size());
+  const nnz_t n_zero = n - n_nonempty;
+
+  double total = 0, total_sq = 0;
+  for (nnz_t v : sorted) {
+    const auto d = static_cast<double>(v);
+    total += d;
+    total_sq += d * d;
+  }
+
+  const auto dn = static_cast<double>(n);
+  s.mean = total / dn;
+  s.variance = std::max(0.0, total_sq / dn - s.mean * s.mean);
+  s.stddev = std::sqrt(s.variance);
+  s.min = n_zero > 0 ? 0.0 : static_cast<double>(sorted.front());
+  s.max = sorted.empty() ? 0.0 : static_cast<double>(sorted.back());
+  s.nonempty = static_cast<double>(n_nonempty);
+
+  if (total <= 0) {
+    // No mass at all: define G=0, P=0.5 (perfectly balanced emptiness).
+    s.gini = 0.0;
+    s.pratio = 0.5;
+    return s;
+  }
+
+  // Gini over the full distribution (zeros included): with ascending order
+  // x_1..x_n, G = (2 * sum(i * x_i)) / (n * sum(x)) - (n + 1) / n.
+  // Implicit zeros occupy ranks 1..n_zero and contribute nothing to the
+  // weighted sum.
+  double weighted = 0;
+  for (nnz_t k = 0; k < n_nonempty; ++k) {
+    const auto rank = static_cast<double>(n_zero + k + 1);
+    weighted += rank * static_cast<double>(sorted[static_cast<std::size_t>(k)]);
+  }
+  s.gini = std::clamp(2.0 * weighted / (dn * total) - (dn + 1.0) / dn, 0.0, 1.0);
+
+  // p-ratio: walk the buckets in descending order; the first k where the
+  // top-k share reaches 1 - k/n gives p = k/n. The crossing always happens
+  // by k = n_nonempty because the remaining buckets are empty.
+  double cum = 0;
+  s.pratio = 0.5;
+  for (nnz_t k = 1; k <= n_nonempty; ++k) {
+    cum += static_cast<double>(
+        sorted[static_cast<std::size_t>(n_nonempty - k)]);
+    const double share_needed = 1.0 - static_cast<double>(k) / dn;
+    if (cum / total >= share_needed) {
+      s.pratio = static_cast<double>(k) / dn;
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+DistStats compute_dist_stats(const std::vector<nnz_t>& counts) {
+  std::vector<nnz_t> nonempty;
+  nonempty.reserve(counts.size());
+  for (nnz_t v : counts) {
+    if (v != 0) nonempty.push_back(v);
+  }
+  std::sort(nonempty.begin(), nonempty.end());
+  return stats_from_sorted_nonempty(nonempty,
+                                    static_cast<nnz_t>(counts.size()));
+}
+
+DistStats compute_dist_stats_sparse(std::vector<nnz_t> nonempty_counts,
+                                    nnz_t total_buckets) {
+  std::sort(nonempty_counts.begin(), nonempty_counts.end());
+  // Tolerate zeros slipping into the "nonempty" list.
+  auto first_positive = std::upper_bound(nonempty_counts.begin(),
+                                         nonempty_counts.end(), nnz_t{0});
+  nonempty_counts.erase(nonempty_counts.begin(), first_positive);
+  return stats_from_sorted_nonempty(nonempty_counts, total_buckets);
+}
+
+double gini_coefficient(std::vector<nnz_t> counts) {
+  return compute_dist_stats(counts).gini;
+}
+
+double p_ratio(std::vector<nnz_t> counts) {
+  return compute_dist_stats(counts).pratio;
+}
+
+}  // namespace wise

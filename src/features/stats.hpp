@@ -1,0 +1,51 @@
+#pragma once
+// Summary statistics over nonzero-count distributions (paper §4.2).
+//
+// Every matrix feature in WISE is a summary statistic of one of five
+// distributions (nonzeros per row / column / tile / row-block / column-
+// block): mean, standard deviation, variance, min, max, Gini coefficient,
+// p-ratio, and the number of nonempty buckets.
+//
+// Gini coefficient G: standard inequality measure; 0 for a perfectly
+// balanced distribution, approaching 1 when all mass sits in one bucket.
+//
+// p-ratio P (Kunegis & Preusse): the p such that the top p fraction of
+// buckets holds the (1-p) fraction of the mass; 0.5 when balanced,
+// approaching 0 under extreme skew.
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace wise {
+
+/// The eight summary statistics of one distribution.
+struct DistStats {
+  double mean = 0;
+  double stddev = 0;
+  double variance = 0;
+  double min = 0;
+  double max = 0;
+  double gini = 0;
+  double pratio = 0.5;
+  double nonempty = 0;  ///< number of buckets with nonzero count ("ne")
+};
+
+/// Statistics of a dense distribution: counts[b] is bucket b's mass.
+/// An empty vector yields all-zero stats with pratio 0.5.
+DistStats compute_dist_stats(const std::vector<nnz_t>& counts);
+
+/// Statistics of a sparsely-represented distribution: `nonempty_counts`
+/// lists the positive bucket masses (any order); `total_buckets` includes
+/// the implicit zero buckets. Used for the tile (T) distribution where the
+/// K^2 bucket space is far larger than the number of occupied tiles.
+DistStats compute_dist_stats_sparse(std::vector<nnz_t> nonempty_counts,
+                                    nnz_t total_buckets);
+
+/// Gini coefficient of a distribution given in any order. Exposed for tests.
+double gini_coefficient(std::vector<nnz_t> counts);
+
+/// p-ratio of a distribution given in any order. Exposed for tests.
+double p_ratio(std::vector<nnz_t> counts);
+
+}  // namespace wise

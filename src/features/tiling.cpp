@@ -1,0 +1,120 @@
+#include "features/tiling.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace wise {
+
+namespace {
+
+/// One row-major sweep computing tile/row-block/column-block counts and the
+/// row-group presence sums. Column-group presence is obtained by running
+/// this same pass on the transpose (a column group of A is a row group of
+/// A^T and tile (tr,tc) of A is tile (tc,tr) of A^T), which keeps every
+/// counter exact with O(K) memory.
+struct RowSweep {
+  std::vector<nnz_t> tile_counts;
+  std::vector<nnz_t> rowblock;
+  std::vector<nnz_t> colblock;
+  std::array<nnz_t, kGroupFactors.size()> presence{};
+};
+
+RowSweep row_sweep(const CsrMatrix& m, index_t k) {
+  const index_t nrows = m.nrows();
+  const index_t ncols = m.ncols();
+  const index_t tile_rows = (nrows + k - 1) / k;
+  const index_t tile_cols = (ncols + k - 1) / k;
+
+  RowSweep out;
+  out.rowblock.assign(static_cast<std::size_t>(k), 0);
+  out.colblock.assign(static_cast<std::size_t>(k), 0);
+
+  // Per-tile-column state for the current tile-row block.
+  std::vector<nnz_t> block_count(static_cast<std::size_t>(k), 0);
+  std::vector<index_t> occupied;
+
+  // marker[x][tc] remembers the last (row group, tile row) whose nonzeros
+  // hit tile column tc. Row-major traversal makes that key non-decreasing
+  // per tc, so "changed" == "first visit of this (group, tile) pair".
+  std::array<std::vector<std::int64_t>, kGroupFactors.size()> marker;
+  for (auto& v : marker) v.assign(static_cast<std::size_t>(k), -1);
+
+  auto flush_block = [&] {
+    for (index_t tc : occupied) {
+      out.tile_counts.push_back(block_count[static_cast<std::size_t>(tc)]);
+      block_count[static_cast<std::size_t>(tc)] = 0;
+    }
+    occupied.clear();
+  };
+
+  index_t current_tr = 0;
+  for (index_t i = 0; i < nrows; ++i) {
+    const index_t tr = i / tile_rows;
+    if (tr != current_tr) {
+      flush_block();
+      current_tr = tr;
+    }
+    for (index_t j : m.row_cols(i)) {
+      const index_t tc = j / tile_cols;
+      if (block_count[static_cast<std::size_t>(tc)] == 0) {
+        occupied.push_back(tc);
+      }
+      ++block_count[static_cast<std::size_t>(tc)];
+      ++out.rowblock[static_cast<std::size_t>(tr)];
+      ++out.colblock[static_cast<std::size_t>(tc)];
+
+      for (std::size_t xi = 0; xi < kGroupFactors.size(); ++xi) {
+        const index_t g = i / kGroupFactors[xi];
+        const std::int64_t key =
+            static_cast<std::int64_t>(g) * k + tr;
+        if (marker[xi][static_cast<std::size_t>(tc)] != key) {
+          marker[xi][static_cast<std::size_t>(tc)] = key;
+          ++out.presence[xi];
+        }
+      }
+    }
+  }
+  flush_block();
+  return out;
+}
+
+}  // namespace
+
+index_t default_tile_grid(index_t nrows, index_t ncols) {
+  // Keep ~512 rows per tile (the paper's smallest-matrix ratio: K=2048 for
+  // 2^20 rows), clamped to [4, 2048] and floored to a power of two.
+  const index_t base = std::min(nrows, ncols) / 512;
+  const index_t clamped = std::clamp<index_t>(base, 4, 2048);
+  return static_cast<index_t>(
+      std::bit_floor(static_cast<std::uint64_t>(clamped)));
+}
+
+TilingResult analyze_tiling(const CsrMatrix& m, index_t k) {
+  if (k <= 0) k = default_tile_grid(m.nrows(), m.ncols());
+  k = std::max<index_t>(1, std::min({k, m.nrows(), m.ncols()}));
+
+  TilingResult res;
+  res.k = k;
+  res.tile_rows = (m.nrows() + k - 1) / k;
+  res.tile_cols = (m.ncols() + k - 1) / k;
+  res.total_tiles = static_cast<nnz_t>(k) * k;
+
+  RowSweep fwd = row_sweep(m, k);
+  res.tile_counts = std::move(fwd.tile_counts);
+  res.rowblock_counts = std::move(fwd.rowblock);
+  res.colblock_counts = std::move(fwd.colblock);
+  res.row_presence = fwd.presence;
+
+  const CsrMatrix mt = m.transpose();
+  RowSweep bwd = row_sweep(mt, k);
+  res.col_presence = bwd.presence;
+
+  for (std::size_t xi = 0; xi < kGroupFactors.size(); ++xi) {
+    const auto x = static_cast<index_t>(kGroupFactors[xi]);
+    res.row_groups[xi] = (m.nrows() + x - 1) / x;
+    res.col_groups[xi] = (m.ncols() + x - 1) / x;
+  }
+  return res;
+}
+
+}  // namespace wise

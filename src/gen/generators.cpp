@@ -1,0 +1,323 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace wise {
+
+namespace {
+
+value_t random_value(Xoshiro256& rng) {
+  return static_cast<value_t>(0.5 + rng.next_double());
+}
+
+index_t round_up_pow2(index_t n) {
+  if (n <= 1) return 1;
+  return static_cast<index_t>(
+      std::bit_ceil(static_cast<std::uint64_t>(n)));
+}
+
+}  // namespace
+
+const char* rmat_class_name(RmatClass cls) {
+  switch (cls) {
+    case RmatClass::kHighSkew: return "HS";
+    case RmatClass::kMedSkew: return "MS";
+    case RmatClass::kLowSkew: return "LS";
+    case RmatClass::kLowLoc: return "LL";
+    case RmatClass::kMedLoc: return "ML";
+    case RmatClass::kHighLoc: return "HL";
+  }
+  return "?";
+}
+
+RmatParams rmat_class_params(RmatClass cls, index_t n, double avg_degree) {
+  RmatParams p;
+  p.n = n;
+  p.avg_degree = avg_degree;
+  switch (cls) {  // Table 3 of the paper.
+    case RmatClass::kHighSkew: p.a = 0.57; p.b = 0.19; p.c = 0.19; p.d = 0.05; break;
+    case RmatClass::kMedSkew:  p.a = 0.46; p.b = 0.22; p.c = 0.22; p.d = 0.10; break;
+    case RmatClass::kLowSkew:  p.a = 0.35; p.b = 0.25; p.c = 0.25; p.d = 0.15; break;
+    case RmatClass::kLowLoc:   p.a = 0.25; p.b = 0.25; p.c = 0.25; p.d = 0.25; break;
+    case RmatClass::kMedLoc:   p.a = 0.35; p.b = 0.15; p.c = 0.15; p.d = 0.35; break;
+    case RmatClass::kHighLoc:  p.a = 0.45; p.b = 0.05; p.c = 0.05; p.d = 0.45; break;
+  }
+  return p;
+}
+
+CooMatrix generate_rmat(const RmatParams& params, std::uint64_t seed) {
+  if (params.n <= 0 || params.avg_degree <= 0) {
+    throw std::invalid_argument("generate_rmat: n and avg_degree must be > 0");
+  }
+  const double psum = params.a + params.b + params.c + params.d;
+  if (std::abs(psum - 1.0) > 1e-6) {
+    throw std::invalid_argument("generate_rmat: probabilities must sum to 1");
+  }
+
+  const index_t n = round_up_pow2(params.n);
+  const int levels = std::countr_zero(static_cast<std::uint64_t>(n));
+  const auto num_edges = static_cast<nnz_t>(
+      static_cast<double>(params.n) * params.avg_degree);
+
+  Xoshiro256 rng(seed);
+  CooMatrix coo(params.n, params.n);
+  coo.entries().reserve(static_cast<std::size_t>(num_edges));
+
+  // Cumulative quadrant thresholds.
+  const double t_a = params.a;
+  const double t_ab = params.a + params.b;
+  const double t_abc = params.a + params.b + params.c;
+
+  for (nnz_t e = 0; e < num_edges; ++e) {
+    index_t u = 0, v = 0;
+    for (int level = 0; level < levels; ++level) {
+      const double p = rng.next_double();
+      const int rbit = p >= t_ab;                  // bottom half?
+      const int cbit = (p >= t_a && p < t_ab) ||   // top-right
+                       (p >= t_abc);               // bottom-right
+      u = static_cast<index_t>((u << 1) | rbit);
+      v = static_cast<index_t>((v << 1) | cbit);
+    }
+    // When params.n is not a power of two the recursion runs on the next
+    // power and out-of-range edges are rejected (resampled).
+    if (u >= params.n || v >= params.n) {
+      --e;
+      continue;
+    }
+    coo.add(u, v, random_value(rng));
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+CooMatrix generate_rgg(index_t n, double avg_degree, std::uint64_t seed) {
+  if (n <= 0 || avg_degree <= 0) {
+    throw std::invalid_argument("generate_rgg: n and avg_degree must be > 0");
+  }
+  const double r =
+      std::sqrt(avg_degree / (static_cast<double>(n) * std::numbers::pi));
+
+  Xoshiro256 rng(seed);
+  struct Point {
+    double x, y;
+  };
+  std::vector<Point> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) {
+    p.x = rng.next_double();
+    p.y = rng.next_double();
+  }
+
+  // Bucket grid with cell edge >= r: neighbors are within the 3x3 block.
+  const auto cells = std::max<index_t>(
+      1, static_cast<index_t>(std::floor(1.0 / std::max(r, 1e-9))));
+  auto cell_of = [&](const Point& p) {
+    auto cx = std::min<index_t>(cells - 1, static_cast<index_t>(p.x * cells));
+    auto cy = std::min<index_t>(cells - 1, static_cast<index_t>(p.y * cells));
+    return cy * cells + cx;
+  };
+
+  // Number vertices in spatial (cell-major) order: this is what gives RGG
+  // matrices their near-diagonal structure.
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return cell_of(pts[static_cast<std::size_t>(a)]) <
+           cell_of(pts[static_cast<std::size_t>(b)]);
+  });
+  std::vector<Point> sorted(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    sorted[static_cast<std::size_t>(i)] =
+        pts[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+  }
+
+  // Bucket index over sorted points.
+  std::vector<std::vector<index_t>> buckets(
+      static_cast<std::size_t>(cells * cells));
+  for (index_t i = 0; i < n; ++i) {
+    buckets[static_cast<std::size_t>(cell_of(sorted[static_cast<std::size_t>(i)]))]
+        .push_back(i);
+  }
+
+  CooMatrix coo(n, n);
+  const double r2 = r * r;
+  for (index_t i = 0; i < n; ++i) {
+    const auto& pi = sorted[static_cast<std::size_t>(i)];
+    const auto cx = std::min<index_t>(cells - 1,
+                                      static_cast<index_t>(pi.x * cells));
+    const auto cy = std::min<index_t>(cells - 1,
+                                      static_cast<index_t>(pi.y * cells));
+    for (index_t dy = -1; dy <= 1; ++dy) {
+      for (index_t dx = -1; dx <= 1; ++dx) {
+        const index_t nx = cx + dx, ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (index_t j : buckets[static_cast<std::size_t>(ny * cells + nx)]) {
+          if (j <= i) continue;  // emit each pair once, then mirror
+          const auto& pj = sorted[static_cast<std::size_t>(j)];
+          const double ddx = pi.x - pj.x, ddy = pi.y - pj.y;
+          if (ddx * ddx + ddy * ddy <= r2) {
+            const value_t v = random_value(rng);
+            coo.add(i, j, v);
+            coo.add(j, i, v);
+          }
+        }
+      }
+    }
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+CooMatrix generate_banded(index_t n, index_t half_bandwidth, double density,
+                          std::uint64_t seed) {
+  if (n <= 0 || half_bandwidth < 0 || density < 0 || density > 1) {
+    throw std::invalid_argument("generate_banded: bad parameters");
+  }
+  Xoshiro256 rng(seed);
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, random_value(rng));  // always keep the diagonal
+    const index_t lo = std::max<index_t>(0, i - half_bandwidth);
+    const index_t hi = std::min<index_t>(n - 1, i + half_bandwidth);
+    for (index_t j = lo; j <= hi; ++j) {
+      if (j != i && rng.next_double() < density) {
+        coo.add(i, j, random_value(rng));
+      }
+    }
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+CooMatrix generate_stencil2d(index_t nx, index_t ny, int points) {
+  if (nx <= 0 || ny <= 0 || (points != 5 && points != 9)) {
+    throw std::invalid_argument("generate_stencil2d: bad parameters");
+  }
+  const index_t n = nx * ny;
+  CooMatrix coo(n, n);
+  auto id = [nx](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t row = id(x, y);
+      coo.add(row, row, static_cast<value_t>(points - 1));
+      for (index_t dy = -1; dy <= 1; ++dy) {
+        for (index_t dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          if (points == 5 && dx != 0 && dy != 0) continue;  // no diagonals
+          const index_t xx = x + dx, yy = y + dy;
+          if (xx < 0 || yy < 0 || xx >= nx || yy >= ny) continue;
+          coo.add(row, id(xx, yy), value_t{-1});
+        }
+      }
+    }
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+CooMatrix generate_stencil3d(index_t nx, index_t ny, index_t nz, int points) {
+  if (nx <= 0 || ny <= 0 || nz <= 0 || (points != 7 && points != 27)) {
+    throw std::invalid_argument("generate_stencil3d: bad parameters");
+  }
+  const index_t n = nx * ny * nz;
+  CooMatrix coo(n, n);
+  auto id = [nx, ny](index_t x, index_t y, index_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t row = id(x, y, z);
+        coo.add(row, row, static_cast<value_t>(points - 1));
+        for (index_t dz = -1; dz <= 1; ++dz) {
+          for (index_t dy = -1; dy <= 1; ++dy) {
+            for (index_t dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              if (points == 7 && std::abs(dx) + std::abs(dy) + std::abs(dz) != 1) {
+                continue;
+              }
+              const index_t xx = x + dx, yy = y + dy, zz = z + dz;
+              if (xx < 0 || yy < 0 || zz < 0 || xx >= nx || yy >= ny ||
+                  zz >= nz) {
+                continue;
+              }
+              coo.add(row, id(xx, yy, zz), value_t{-1});
+            }
+          }
+        }
+      }
+    }
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+CooMatrix generate_block_diag(index_t n, index_t block_size, double density,
+                              std::uint64_t seed) {
+  if (n <= 0 || block_size <= 0 || density < 0 || density > 1) {
+    throw std::invalid_argument("generate_block_diag: bad parameters");
+  }
+  Xoshiro256 rng(seed);
+  CooMatrix coo(n, n);
+  for (index_t base = 0; base < n; base += block_size) {
+    const index_t end = std::min<index_t>(base + block_size, n);
+    for (index_t i = base; i < end; ++i) {
+      coo.add(i, i, random_value(rng));
+      for (index_t j = base; j < end; ++j) {
+        if (j != i && rng.next_double() < density) {
+          coo.add(i, j, random_value(rng));
+        }
+      }
+    }
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+CooMatrix generate_road_like(index_t n, std::uint64_t seed) {
+  if (n <= 0) throw std::invalid_argument("generate_road_like: n must be > 0");
+  const auto side = static_cast<index_t>(
+      std::max<double>(1.0, std::ceil(std::sqrt(static_cast<double>(n)))));
+  Xoshiro256 rng(seed);
+  CooMatrix coo(n, n);
+  auto id = [side](index_t x, index_t y) { return y * side + x; };
+  auto add_sym = [&](index_t a, index_t b) {
+    const value_t v = random_value(rng);
+    coo.add(a, b, v);
+    coo.add(b, a, v);
+  };
+  constexpr double kKeepProb = 0.8;       // fraction of grid edges kept
+  constexpr double kShortcutProb = 0.05;  // extra short-range links
+  for (index_t y = 0; y < side; ++y) {
+    for (index_t x = 0; x < side; ++x) {
+      const index_t a = id(x, y);
+      if (a >= n) continue;
+      if (x + 1 < side && id(x + 1, y) < n && rng.next_double() < kKeepProb) {
+        add_sym(a, id(x + 1, y));
+      }
+      if (y + 1 < side && id(x, y + 1) < n && rng.next_double() < kKeepProb) {
+        add_sym(a, id(x, y + 1));
+      }
+      if (rng.next_double() < kShortcutProb) {
+        // Shortcut to a vertex within a few grid steps — an overpass/ramp.
+        const index_t ddx = static_cast<index_t>(rng.next_in(-3, 3));
+        const index_t ddy = static_cast<index_t>(rng.next_in(-3, 3));
+        const index_t xx = x + ddx, yy = y + ddy;
+        if (xx >= 0 && yy >= 0 && xx < side && yy < side) {
+          const index_t b = id(xx, yy);
+          if (b < n && b != a) add_sym(a, b);
+        }
+      }
+    }
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+}  // namespace wise

@@ -1,0 +1,159 @@
+#include "graph/algorithms.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/semiring.hpp"
+
+namespace wise {
+
+CsrMatrix pagerank_transition(const CsrMatrix& adjacency) {
+  CooMatrix coo(adjacency.ncols(), adjacency.nrows());
+  coo.entries().reserve(static_cast<std::size_t>(adjacency.nnz()));
+  for (index_t u = 0; u < adjacency.nrows(); ++u) {
+    const auto cols = adjacency.row_cols(u);
+    if (cols.empty()) continue;
+    const auto w =
+        static_cast<value_t>(1.0 / static_cast<double>(cols.size()));
+    for (index_t v : cols) coo.add(v, u, w);
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+PageRankResult pagerank(const SpmvOperator& spmv, index_t n,
+                        const PageRankOptions& opts) {
+  if (n <= 0) throw std::invalid_argument("pagerank: n must be > 0");
+  PageRankResult res;
+  res.rank.assign(static_cast<std::size_t>(n),
+                  static_cast<value_t>(1.0 / n));
+  std::vector<value_t> next(static_cast<std::size_t>(n));
+
+  for (res.iterations = 1; res.iterations <= opts.max_iterations;
+       ++res.iterations) {
+    spmv(res.rank, next);
+    // Mass lost to dangling columns is redistributed uniformly along with
+    // the teleport term.
+    double sum = 0;
+    for (value_t v : next) sum += v;
+    const auto base =
+        static_cast<value_t>((1.0 - opts.damping * sum) / n);
+    double delta = 0;
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      const value_t updated =
+          static_cast<value_t>(opts.damping) * next[i] + base;
+      delta += std::abs(static_cast<double>(updated - res.rank[i]));
+      res.rank[i] = updated;
+    }
+    if (delta < opts.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  return res;
+}
+
+HitsResult hits(const SpmvOperator& spmv, const SpmvOperator& spmv_t,
+                index_t n, double tolerance, int max_iterations) {
+  if (n <= 0) throw std::invalid_argument("hits: n must be > 0");
+  HitsResult res;
+  res.hub.assign(static_cast<std::size_t>(n), 1.0);
+  res.authority.assign(static_cast<std::size_t>(n), 1.0);
+  std::vector<value_t> prev_auth(res.authority);
+
+  auto normalize = [](std::vector<value_t>& v) {
+    const double norm = blas::norm2(v);
+    if (norm > 0) blas::scale(v, static_cast<value_t>(1.0 / norm));
+  };
+  normalize(res.hub);
+  normalize(res.authority);
+
+  for (res.iterations = 1; res.iterations <= max_iterations;
+       ++res.iterations) {
+    spmv_t(res.hub, res.authority);  // a = A^T h
+    normalize(res.authority);
+    spmv(res.authority, res.hub);    // h = A a
+    normalize(res.hub);
+
+    double delta = 0;
+    for (std::size_t i = 0; i < prev_auth.size(); ++i) {
+      delta += std::abs(
+          static_cast<double>(res.authority[i] - prev_auth[i]));
+    }
+    prev_auth = res.authority;
+    if (delta < tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  return res;
+}
+
+std::vector<index_t> bfs_levels(const CsrMatrix& adjacency, index_t source) {
+  const index_t n = adjacency.nrows();
+  if (source < 0 || source >= n) {
+    throw std::invalid_argument("bfs_levels: source out of range");
+  }
+  if (adjacency.ncols() != n) {
+    throw std::invalid_argument("bfs_levels: adjacency must be square");
+  }
+  // Frontier expansion via A^T over the boolean semiring: next = A^T f
+  // restricted to unvisited vertices.
+  const CsrMatrix at = adjacency.transpose();
+
+  std::vector<index_t> level(static_cast<std::size_t>(n), -1);
+  std::vector<value_t> frontier(static_cast<std::size_t>(n), 0);
+  std::vector<value_t> next(static_cast<std::size_t>(n));
+  level[static_cast<std::size_t>(source)] = 0;
+  frontier[static_cast<std::size_t>(source)] = 1;
+
+  for (index_t depth = 1; depth <= n; ++depth) {
+    spmv_semiring<OrAnd>(at, frontier, next);
+    bool any = false;
+    for (index_t v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (next[vi] != 0 && level[vi] < 0) {
+        level[vi] = depth;
+        frontier[vi] = 1;
+        any = true;
+      } else {
+        frontier[vi] = 0;
+      }
+    }
+    if (!any) break;
+  }
+  return level;
+}
+
+std::vector<value_t> sssp(const CsrMatrix& adjacency, index_t source,
+                          int max_iterations) {
+  const index_t n = adjacency.nrows();
+  if (source < 0 || source >= n) {
+    throw std::invalid_argument("sssp: source out of range");
+  }
+  if (adjacency.ncols() != n) {
+    throw std::invalid_argument("sssp: adjacency must be square");
+  }
+  if (max_iterations <= 0) max_iterations = n;
+
+  // Bellman-Ford: dist' = min(dist, (A^T dist) over MinPlus). A^T because
+  // relaxing edge (u,v) updates v from u.
+  const CsrMatrix at = adjacency.transpose();
+  std::vector<value_t> dist(static_cast<std::size_t>(n), MinPlus::zero());
+  std::vector<value_t> relaxed(static_cast<std::size_t>(n));
+  dist[static_cast<std::size_t>(source)] = 0;
+
+  for (int it = 0; it < max_iterations; ++it) {
+    spmv_semiring<MinPlus>(at, dist, relaxed);
+    bool changed = false;
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+      if (relaxed[i] < dist[i]) {
+        dist[i] = relaxed[i];
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+}  // namespace wise

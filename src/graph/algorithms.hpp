@@ -1,0 +1,64 @@
+#pragma once
+// Graph algorithms expressed as iterated SpMV — the workloads the paper's
+// introduction motivates (PageRank, HITS) plus the classic semiring pair
+// (BFS over OrAnd, SSSP over MinPlus).
+//
+// PageRank and HITS accept a pluggable SpmvOperator so the inner products
+// can run through a WISE-prepared matrix; BFS/SSSP use the semiring CSR
+// kernel directly (their "multiplications" are not plain arithmetic).
+
+#include <vector>
+
+#include "solvers/solver_common.hpp"
+#include "sparse/csr.hpp"
+
+namespace wise {
+
+/// Column-stochastic transition matrix M = A^T D_out^-1 of a directed
+/// graph given by its adjacency matrix (row u lists u's out-edges).
+/// Dangling vertices (no out-edges) produce zero columns; the iteration
+/// renormalizes for them.
+CsrMatrix pagerank_transition(const CsrMatrix& adjacency);
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-10;  ///< on the L1 change per iteration
+  int max_iterations = 500;
+};
+
+struct PageRankResult {
+  std::vector<value_t> rank;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Power-method PageRank; `spmv` must apply the transition matrix from
+/// pagerank_transition. n is the vertex count.
+PageRankResult pagerank(const SpmvOperator& spmv, index_t n,
+                        const PageRankOptions& opts = {});
+
+struct HitsResult {
+  std::vector<value_t> hub;
+  std::vector<value_t> authority;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// HITS (Kleinberg): alternating hub/authority updates a = A^T h,
+/// h = A a with 2-norm normalization. `spmv` applies A, `spmv_t` applies
+/// A^T.
+HitsResult hits(const SpmvOperator& spmv, const SpmvOperator& spmv_t,
+                index_t n, double tolerance = 1e-10, int max_iterations = 500);
+
+/// BFS levels from `source` using OrAnd-semiring frontier expansion over
+/// A^T (so level k+1 = vertices reachable from the level-k frontier).
+/// Unreached vertices get level -1.
+std::vector<index_t> bfs_levels(const CsrMatrix& adjacency, index_t source);
+
+/// Single-source shortest paths via MinPlus Bellman-Ford iteration
+/// (edge weights must be non-negative for meaningful distances here).
+/// Unreachable vertices get +infinity.
+std::vector<value_t> sssp(const CsrMatrix& adjacency, index_t source,
+                          int max_iterations = 0 /* 0 = #vertices */);
+
+}  // namespace wise

@@ -1,0 +1,81 @@
+#pragma once
+// Semiring-generic SpMV.
+//
+// The paper positions WISE as an extension for GraphBLAS/BLAS frameworks
+// (§1, §8). GraphBLAS generalizes y = A x over arbitrary semirings: graph
+// kernels are SpMV with (+,*) replaced by other (add, multiply) pairs.
+// This header provides the semiring concept and a parallel CSR SpMV
+// templated over it; the graph algorithms (BFS, SSSP) build on these.
+//
+//   PlusTimes   — ordinary arithmetic: linear algebra, PageRank, HITS
+//   MinPlus     — shortest paths (tropical semiring)
+//   OrAnd       — boolean reachability / BFS frontiers
+
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <stdexcept>
+
+#include "sparse/csr.hpp"
+#include "spmv/schedule.hpp"
+
+namespace wise {
+
+/// Ordinary (+, *) semiring over value_t.
+struct PlusTimes {
+  using value_type = value_t;
+  static constexpr value_type zero() { return 0; }
+  static value_type add(value_type a, value_type b) { return a + b; }
+  static value_type mul(value_type a, value_type b) { return a * b; }
+};
+
+/// Tropical (min, +) semiring: path relaxation.
+struct MinPlus {
+  using value_type = value_t;
+  static constexpr value_type zero() {
+    return std::numeric_limits<value_type>::infinity();
+  }
+  static value_type add(value_type a, value_type b) { return std::min(a, b); }
+  static value_type mul(value_type a, value_type b) { return a + b; }
+};
+
+/// Boolean (or, and) semiring: reachability. Values are 0/1 in value_t.
+struct OrAnd {
+  using value_type = value_t;
+  static constexpr value_type zero() { return 0; }
+  static value_type add(value_type a, value_type b) {
+    return (a != 0 || b != 0) ? value_type{1} : value_type{0};
+  }
+  static value_type mul(value_type a, value_type b) {
+    return (a != 0 && b != 0) ? value_type{1} : value_type{0};
+  }
+};
+
+/// y_i = add-reduction over j of mul(A_ij, x_j), with the semiring's zero
+/// as the reduction identity. For PlusTimes this is exactly spmv_csr.
+template <typename Semiring>
+void spmv_semiring(const CsrMatrix& a,
+                   std::span<const typename Semiring::value_type> x,
+                   std::span<typename Semiring::value_type> y) {
+  if (x.size() != static_cast<std::size_t>(a.ncols()) ||
+      y.size() != static_cast<std::size_t>(a.nrows())) {
+    throw std::invalid_argument("spmv_semiring: dimension mismatch");
+  }
+  const index_t n = a.nrows();
+  const nnz_t* rp = a.row_ptr().data();
+  const index_t* ci = a.col_idx().data();
+  const value_t* va = a.vals().data();
+  const auto* xp = x.data();
+  auto* yp = y.data();
+
+#pragma omp parallel for schedule(dynamic, kScheduleGrainRows)
+  for (index_t i = 0; i < n; ++i) {
+    auto acc = Semiring::zero();
+    for (nnz_t k = rp[i]; k < rp[i + 1]; ++k) {
+      acc = Semiring::add(acc, Semiring::mul(va[k], xp[ci[k]]));
+    }
+    yp[i] = acc;
+  }
+}
+
+}  // namespace wise

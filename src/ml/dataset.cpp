@@ -1,0 +1,30 @@
+#include "ml/dataset.hpp"
+
+#include <stdexcept>
+
+namespace wise {
+
+void Dataset::add(std::vector<double> row, int label) {
+  if (row.size() != feature_names_.size()) {
+    throw std::invalid_argument("Dataset::add: feature count mismatch");
+  }
+  if (label < 0 || label >= num_classes_) {
+    throw std::invalid_argument("Dataset::add: label out of range");
+  }
+  rows_.push_back(std::move(row));
+  labels_.push_back(label);
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out(feature_names_, num_classes_);
+  for (std::size_t i : indices) {
+    if (i >= rows_.size()) {
+      throw std::out_of_range("Dataset::subset: index out of range");
+    }
+    out.rows_.push_back(rows_[i]);
+    out.labels_.push_back(labels_[i]);
+  }
+  return out;
+}
+
+}  // namespace wise

@@ -1,0 +1,40 @@
+#pragma once
+// Tabular dataset container for the performance-prediction models.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wise {
+
+/// Rows of doubles with integer class labels in [0, num_classes).
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names, int num_classes)
+      : feature_names_(std::move(feature_names)), num_classes_(num_classes) {}
+
+  void add(std::vector<double> row, int label);
+
+  std::size_t size() const { return rows_.size(); }
+  std::size_t num_features() const { return feature_names_.size(); }
+  int num_classes() const { return num_classes_; }
+
+  std::span<const double> row(std::size_t i) const { return rows_[i]; }
+  int label(std::size_t i) const { return labels_[i]; }
+  const std::vector<int>& labels() const { return labels_; }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  /// Subset by row indices (copies).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  int num_classes_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> labels_;
+};
+
+}  // namespace wise

@@ -1,0 +1,329 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace wise {
+
+namespace {
+
+double gini_impurity(const std::vector<int>& counts, int total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0;
+  for (int c : counts) {
+    const double p = static_cast<double>(c) / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+int majority_class(const std::vector<int>& counts) {
+  return static_cast<int>(std::max_element(counts.begin(), counts.end()) -
+                          counts.begin());
+}
+
+/// Recursive CART builder over index subsets.
+class Builder {
+ public:
+  Builder(const Dataset& data, const TreeParams& params)
+      : data_(data), params_(params) {}
+
+  std::vector<DecisionTree::Node> build() {
+    std::vector<std::size_t> idx(data_.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    build_node(idx, 0);
+    return std::move(nodes_);
+  }
+
+ private:
+  int build_node(std::vector<std::size_t>& idx, int depth) {
+    std::vector<int> counts(static_cast<std::size_t>(data_.num_classes()), 0);
+    for (std::size_t i : idx) ++counts[static_cast<std::size_t>(data_.label(i))];
+    const int n = static_cast<int>(idx.size());
+
+    const int node_id = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[node_id].label = majority_class(counts);
+    nodes_[node_id].impurity = gini_impurity(counts, n);
+    nodes_[node_id].n_samples = n;
+
+    const bool pure = nodes_[node_id].impurity == 0.0;
+    if (pure || depth >= params_.max_depth || n < params_.min_samples_split) {
+      return node_id;
+    }
+
+    int best_feature = -1;
+    double best_threshold = 0;
+    double best_child_impurity = std::numeric_limits<double>::infinity();
+
+    std::vector<std::pair<double, int>> column(idx.size());
+    std::vector<int> left_counts(counts.size());
+    for (std::size_t f = 0; f < data_.num_features(); ++f) {
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        column[k] = {data_.row(idx[k])[f], data_.label(idx[k])};
+      }
+      std::sort(column.begin(), column.end());
+      if (column.front().first == column.back().first) continue;  // constant
+
+      std::fill(left_counts.begin(), left_counts.end(), 0);
+      for (int k = 1; k < n; ++k) {
+        ++left_counts[static_cast<std::size_t>(column[static_cast<std::size_t>(k - 1)].second)];
+        const double prev = column[static_cast<std::size_t>(k - 1)].first;
+        const double next = column[static_cast<std::size_t>(k)].first;
+        if (prev == next) continue;  // cannot split between equal values
+        if (k < params_.min_samples_leaf || n - k < params_.min_samples_leaf) {
+          continue;
+        }
+        // Weighted Gini of the two children; right counts derived from the
+        // node totals.
+        double left_sq = 0, right_sq = 0;
+        for (std::size_t cls = 0; cls < counts.size(); ++cls) {
+          const double lc = left_counts[cls];
+          const double rc = counts[cls] - left_counts[cls];
+          left_sq += lc * lc;
+          right_sq += rc * rc;
+        }
+        const double wl = static_cast<double>(k);
+        const double wr = static_cast<double>(n - k);
+        const double child =
+            (wl - left_sq / wl + wr - right_sq / wr) / static_cast<double>(n);
+        if (child < best_child_impurity) {
+          best_child_impurity = child;
+          best_feature = static_cast<int>(f);
+          best_threshold = prev + (next - prev) / 2;
+          // Guard against midpoint rounding to `next` for adjacent floats.
+          if (best_threshold >= next) best_threshold = prev;
+        }
+      }
+    }
+
+    if (best_feature < 0 ||
+        best_child_impurity >= nodes_[node_id].impurity - 1e-12) {
+      return node_id;  // no useful split
+    }
+
+    std::vector<std::size_t> left_idx, right_idx;
+    left_idx.reserve(idx.size());
+    right_idx.reserve(idx.size());
+    for (std::size_t i : idx) {
+      if (data_.row(i)[static_cast<std::size_t>(best_feature)] <=
+          best_threshold) {
+        left_idx.push_back(i);
+      } else {
+        right_idx.push_back(i);
+      }
+    }
+    if (left_idx.empty() || right_idx.empty()) return node_id;
+
+    idx.clear();
+    idx.shrink_to_fit();
+
+    nodes_[node_id].feature = best_feature;
+    nodes_[node_id].threshold = best_threshold;
+    const int left = build_node(left_idx, depth + 1);
+    const int right = build_node(right_idx, depth + 1);
+    nodes_[node_id].left = left;
+    nodes_[node_id].right = right;
+    return node_id;
+  }
+
+  const Dataset& data_;
+  TreeParams params_;
+  std::vector<DecisionTree::Node> nodes_;
+};
+
+/// Minimal cost-complexity pruning: repeatedly collapse the internal node
+/// with the smallest effective alpha g(t) = (R(t) - R(T_t)) / (|T_t| - 1)
+/// while g(t) <= ccp_alpha, where R is the sample-weighted Gini risk.
+void ccp_prune(std::vector<DecisionTree::Node>& nodes, double ccp_alpha,
+               int total_samples) {
+  if (nodes.empty() || ccp_alpha <= 0) return;
+
+  auto risk = [&](const DecisionTree::Node& nd) {
+    return nd.impurity * nd.n_samples / total_samples;
+  };
+
+  while (true) {
+    // Bottom-up subtree aggregates. Children always have larger indices
+    // than their parent (preorder layout), so a reverse sweep suffices.
+    const std::size_t n = nodes.size();
+    std::vector<double> subtree_risk(n);
+    std::vector<int> subtree_leaves(n);
+    for (std::size_t i = n; i-- > 0;) {
+      const auto& nd = nodes[i];
+      if (nd.feature < 0) {
+        subtree_risk[i] = risk(nd);
+        subtree_leaves[i] = 1;
+      } else {
+        subtree_risk[i] = subtree_risk[static_cast<std::size_t>(nd.left)] +
+                          subtree_risk[static_cast<std::size_t>(nd.right)];
+        subtree_leaves[i] = subtree_leaves[static_cast<std::size_t>(nd.left)] +
+                            subtree_leaves[static_cast<std::size_t>(nd.right)];
+      }
+    }
+
+    double weakest_alpha = std::numeric_limits<double>::infinity();
+    std::size_t weakest = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (nodes[i].feature < 0) continue;
+      const double g = (risk(nodes[i]) - subtree_risk[i]) /
+                       (subtree_leaves[i] - 1);
+      if (g < weakest_alpha) {
+        weakest_alpha = g;
+        weakest = i;
+      }
+    }
+    if (weakest == n || weakest_alpha > ccp_alpha) break;
+    // Collapse to a leaf; orphaned descendants are dropped by compaction.
+    nodes[weakest].feature = -1;
+    nodes[weakest].left = nodes[weakest].right = -1;
+  }
+
+  // Compact: renumber reachable nodes in preorder.
+  std::vector<DecisionTree::Node> compact;
+  compact.reserve(nodes.size());
+  // Iterative preorder with explicit fix-up of child indices.
+  struct Frame {
+    int old_id;
+    int parent_new;
+    bool is_left;
+  };
+  std::vector<Frame> stack{{0, -1, false}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const int new_id = static_cast<int>(compact.size());
+    compact.push_back(nodes[static_cast<std::size_t>(f.old_id)]);
+    if (f.parent_new >= 0) {
+      auto& parent = compact[static_cast<std::size_t>(f.parent_new)];
+      (f.is_left ? parent.left : parent.right) = new_id;
+    }
+    const auto& old_node = nodes[static_cast<std::size_t>(f.old_id)];
+    if (old_node.feature >= 0) {
+      // Push right first so left is visited (and numbered) first.
+      stack.push_back({old_node.right, new_id, false});
+      stack.push_back({old_node.left, new_id, true});
+    }
+  }
+  nodes = std::move(compact);
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data, const TreeParams& params) {
+  if (data.size() == 0) {
+    throw std::invalid_argument("DecisionTree::fit: empty dataset");
+  }
+  if (params.max_depth < 1 || params.ccp_alpha < 0) {
+    throw std::invalid_argument("DecisionTree::fit: invalid params");
+  }
+  params_ = params;
+  Builder builder(data, params);
+  nodes_ = builder.build();
+  ccp_prune(nodes_, params.ccp_alpha, static_cast<int>(data.size()));
+}
+
+int DecisionTree::predict(std::span<const double> x) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree::predict: not fitted");
+  }
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const auto& nd = nodes_[static_cast<std::size_t>(node)];
+    node = x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                   : nd.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].label;
+}
+
+std::vector<int> DecisionTree::predict_all(const Dataset& data) const {
+  std::vector<int> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] = predict(data.row(i));
+  return out;
+}
+
+double DecisionTree::accuracy(const Dataset& data) const {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (predict(data.row(i)) == data.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+int DecisionTree::num_leaves() const {
+  int leaves = 0;
+  for (const auto& nd : nodes_) leaves += nd.feature < 0;
+  return leaves;
+}
+
+int DecisionTree::depth_below(int node) const {
+  const auto& nd = nodes_[static_cast<std::size_t>(node)];
+  if (nd.feature < 0) return 0;
+  return 1 + std::max(depth_below(nd.left), depth_below(nd.right));
+}
+
+int DecisionTree::depth() const {
+  return nodes_.empty() ? 0 : depth_below(0);
+}
+
+std::vector<double> DecisionTree::feature_importances(
+    std::size_t num_features) const {
+  std::vector<double> imp(num_features, 0.0);
+  if (nodes_.empty()) return imp;
+  const double total = nodes_[0].n_samples;
+  for (const auto& nd : nodes_) {
+    if (nd.feature < 0) continue;
+    const auto& l = nodes_[static_cast<std::size_t>(nd.left)];
+    const auto& r = nodes_[static_cast<std::size_t>(nd.right)];
+    const double decrease =
+        nd.n_samples * nd.impurity - l.n_samples * l.impurity -
+        r.n_samples * r.impurity;
+    imp[static_cast<std::size_t>(nd.feature)] += decrease / total;
+  }
+  double sum = 0;
+  for (double v : imp) sum += v;
+  if (sum > 0) {
+    for (double& v : imp) v /= sum;
+  }
+  return imp;
+}
+
+void DecisionTree::save(std::ostream& out) const {
+  out << "wise-dtree v1\n";
+  out << params_.max_depth << ' ' << params_.ccp_alpha << ' '
+      << params_.min_samples_split << ' ' << params_.min_samples_leaf << '\n';
+  out << nodes_.size() << '\n';
+  out << std::setprecision(17);
+  for (const auto& nd : nodes_) {
+    out << nd.feature << ' ' << nd.threshold << ' ' << nd.left << ' '
+        << nd.right << ' ' << nd.label << ' ' << nd.impurity << ' '
+        << nd.n_samples << '\n';
+  }
+}
+
+DecisionTree DecisionTree::load(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "wise-dtree" || version != "v1") {
+    throw std::runtime_error("DecisionTree::load: bad header");
+  }
+  DecisionTree tree;
+  std::size_t n = 0;
+  in >> tree.params_.max_depth >> tree.params_.ccp_alpha >>
+      tree.params_.min_samples_split >> tree.params_.min_samples_leaf >> n;
+  tree.nodes_.resize(n);
+  for (auto& nd : tree.nodes_) {
+    in >> nd.feature >> nd.threshold >> nd.left >> nd.right >> nd.label >>
+        nd.impurity >> nd.n_samples;
+  }
+  if (!in) throw std::runtime_error("DecisionTree::load: truncated stream");
+  return tree;
+}
+
+}  // namespace wise

@@ -1,0 +1,77 @@
+#pragma once
+// CART decision-tree classifier (paper §4.3).
+//
+// WISE uses one decision tree per {method, parameter} configuration to
+// predict its speedup class. Trees are chosen over e.g. neural models
+// because the features have wildly different ranges (row counts in the
+// millions next to Gini indices in [0,1]) and trees need no normalization.
+//
+// Implementation: classic CART with the Gini split criterion, a maximum
+// depth limit, and minimal cost-complexity pruning (the ccp_alpha knob),
+// matching the paper's scikit-learn configuration (D=15, ccp=0.005).
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace wise {
+
+/// Tree hyperparameters (paper Table 4 sweeps D and ccp_alpha).
+struct TreeParams {
+  int max_depth = 15;
+  double ccp_alpha = 0.005;
+  int min_samples_split = 2;
+  int min_samples_leaf = 1;
+
+  friend bool operator==(const TreeParams&, const TreeParams&) = default;
+};
+
+class DecisionTree {
+ public:
+  /// One node of the flattened tree. Leaves have feature == -1.
+  struct Node {
+    int feature = -1;        ///< split feature index, -1 for leaves
+    double threshold = 0.0;  ///< go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    int label = 0;           ///< majority class (used at leaves)
+    double impurity = 0.0;   ///< Gini impurity of the training samples here
+    int n_samples = 0;       ///< training samples that reached this node
+  };
+
+  /// Trains on `data`. Throws std::invalid_argument on an empty dataset.
+  void fit(const Dataset& data, const TreeParams& params = {});
+
+  /// Predicts the class of one feature vector. Must be fitted.
+  int predict(std::span<const double> x) const;
+
+  std::vector<int> predict_all(const Dataset& data) const;
+
+  /// Fraction of rows in `data` predicted correctly.
+  double accuracy(const Dataset& data) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_leaves() const;
+  int depth() const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const TreeParams& params() const { return params_; }
+
+  /// Impurity-decrease feature importances, normalized to sum to 1
+  /// (all-zero if the tree is a single leaf).
+  std::vector<double> feature_importances(std::size_t num_features) const;
+
+  /// Text serialization (stable across versions; used by the model bank).
+  void save(std::ostream& out) const;
+  static DecisionTree load(std::istream& in);
+
+ private:
+  int depth_below(int node) const;
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root when non-empty
+  TreeParams params_;
+};
+
+}  // namespace wise

@@ -1,0 +1,61 @@
+#include "ml/forest.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace wise {
+
+void RandomForest::fit(const Dataset& data, const ForestParams& params) {
+  if (data.size() == 0) {
+    throw std::invalid_argument("RandomForest::fit: empty dataset");
+  }
+  if (params.num_trees < 1 || params.row_subsample <= 0 ||
+      params.row_subsample > 1) {
+    throw std::invalid_argument("RandomForest::fit: invalid params");
+  }
+  num_classes_ = data.num_classes();
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(params.num_trees));
+
+  Xoshiro256 rng(params.seed);
+  const auto sample_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(data.size()) * params.row_subsample));
+
+  for (int t = 0; t < params.num_trees; ++t) {
+    // Bootstrap: sample with replacement.
+    std::vector<std::size_t> indices(sample_size);
+    for (auto& i : indices) {
+      i = static_cast<std::size_t>(rng.next_below(data.size()));
+    }
+    const Dataset boot = data.subset(indices);
+    DecisionTree tree;
+    tree.fit(boot, params.tree);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int RandomForest::predict(std::span<const double> x) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest::predict: not fitted");
+  }
+  std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
+  for (const auto& tree : trees_) {
+    ++votes[static_cast<std::size_t>(tree.predict(x))];
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+double RandomForest::accuracy(const Dataset& data) const {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (predict(data.row(i)) == data.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace wise

@@ -1,0 +1,39 @@
+#pragma once
+// Random-forest extension (DESIGN.md §9).
+//
+// The paper uses single decision trees; a bagged forest is the natural "new
+// performance model" extension it suggests. Used by the ablation bench to
+// quantify how much (or little) ensembling buys over the paper's choice.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace wise {
+
+struct ForestParams {
+  int num_trees = 25;
+  TreeParams tree;               ///< per-tree hyperparameters
+  double row_subsample = 1.0;    ///< bootstrap fraction per tree
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Majority-vote ensemble of CART trees over bootstrap samples.
+class RandomForest {
+ public:
+  void fit(const Dataset& data, const ForestParams& params = {});
+
+  int predict(std::span<const double> x) const;
+  double accuracy(const Dataset& data) const;
+
+  bool fitted() const { return !trees_.empty(); }
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace wise

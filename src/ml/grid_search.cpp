@@ -1,0 +1,78 @@
+#include "ml/grid_search.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "ml/validation.hpp"
+
+namespace wise {
+
+namespace {
+
+GridSearchResult run_grid(const Dataset& data, const std::vector<int>& depths,
+                          const std::vector<double>& ccp_alphas,
+                          const ParamScorer& scorer, int folds,
+                          std::uint64_t seed) {
+  if (depths.empty() || ccp_alphas.empty()) {
+    throw std::invalid_argument("grid_search: empty grid");
+  }
+  const auto fold_indices = stratified_kfold(data.labels(), folds, seed);
+
+  // Precompute the train/test datasets once; every grid point reuses them.
+  std::vector<Dataset> trains, tests;
+  for (const auto& test_fold : fold_indices) {
+    std::vector<bool> in_test(data.size(), false);
+    for (std::size_t idx : test_fold) in_test[idx] = true;
+    std::vector<std::size_t> train_idx, test_idx;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      (in_test[i] ? test_idx : train_idx).push_back(i);
+    }
+    trains.push_back(data.subset(train_idx));
+    tests.push_back(data.subset(test_idx));
+  }
+
+  GridSearchResult result;
+  result.best_score = -std::numeric_limits<double>::infinity();
+  for (int depth : depths) {
+    for (double ccp : ccp_alphas) {
+      const TreeParams params{.max_depth = depth, .ccp_alpha = ccp};
+      double total = 0;
+      for (std::size_t f = 0; f < trains.size(); ++f) {
+        total += scorer(params, trains[f], tests[f]);
+      }
+      const double score = total / static_cast<double>(trains.size());
+      result.points.push_back({params, score});
+      if (score > result.best_score) {
+        result.best_score = score;
+        result.best = params;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+GridSearchResult grid_search_tree(const Dataset& data,
+                                  const std::vector<int>& depths,
+                                  const std::vector<double>& ccp_alphas,
+                                  int folds, std::uint64_t seed) {
+  return run_grid(
+      data, depths, ccp_alphas,
+      [](const TreeParams& params, const Dataset& train, const Dataset& test) {
+        DecisionTree tree;
+        tree.fit(train, params);
+        return tree.accuracy(test);
+      },
+      folds, seed);
+}
+
+GridSearchResult grid_search_custom(const Dataset& data,
+                                    const std::vector<int>& depths,
+                                    const std::vector<double>& ccp_alphas,
+                                    const ParamScorer& scorer, int folds,
+                                    std::uint64_t seed) {
+  return run_grid(data, depths, ccp_alphas, scorer, folds, seed);
+}
+
+}  // namespace wise

@@ -1,0 +1,46 @@
+#pragma once
+// Hyperparameter grid search with cross-validated scoring (paper §6.5 uses
+// exactly this to pick D=15, ccp=0.005).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace wise {
+
+/// One grid point and its cross-validated score.
+struct GridPoint {
+  TreeParams params;
+  double score = 0;  ///< mean held-out accuracy across folds
+};
+
+struct GridSearchResult {
+  std::vector<GridPoint> points;  ///< every evaluated combination
+  TreeParams best;                ///< highest-scoring parameters
+  double best_score = 0;
+};
+
+/// Evaluates every (max_depth, ccp_alpha) combination by k-fold
+/// cross-validated accuracy on `data`; ties go to the earlier grid point
+/// (smaller depth first), making the result deterministic.
+GridSearchResult grid_search_tree(const Dataset& data,
+                                  const std::vector<int>& depths,
+                                  const std::vector<double>& ccp_alphas,
+                                  int folds = 5, std::uint64_t seed = 0x96d);
+
+/// Generic scorer variant: `score(train, test)` returns a
+/// higher-is-better number for a candidate parameter set.
+using ParamScorer =
+    std::function<double(const TreeParams&, const Dataset& train,
+                         const Dataset& test)>;
+
+GridSearchResult grid_search_custom(const Dataset& data,
+                                    const std::vector<int>& depths,
+                                    const std::vector<double>& ccp_alphas,
+                                    const ParamScorer& scorer, int folds = 5,
+                                    std::uint64_t seed = 0x96d);
+
+}  // namespace wise

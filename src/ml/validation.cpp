@@ -1,0 +1,119 @@
+#include "ml/validation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/ascii_plot.hpp"
+#include "util/prng.hpp"
+
+namespace wise {
+
+std::vector<std::vector<std::size_t>> stratified_kfold(
+    const std::vector<int>& labels, int k, std::uint64_t seed) {
+  if (k < 2 || static_cast<std::size_t>(k) > labels.size()) {
+    throw std::invalid_argument("stratified_kfold: invalid k");
+  }
+
+  // Bucket indices per class, shuffle each bucket, then deal round-robin so
+  // every fold gets ~1/k of each class.
+  int num_classes = 0;
+  for (int l : labels) num_classes = std::max(num_classes, l + 1);
+  std::vector<std::vector<std::size_t>> per_class(
+      static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) {
+      throw std::invalid_argument("stratified_kfold: negative label");
+    }
+    per_class[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<std::size_t>> folds(static_cast<std::size_t>(k));
+  std::size_t deal = 0;
+  for (auto& bucket : per_class) {
+    // Fisher-Yates with the deterministic generator.
+    for (std::size_t i = bucket.size(); i > 1; --i) {
+      std::swap(bucket[i - 1],
+                bucket[static_cast<std::size_t>(rng.next_below(i))]);
+    }
+    for (std::size_t idx : bucket) {
+      folds[deal % static_cast<std::size_t>(k)].push_back(idx);
+      ++deal;
+    }
+  }
+  return folds;
+}
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<std::size_t>(num_classes) * num_classes, 0) {
+  if (num_classes < 1) {
+    throw std::invalid_argument("ConfusionMatrix: need >= 1 class");
+  }
+}
+
+void ConfusionMatrix::add(int true_class, int predicted_class) {
+  if (true_class < 0 || true_class >= num_classes_ || predicted_class < 0 ||
+      predicted_class >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix::add: class out of range");
+  }
+  ++cells_[static_cast<std::size_t>(true_class) * num_classes_ +
+           predicted_class];
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  if (other.num_classes_ != num_classes_) {
+    throw std::invalid_argument("ConfusionMatrix::merge: size mismatch");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+}
+
+std::int64_t ConfusionMatrix::at(int truth, int predicted) const {
+  return cells_[static_cast<std::size_t>(truth) * num_classes_ + predicted];
+}
+
+std::int64_t ConfusionMatrix::total() const {
+  std::int64_t t = 0;
+  for (auto c : cells_) t += c;
+  return t;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const auto t = total();
+  if (t == 0) return 0.0;
+  std::int64_t diag = 0;
+  for (int i = 0; i < num_classes_; ++i) diag += at(i, i);
+  return static_cast<double>(diag) / static_cast<double>(t);
+}
+
+double ConfusionMatrix::misclassified_within(int distance) const {
+  std::int64_t wrong = 0, near = 0;
+  for (int t = 0; t < num_classes_; ++t) {
+    for (int p = 0; p < num_classes_; ++p) {
+      if (t == p) continue;
+      wrong += at(t, p);
+      if (std::abs(t - p) <= distance) near += at(t, p);
+    }
+  }
+  return wrong == 0 ? 1.0
+                    : static_cast<double>(near) / static_cast<double>(wrong);
+}
+
+std::string ConfusionMatrix::render() const {
+  std::vector<std::string> col_labels, row_labels;
+  std::vector<std::vector<std::string>> cells;
+  for (int i = 0; i < num_classes_; ++i) {
+    col_labels.push_back("P" + std::to_string(i));
+    row_labels.push_back("C" + std::to_string(i));
+  }
+  for (int t = 0; t < num_classes_; ++t) {
+    std::vector<std::string> row;
+    for (int p = 0; p < num_classes_; ++p) {
+      row.push_back(std::to_string(at(t, p)));
+    }
+    cells.push_back(std::move(row));
+  }
+  return render_table(col_labels, row_labels, cells, "true\\pred");
+}
+
+}  // namespace wise

@@ -1,0 +1,47 @@
+#pragma once
+// Model validation: stratified k-fold cross-validation and confusion
+// matrices (paper §5 "Model Training & Testing", §6.2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace wise {
+
+/// Splits [0, labels.size()) into k folds with approximately equal class
+/// proportions per fold (stratified). Deterministic given the seed.
+/// Throws std::invalid_argument when k < 2 or k > number of samples.
+std::vector<std::vector<std::size_t>> stratified_kfold(
+    const std::vector<int>& labels, int k, std::uint64_t seed);
+
+/// Square confusion matrix accumulator: rows = true class, cols = predicted.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void add(int true_class, int predicted_class);
+  void merge(const ConfusionMatrix& other);
+
+  int num_classes() const { return num_classes_; }
+  std::int64_t at(int truth, int predicted) const;
+  std::int64_t total() const;
+
+  /// Fraction on the diagonal.
+  double accuracy() const;
+
+  /// Of the misclassified samples, the fraction within `distance` classes
+  /// of the truth (the paper reports distance-1: "within 10% of the correct
+  /// execution time"). Returns 1 when nothing is misclassified.
+  double misclassified_within(int distance) const;
+
+  /// Rendered as the paper's Fig 10 grids (truth on rows).
+  std::string render() const;
+
+ private:
+  int num_classes_;
+  std::vector<std::int64_t> cells_;
+};
+
+}  // namespace wise

@@ -1,0 +1,34 @@
+#pragma once
+// Iterative solvers on top of a pluggable SpMV operator.
+//
+// All solvers accept any SpmvOperator, so the SpMV each iteration performs
+// can be the plain CSR kernel or a WISE-selected fast format — the classic
+// "one-time selection, many iterations" amortization of the paper.
+
+#include "solvers/solver_common.hpp"
+
+namespace wise {
+
+/// Jacobi iteration x' = x + D^-1 (b - A x). Requires the diagonal of A to
+/// be nonzero; converges for (weakly) diagonally dominant systems.
+SolverResult solve_jacobi(const SpmvOperator& spmv,
+                          std::span<const value_t> diagonal,
+                          std::span<const value_t> b,
+                          const SolverOptions& opts = {});
+
+/// Conjugate Gradient for symmetric positive-definite systems.
+SolverResult solve_cg(const SpmvOperator& spmv, std::span<const value_t> b,
+                      const SolverOptions& opts = {});
+
+/// BiCGSTAB for general (nonsymmetric) systems.
+SolverResult solve_bicgstab(const SpmvOperator& spmv,
+                            std::span<const value_t> b,
+                            const SolverOptions& opts = {});
+
+/// Power iteration: dominant eigenvalue/eigenvector of A. The residual is
+/// ||A v - lambda v||_2. The eigenvector is normalized to unit 2-norm.
+SolverResult power_iteration(const SpmvOperator& spmv, index_t n,
+                             const SolverOptions& opts = {},
+                             std::uint64_t seed = 0x91f);
+
+}  // namespace wise

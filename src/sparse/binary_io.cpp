@@ -1,0 +1,115 @@
+#include "sparse/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace wise {
+
+namespace {
+
+constexpr char kMagic[8] = {'W', 'I', 'S', 'E', 'C', 'S', 'R', '1'};
+
+/// Running FNV-1a over raw bytes.
+class Checksum {
+ public:
+  void update(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+void write_raw(std::ostream& out, Checksum& sum, const void* data,
+               std::size_t bytes) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  sum.update(data, bytes);
+}
+
+void read_raw(std::istream& in, Checksum& sum, void* data,
+              std::size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::size_t>(in.gcount()) != bytes) {
+    throw std::runtime_error("read_csr_binary: truncated file");
+  }
+  sum.update(data, bytes);
+}
+
+}  // namespace
+
+void write_csr_binary(std::ostream& out, const CsrMatrix& m) {
+  Checksum sum;
+  out.write(kMagic, sizeof kMagic);
+
+  const std::int64_t dims[3] = {m.nrows(), m.ncols(), m.nnz()};
+  write_raw(out, sum, dims, sizeof dims);
+  write_raw(out, sum, m.row_ptr().data(),
+            m.row_ptr().size() * sizeof(nnz_t));
+  write_raw(out, sum, m.col_idx().data(),
+            m.col_idx().size() * sizeof(index_t));
+  write_raw(out, sum, m.vals().data(), m.vals().size() * sizeof(value_t));
+
+  const std::uint64_t checksum = sum.value();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
+  if (!out) throw std::runtime_error("write_csr_binary: write failed");
+}
+
+CsrMatrix read_csr_binary(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (static_cast<std::size_t>(in.gcount()) != sizeof magic ||
+      std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    throw std::runtime_error("read_csr_binary: bad magic");
+  }
+
+  Checksum sum;
+  std::int64_t dims[3];
+  read_raw(in, sum, dims, sizeof dims);
+  const auto nrows = static_cast<index_t>(dims[0]);
+  const auto ncols = static_cast<index_t>(dims[1]);
+  const auto nnz = dims[2];
+  if (nrows < 0 || ncols < 0 || nnz < 0) {
+    throw std::runtime_error("read_csr_binary: negative dimensions");
+  }
+
+  std::vector<nnz_t> row_ptr(static_cast<std::size_t>(nrows) + 1);
+  aligned_vector<index_t> col_idx(static_cast<std::size_t>(nnz));
+  aligned_vector<value_t> vals(static_cast<std::size_t>(nnz));
+  read_raw(in, sum, row_ptr.data(), row_ptr.size() * sizeof(nnz_t));
+  read_raw(in, sum, col_idx.data(), col_idx.size() * sizeof(index_t));
+  read_raw(in, sum, vals.data(), vals.size() * sizeof(value_t));
+
+  std::uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof stored);
+  if (static_cast<std::size_t>(in.gcount()) != sizeof stored ||
+      stored != sum.value()) {
+    throw std::runtime_error("read_csr_binary: checksum mismatch");
+  }
+  // The CsrMatrix constructor validates structure (monotone row_ptr, sorted
+  // in-range columns), so a corrupted-but-checksum-colliding file still
+  // cannot produce an invalid matrix.
+  return CsrMatrix(nrows, ncols, std::move(row_ptr), std::move(col_idx),
+                   std::move(vals));
+}
+
+void write_csr_binary_file(const std::string& path, const CsrMatrix& m) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot create: " + path);
+  write_csr_binary(out, m);
+}
+
+CsrMatrix read_csr_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_csr_binary(in);
+}
+
+}  // namespace wise

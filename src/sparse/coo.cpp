@@ -1,0 +1,56 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace wise {
+
+namespace {
+bool coord_less(const Triplet& a, const Triplet& b) {
+  return a.row != b.row ? a.row < b.row : a.col < b.col;
+}
+}  // namespace
+
+void CooMatrix::canonicalize() {
+  std::sort(entries_.begin(), entries_.end(), coord_less);
+  // Merge duplicates by summation (standard COO assembly semantics).
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size();) {
+    Triplet merged = entries_[i];
+    std::size_t j = i + 1;
+    while (j < entries_.size() && entries_[j].row == merged.row &&
+           entries_[j].col == merged.col) {
+      merged.val += entries_[j].val;
+      ++j;
+    }
+    entries_[out++] = merged;
+    i = j;
+  }
+  entries_.resize(out);
+}
+
+bool CooMatrix::is_canonical() const {
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const auto& a = entries_[i - 1];
+    const auto& b = entries_[i];
+    if (!coord_less(a, b)) return false;
+  }
+  return true;
+}
+
+void CooMatrix::validate() const {
+  if (nrows_ < 0 || ncols_ < 0) {
+    throw std::invalid_argument("CooMatrix: negative dimensions");
+  }
+  for (const auto& e : entries_) {
+    if (e.row < 0 || e.row >= nrows_ || e.col < 0 || e.col >= ncols_) {
+      throw std::invalid_argument(
+          "CooMatrix: entry out of range at (" + std::to_string(e.row) + "," +
+          std::to_string(e.col) + ") for " + std::to_string(nrows_) + "x" +
+          std::to_string(ncols_));
+    }
+  }
+}
+
+}  // namespace wise

@@ -1,0 +1,66 @@
+#pragma once
+// Coordinate-format (COO) sparse matrix.
+//
+// COO is the library's construction and interchange format: generators emit
+// edge lists as COO, Matrix Market files parse into COO, and CSR (the
+// computational baseline format) is built from a canonicalized COO.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace wise {
+
+/// A single nonzero entry.
+struct Triplet {
+  index_t row;
+  index_t col;
+  value_t val;
+
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+/// Sparse matrix as an unordered list of (row, col, value) triplets.
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(index_t nrows, index_t ncols) : nrows_(nrows), ncols_(ncols) {}
+  CooMatrix(index_t nrows, index_t ncols, std::vector<Triplet> entries)
+      : nrows_(nrows), ncols_(ncols), entries_(std::move(entries)) {}
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  nnz_t nnz() const { return static_cast<nnz_t>(entries_.size()); }
+
+  const std::vector<Triplet>& entries() const { return entries_; }
+  std::vector<Triplet>& entries() { return entries_; }
+
+  /// Appends one nonzero; indices are validated in debug builds and by
+  /// validate().
+  void add(index_t row, index_t col, value_t val) {
+    entries_.push_back(Triplet{row, col, val});
+  }
+
+  /// Sorts entries by (row, col) and sums duplicates in place. After this
+  /// call the matrix is in canonical form: strictly increasing (row, col).
+  /// Entries whose merged value is exactly zero are kept (a stored zero is a
+  /// structural nonzero, matching Matrix Market semantics).
+  void canonicalize();
+
+  /// True when entries are sorted by (row, col) with no duplicates.
+  bool is_canonical() const;
+
+  /// Throws std::invalid_argument when any index is out of range or the
+  /// dimensions are negative.
+  void validate() const;
+
+  friend bool operator==(const CooMatrix&, const CooMatrix&) = default;
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace wise

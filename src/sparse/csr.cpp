@@ -1,0 +1,147 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace wise {
+
+CsrMatrix::CsrMatrix(index_t nrows, index_t ncols, std::vector<nnz_t> row_ptr,
+                     aligned_vector<index_t> col_idx,
+                     aligned_vector<value_t> vals)
+    : nrows_(nrows),
+      ncols_(ncols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      vals_(std::move(vals)) {
+  validate();
+}
+
+CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
+  coo.validate();
+  CooMatrix canon = coo;
+  if (!canon.is_canonical()) canon.canonicalize();
+  const auto& es = canon.entries();
+
+  CsrMatrix m;
+  m.nrows_ = canon.nrows();
+  m.ncols_ = canon.ncols();
+  m.row_ptr_.assign(static_cast<std::size_t>(m.nrows_) + 1, 0);
+  m.col_idx_.resize(es.size());
+  m.vals_.resize(es.size());
+
+  for (const auto& e : es) {
+    ++m.row_ptr_[static_cast<std::size_t>(e.row) + 1];
+  }
+  for (std::size_t i = 1; i < m.row_ptr_.size(); ++i) {
+    m.row_ptr_[i] += m.row_ptr_[i - 1];
+  }
+  for (std::size_t k = 0; k < es.size(); ++k) {
+    m.col_idx_[k] = es[k].col;
+    m.vals_[k] = es[k].val;
+  }
+  return m;
+}
+
+CooMatrix CsrMatrix::to_coo() const {
+  CooMatrix coo(nrows_, ncols_);
+  coo.entries().reserve(static_cast<std::size_t>(nnz()));
+  for (index_t i = 0; i < nrows_; ++i) {
+    const auto cols = row_cols(i);
+    const auto vals = row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      coo.add(i, cols[k], vals[k]);
+    }
+  }
+  return coo;
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  CsrMatrix t;
+  t.nrows_ = ncols_;
+  t.ncols_ = nrows_;
+  t.row_ptr_.assign(static_cast<std::size_t>(ncols_) + 1, 0);
+  t.col_idx_.resize(static_cast<std::size_t>(nnz()));
+  t.vals_.resize(static_cast<std::size_t>(nnz()));
+
+  for (nnz_t k = 0; k < nnz(); ++k) {
+    ++t.row_ptr_[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)]) + 1];
+  }
+  for (std::size_t i = 1; i < t.row_ptr_.size(); ++i) {
+    t.row_ptr_[i] += t.row_ptr_[i - 1];
+  }
+  std::vector<nnz_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (index_t i = 0; i < nrows_; ++i) {
+    const auto cols = row_cols(i);
+    const auto vals = row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const auto pos = static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(cols[k])]++);
+      t.col_idx_[pos] = i;
+      t.vals_[pos] = vals[k];
+    }
+  }
+  return t;
+}
+
+std::vector<nnz_t> CsrMatrix::col_counts() const {
+  std::vector<nnz_t> counts(static_cast<std::size_t>(ncols_), 0);
+  for (auto c : col_idx_) ++counts[static_cast<std::size_t>(c)];
+  return counts;
+}
+
+void CsrMatrix::validate() const {
+  if (nrows_ < 0 || ncols_ < 0) {
+    throw std::invalid_argument("CsrMatrix: negative dimensions");
+  }
+  if (row_ptr_.size() != static_cast<std::size_t>(nrows_) + 1 ||
+      row_ptr_.front() != 0) {
+    throw std::invalid_argument("CsrMatrix: malformed row_ptr");
+  }
+  for (std::size_t i = 1; i < row_ptr_.size(); ++i) {
+    if (row_ptr_[i] < row_ptr_[i - 1]) {
+      throw std::invalid_argument("CsrMatrix: row_ptr not monotone");
+    }
+  }
+  if (col_idx_.size() != static_cast<std::size_t>(row_ptr_.back()) ||
+      vals_.size() != col_idx_.size()) {
+    throw std::invalid_argument("CsrMatrix: array length mismatch");
+  }
+  for (index_t i = 0; i < nrows_; ++i) {
+    const auto cols = row_cols(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] < 0 || cols[k] >= ncols_) {
+        throw std::invalid_argument("CsrMatrix: column index out of range");
+      }
+      if (k > 0 && cols[k] <= cols[k - 1]) {
+        throw std::invalid_argument("CsrMatrix: columns not strictly sorted in row " +
+                                    std::to_string(i));
+      }
+    }
+  }
+}
+
+std::size_t CsrMatrix::memory_bytes() const {
+  return row_ptr_.size() * sizeof(nnz_t) + col_idx_.size() * sizeof(index_t) +
+         vals_.size() * sizeof(value_t);
+}
+
+void spmv_reference(const CsrMatrix& a, std::span<const value_t> x,
+                    std::span<value_t> y) {
+  if (x.size() != static_cast<std::size_t>(a.ncols()) ||
+      y.size() != static_cast<std::size_t>(a.nrows())) {
+    throw std::invalid_argument("spmv_reference: dimension mismatch");
+  }
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    value_t acc = 0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      acc += vals[k] * x[static_cast<std::size_t>(cols[k])];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+}  // namespace wise

@@ -1,0 +1,85 @@
+#pragma once
+// Compressed Sparse Row (CSR) matrix — the baseline computational format
+// (paper §2.1) and the input representation WISE assumes for every matrix.
+
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "util/aligned.hpp"
+#include "util/types.hpp"
+
+namespace wise {
+
+/// CSR sparse matrix. Column indices within each row are sorted ascending.
+class CsrMatrix {
+ public:
+  CsrMatrix() : row_ptr_(1, 0) {}
+
+  /// Builds from a COO matrix; the COO need not be canonical (it is sorted
+  /// and duplicates merged internally without modifying the argument).
+  static CsrMatrix from_coo(const CooMatrix& coo);
+
+  /// Builds directly from raw arrays (takes ownership). `row_ptr` must have
+  /// nrows+1 monotonically non-decreasing entries starting at 0.
+  CsrMatrix(index_t nrows, index_t ncols, std::vector<nnz_t> row_ptr,
+            aligned_vector<index_t> col_idx, aligned_vector<value_t> vals);
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  nnz_t nnz() const { return row_ptr_.back(); }
+
+  std::span<const nnz_t> row_ptr() const { return row_ptr_; }
+  std::span<const index_t> col_idx() const { return col_idx_; }
+  std::span<const value_t> vals() const { return vals_; }
+
+  /// Number of nonzeros in row i.
+  nnz_t row_nnz(index_t i) const {
+    return row_ptr_[static_cast<std::size_t>(i) + 1] -
+           row_ptr_[static_cast<std::size_t>(i)];
+  }
+
+  /// Column indices / values of row i.
+  std::span<const index_t> row_cols(index_t i) const {
+    return {col_idx_.data() + row_ptr_[static_cast<std::size_t>(i)],
+            static_cast<std::size_t>(row_nnz(i))};
+  }
+  std::span<const value_t> row_vals(index_t i) const {
+    return {vals_.data() + row_ptr_[static_cast<std::size_t>(i)],
+            static_cast<std::size_t>(row_nnz(i))};
+  }
+
+  /// Converts back to canonical COO.
+  CooMatrix to_coo() const;
+
+  /// Returns the transpose (equivalently, this matrix in CSC viewed as CSR).
+  CsrMatrix transpose() const;
+
+  /// Per-column nonzero counts (the C distribution of §4.2).
+  std::vector<nnz_t> col_counts() const;
+
+  /// Structural and numerical equality.
+  friend bool operator==(const CsrMatrix&, const CsrMatrix&) = default;
+
+  /// Throws std::invalid_argument if internal invariants are violated
+  /// (row_ptr monotonicity, sorted columns in range).
+  void validate() const;
+
+  /// Approximate heap footprint in bytes; used by benches to report
+  /// format sizes.
+  std::size_t memory_bytes() const;
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  std::vector<nnz_t> row_ptr_;
+  aligned_vector<index_t> col_idx_;
+  aligned_vector<value_t> vals_;
+};
+
+/// Reference (serial, obviously-correct) SpMV used as the test oracle:
+/// y = A*x computed with simple per-row dot products.
+void spmv_reference(const CsrMatrix& a, std::span<const value_t> x,
+                    std::span<value_t> y);
+
+}  // namespace wise

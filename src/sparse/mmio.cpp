@@ -1,0 +1,133 @@
+#include "sparse/mmio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wise {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t lineno, const std::string& what) {
+  throw std::runtime_error("matrix market line " + std::to_string(lineno) +
+                           ": " + what);
+}
+
+enum class Field { kReal, kInteger, kPattern };
+enum class Symmetry { kGeneral, kSymmetric, kSkewSymmetric };
+
+}  // namespace
+
+CooMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+
+  if (!std::getline(in, line)) fail(1, "missing header");
+  ++lineno;
+  std::istringstream header(lower(line));
+  std::string banner, object, format, field_s, symmetry_s;
+  header >> banner >> object >> format >> field_s >> symmetry_s;
+  if (banner != "%%matrixmarket") fail(lineno, "not a MatrixMarket file");
+  if (object != "matrix") fail(lineno, "unsupported object: " + object);
+  if (format != "coordinate") {
+    fail(lineno, "only coordinate format is supported, got: " + format);
+  }
+
+  Field field;
+  if (field_s == "real" || field_s == "double") {
+    field = Field::kReal;
+  } else if (field_s == "integer") {
+    field = Field::kInteger;
+  } else if (field_s == "pattern") {
+    field = Field::kPattern;
+  } else {
+    fail(lineno, "unsupported field type: " + field_s);
+  }
+
+  Symmetry symmetry;
+  if (symmetry_s == "general") {
+    symmetry = Symmetry::kGeneral;
+  } else if (symmetry_s == "symmetric") {
+    symmetry = Symmetry::kSymmetric;
+  } else if (symmetry_s == "skew-symmetric") {
+    symmetry = Symmetry::kSkewSymmetric;
+  } else {
+    fail(lineno, "unsupported symmetry: " + symmetry_s);
+  }
+
+  // Skip comments and blank lines until the size line.
+  std::int64_t nrows = -1, ncols = -1, nstored = -1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream size_line(line);
+    if (!(size_line >> nrows >> ncols >> nstored)) {
+      fail(lineno, "malformed size line");
+    }
+    break;
+  }
+  if (nstored < 0) fail(lineno, "missing size line");
+  if (nrows < 0 || ncols < 0) fail(lineno, "negative dimensions");
+
+  CooMatrix coo(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
+  coo.entries().reserve(static_cast<std::size_t>(
+      symmetry == Symmetry::kGeneral ? nstored : 2 * nstored));
+
+  std::int64_t seen = 0;
+  while (seen < nstored) {
+    if (!std::getline(in, line)) fail(lineno, "unexpected end of file");
+    ++lineno;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    std::int64_t r, c;
+    double v = 1.0;
+    if (!(entry >> r >> c)) fail(lineno, "malformed entry");
+    if (field != Field::kPattern && !(entry >> v)) {
+      fail(lineno, "missing value");
+    }
+    if (r < 1 || r > nrows || c < 1 || c > ncols) {
+      fail(lineno, "index out of range");
+    }
+    const auto ri = static_cast<index_t>(r - 1);
+    const auto ci = static_cast<index_t>(c - 1);
+    coo.add(ri, ci, static_cast<value_t>(v));
+    if (symmetry != Symmetry::kGeneral && ri != ci) {
+      const double mirrored = symmetry == Symmetry::kSkewSymmetric ? -v : v;
+      coo.add(ci, ri, static_cast<value_t>(mirrored));
+    }
+    ++seen;
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+CooMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CooMatrix& coo) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << coo.nrows() << ' ' << coo.ncols() << ' ' << coo.nnz() << '\n';
+  out.precision(17);
+  for (const auto& e : coo.entries()) {
+    out << (e.row + 1) << ' ' << (e.col + 1) << ' ' << e.val << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CooMatrix& coo) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot create: " + path);
+  write_matrix_market(out, coo);
+}
+
+}  // namespace wise

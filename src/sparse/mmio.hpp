@@ -1,0 +1,30 @@
+#pragma once
+// Matrix Market (.mtx) I/O.
+//
+// SuiteSparse — the paper's real-matrix corpus — distributes matrices in the
+// Matrix Market exchange format. This reader/writer supports the subset that
+// covers all SuiteSparse sparse matrices: `matrix coordinate` with
+// real/integer/pattern fields and general/symmetric/skew-symmetric symmetry.
+// Complex matrices are rejected explicitly (SpMV here is real-valued).
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+
+namespace wise {
+
+/// Parses Matrix Market text from a stream. Throws std::runtime_error with
+/// a line-numbered message on malformed input. Symmetric (and
+/// skew-symmetric) storage is expanded to general form; pattern matrices get
+/// value 1.0 for every stored entry.
+CooMatrix read_matrix_market(std::istream& in);
+
+/// Convenience file wrapper around the stream overload.
+CooMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes `coo` as `matrix coordinate real general` with 1-based indices.
+void write_matrix_market(std::ostream& out, const CooMatrix& coo);
+void write_matrix_market_file(const std::string& path, const CooMatrix& coo);
+
+}  // namespace wise

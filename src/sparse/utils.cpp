@@ -1,0 +1,103 @@
+#include "sparse/utils.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wise {
+
+std::vector<value_t> extract_diagonal(const CsrMatrix& m) {
+  const index_t n = std::min(m.nrows(), m.ncols());
+  std::vector<value_t> diag(static_cast<std::size_t>(n), 0);
+  for (index_t i = 0; i < n; ++i) {
+    const auto cols = m.row_cols(i);
+    const auto vals = m.row_vals(i);
+    // Columns are sorted; binary search for i.
+    const auto it = std::lower_bound(cols.begin(), cols.end(), i);
+    if (it != cols.end() && *it == i) {
+      diag[static_cast<std::size_t>(i)] =
+          vals[static_cast<std::size_t>(it - cols.begin())];
+    }
+  }
+  return diag;
+}
+
+bool is_symmetric(const CsrMatrix& m) {
+  if (m.nrows() != m.ncols()) return false;
+  return m == m.transpose();
+}
+
+CsrMatrix symmetrize(const CsrMatrix& m) {
+  if (m.nrows() != m.ncols()) {
+    throw std::invalid_argument("symmetrize: matrix must be square");
+  }
+  CooMatrix coo = m.to_coo();
+  const CooMatrix t = m.transpose().to_coo();
+  coo.entries().insert(coo.entries().end(), t.entries().begin(),
+                       t.entries().end());
+  coo.canonicalize();
+  return CsrMatrix::from_coo(coo);
+}
+
+namespace {
+
+CsrMatrix scaled_copy(const CsrMatrix& m, std::span<const value_t> s,
+                      bool by_row) {
+  const auto expected = static_cast<std::size_t>(by_row ? m.nrows() : m.ncols());
+  if (s.size() != expected) {
+    throw std::invalid_argument("scale: scaling vector has wrong length");
+  }
+  std::vector<nnz_t> row_ptr(m.row_ptr().begin(), m.row_ptr().end());
+  aligned_vector<index_t> col_idx(m.col_idx().begin(), m.col_idx().end());
+  aligned_vector<value_t> vals(m.vals().begin(), m.vals().end());
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    for (nnz_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      vals[ks] *= by_row ? s[static_cast<std::size_t>(i)]
+                         : s[static_cast<std::size_t>(col_idx[ks])];
+    }
+  }
+  return CsrMatrix(m.nrows(), m.ncols(), std::move(row_ptr),
+                   std::move(col_idx), std::move(vals));
+}
+
+}  // namespace
+
+CsrMatrix scale_rows(const CsrMatrix& m, std::span<const value_t> s) {
+  return scaled_copy(m, s, /*by_row=*/true);
+}
+
+CsrMatrix scale_cols(const CsrMatrix& m, std::span<const value_t> s) {
+  return scaled_copy(m, s, /*by_row=*/false);
+}
+
+CsrMatrix make_diagonally_dominant(const CsrMatrix& m, double factor) {
+  if (m.nrows() != m.ncols()) {
+    throw std::invalid_argument(
+        "make_diagonally_dominant: matrix must be square");
+  }
+  CooMatrix coo = m.to_coo();
+  std::vector<double> off(static_cast<std::size_t>(m.nrows()), 0.0);
+  for (const auto& e : coo.entries()) {
+    if (e.row != e.col) off[static_cast<std::size_t>(e.row)] += std::abs(e.val);
+  }
+  std::vector<bool> has_diag(static_cast<std::size_t>(m.nrows()), false);
+  for (auto& e : coo.entries()) {
+    if (e.row == e.col) {
+      e.val = static_cast<value_t>(
+          factor * off[static_cast<std::size_t>(e.row)] + 1.0);
+      has_diag[static_cast<std::size_t>(e.row)] = true;
+    }
+  }
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    if (!has_diag[static_cast<std::size_t>(i)]) {
+      coo.add(i, i,
+              static_cast<value_t>(factor * off[static_cast<std::size_t>(i)] +
+                                   1.0));
+    }
+  }
+  coo.canonicalize();
+  return CsrMatrix::from_coo(coo);
+}
+
+}  // namespace wise

@@ -1,0 +1,31 @@
+#pragma once
+// Small CSR utilities shared by solvers, graph algorithms and examples.
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace wise {
+
+/// Main diagonal of a (possibly rectangular) matrix; absent entries are 0.
+std::vector<value_t> extract_diagonal(const CsrMatrix& m);
+
+/// True when the matrix equals its transpose (structure and values).
+bool is_symmetric(const CsrMatrix& m);
+
+/// A + A^T with duplicate entries summed. Square matrices only.
+CsrMatrix symmetrize(const CsrMatrix& m);
+
+/// Row scaling: returns diag(s) * A (row i multiplied by s[i]).
+CsrMatrix scale_rows(const CsrMatrix& m, std::span<const value_t> s);
+
+/// Column scaling: returns A * diag(s).
+CsrMatrix scale_cols(const CsrMatrix& m, std::span<const value_t> s);
+
+/// Makes a strictly diagonally dominant system out of `m`: every diagonal
+/// entry is set to `factor` * (sum of |off-diagonal| in its row) + 1.
+/// Missing diagonal entries are inserted. Used to build guaranteed-
+/// convergent Jacobi/BiCGSTAB test systems. Square matrices only.
+CsrMatrix make_diagonally_dominant(const CsrMatrix& m, double factor = 2.0);
+
+}  // namespace wise

@@ -1,0 +1,6 @@
+#pragma once
+// Forward declaration so executor.hpp does not pull in the full BSR header.
+
+namespace wise {
+class BsrMatrix;
+}  // namespace wise

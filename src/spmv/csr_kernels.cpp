@@ -1,0 +1,102 @@
+#include "spmv/csr_kernels.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include <omp.h>
+
+namespace wise {
+
+namespace {
+
+void check_dims(const CsrMatrix& a, std::span<const value_t> x,
+                std::span<value_t> y) {
+  if (x.size() != static_cast<std::size_t>(a.ncols()) ||
+      y.size() != static_cast<std::size_t>(a.nrows())) {
+    throw std::invalid_argument("spmv_csr: dimension mismatch");
+  }
+}
+
+inline value_t row_dot(const nnz_t* row_ptr, const index_t* col_idx,
+                       const value_t* vals, const value_t* x, index_t i) {
+  const nnz_t lo = row_ptr[i];
+  const nnz_t hi = row_ptr[i + 1];
+  value_t acc = 0;
+#pragma omp simd reduction(+ : acc)
+  for (nnz_t k = lo; k < hi; ++k) {
+    acc += vals[k] * x[col_idx[k]];
+  }
+  return acc;
+}
+
+}  // namespace
+
+void spmv_csr(const CsrMatrix& a, std::span<const value_t> x,
+              std::span<value_t> y, Schedule sched) {
+  check_dims(a, x, y);
+  const index_t n = a.nrows();
+  const nnz_t* rp = a.row_ptr().data();
+  const index_t* ci = a.col_idx().data();
+  const value_t* va = a.vals().data();
+  const value_t* xp = x.data();
+  value_t* yp = y.data();
+
+  // OpenMP requires the schedule kind to be lexically fixed per loop, hence
+  // one loop per policy.
+  switch (sched) {
+    case Schedule::kDyn:
+#pragma omp parallel for schedule(dynamic, kScheduleGrainRows)
+      for (index_t i = 0; i < n; ++i) yp[i] = row_dot(rp, ci, va, xp, i);
+      break;
+    case Schedule::kSt:
+#pragma omp parallel for schedule(static, kScheduleGrainRows)
+      for (index_t i = 0; i < n; ++i) yp[i] = row_dot(rp, ci, va, xp, i);
+      break;
+    case Schedule::kStCont:
+#pragma omp parallel for schedule(static)
+      for (index_t i = 0; i < n; ++i) yp[i] = row_dot(rp, ci, va, xp, i);
+      break;
+  }
+}
+
+void spmv_csr_mkl_like(const CsrMatrix& a, std::span<const value_t> x,
+                       std::span<value_t> y) {
+  check_dims(a, x, y);
+  const index_t n = a.nrows();
+  const nnz_t* rp = a.row_ptr().data();
+  const index_t* ci = a.col_idx().data();
+  const value_t* va = a.vals().data();
+  const value_t* xp = x.data();
+  value_t* yp = y.data();
+  const nnz_t total = a.nnz();
+
+#pragma omp parallel
+  {
+    const int nt = omp_get_num_threads();
+    const int tid = omp_get_thread_num();
+    // Each thread takes the contiguous row range covering its equal share
+    // of nonzeros: binary-search row_ptr for the split points.
+    const nnz_t lo_target = total * tid / nt;
+    const nnz_t hi_target = total * (tid + 1) / nt;
+    const auto* begin = rp;
+    const auto* end = rp + n + 1;
+    // Thread boundaries are computed identically by adjacent threads
+    // (thread t's hi_target equals thread t+1's lo_target), so the row
+    // ranges tile [0, n) exactly; the first and last threads pin their
+    // outer edge so runs of empty rows at either end are still covered.
+    const index_t row_lo =
+        tid == 0 ? 0
+                 : static_cast<index_t>(
+                       std::upper_bound(begin, end, lo_target) - begin - 1);
+    const index_t row_hi =
+        tid == nt - 1
+            ? n
+            : static_cast<index_t>(
+                  std::upper_bound(begin, end, hi_target) - begin - 1);
+    for (index_t i = row_lo; i < row_hi; ++i) {
+      yp[i] = row_dot(rp, ci, va, xp, i);
+    }
+  }
+}
+
+}  // namespace wise

@@ -1,0 +1,22 @@
+#pragma once
+// Parallel CSR SpMV kernels (paper §2.1) and the MKL stand-in baseline.
+
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "spmv/schedule.hpp"
+
+namespace wise {
+
+/// y = A*x with the given scheduling policy. y is fully overwritten.
+/// Throws std::invalid_argument on dimension mismatch.
+void spmv_csr(const CsrMatrix& a, std::span<const value_t> x,
+              std::span<value_t> y, Schedule sched);
+
+/// MKL baseline stand-in: CSR SpMV with a static row partition balanced by
+/// nonzero count per thread (what a well-tuned vendor CSR kernel does).
+/// The paper's MKL baseline also operates on CSR (§3, Fig 3).
+void spmv_csr_mkl_like(const CsrMatrix& a, std::span<const value_t> x,
+                       std::span<value_t> y);
+
+}  // namespace wise

@@ -1,0 +1,62 @@
+#include "spmv/executor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "spmv/bsr.hpp"
+#include "spmv/csr_kernels.hpp"
+#include "util/timer.hpp"
+
+namespace wise {
+
+PreparedMatrix PreparedMatrix::prepare(const CsrMatrix& m,
+                                       const MethodConfig& cfg) {
+  PreparedMatrix pm;
+  pm.cfg_ = cfg;
+  pm.csr_ = &m;
+  if (cfg.kind == MethodKind::kBsr) {
+    Timer t;
+    pm.bsr_ = std::make_shared<const BsrMatrix>(
+        BsrMatrix::from_csr(m, cfg.c));
+    pm.prep_seconds_ = t.seconds();
+  } else if (cfg.kind != MethodKind::kCsr) {
+    Timer t;
+    pm.packed_ = SrvPackMatrix::build(m, cfg.srv_options());
+    pm.prep_seconds_ = t.seconds();
+  }
+  return pm;
+}
+
+void PreparedMatrix::run(std::span<const value_t> x, std::span<value_t> y) {
+  if (cfg_.kind == MethodKind::kCsr) {
+    spmv_csr(*csr_, x, y, cfg_.sched);
+  } else if (cfg_.kind == MethodKind::kBsr) {
+    bsr_->spmv(x, y);
+  } else {
+    spmv_srvpack(*packed_, x, y, cfg_.sched, ws_);
+  }
+}
+
+std::size_t PreparedMatrix::memory_bytes() const {
+  if (bsr_) return bsr_->memory_bytes();
+  return packed_.has_value() ? packed_->memory_bytes() : csr_->memory_bytes();
+}
+
+double time_spmv(PreparedMatrix& pm, std::span<const value_t> x,
+                 std::span<value_t> y, int iters, int repeats) {
+  iters = std::max(1, iters);
+  repeats = std::max(1, repeats);
+  // Warm-up: faults in the prepared arrays and fills caches comparably
+  // across configurations.
+  pm.run(x, y);
+
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    Timer t;
+    for (int i = 0; i < iters; ++i) pm.run(x, y);
+    best = std::min(best, t.seconds() / iters);
+  }
+  return best;
+}
+
+}  // namespace wise

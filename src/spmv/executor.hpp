@@ -1,0 +1,61 @@
+#pragma once
+// Preparing a matrix for a chosen configuration and running SpMV with it —
+// the "transform matrix layout" + "run SpMV" steps of the WISE pipeline
+// (paper Fig 8, steps 4-5).
+
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "sparse/srvpack.hpp"
+#include "spmv/bsr_fwd.hpp"
+#include "spmv/method.hpp"
+#include "spmv/srvpack_kernels.hpp"
+
+namespace wise {
+
+/// A matrix converted to the layout a MethodConfig needs, plus the measured
+/// conversion (preprocessing) time.
+///
+/// Lifetime: for CSR configurations no conversion happens and the prepared
+/// matrix *references* the source CsrMatrix, which must outlive it. For all
+/// other configurations the SRVPack copy is owned.
+class PreparedMatrix {
+ public:
+  /// Converts `m` (timing the conversion). Never null-returns; throws on
+  /// invalid configs.
+  static PreparedMatrix prepare(const CsrMatrix& m, const MethodConfig& cfg);
+
+  /// y = A*x with the prepared layout and the config's scheduling policy.
+  /// Not safe for concurrent calls on the same object (a scratch buffer is
+  /// reused across calls).
+  void run(std::span<const value_t> x, std::span<value_t> y);
+
+  const MethodConfig& config() const { return cfg_; }
+
+  /// Wall-clock seconds the layout conversion took (0 for CSR).
+  double prep_seconds() const { return prep_seconds_; }
+
+  /// Bytes of the prepared representation.
+  std::size_t memory_bytes() const;
+
+  index_t nrows() const { return csr_->nrows(); }
+  index_t ncols() const { return csr_->ncols(); }
+
+ private:
+  MethodConfig cfg_;
+  const CsrMatrix* csr_ = nullptr;  ///< always set; the SpMV source for kCsr
+  std::optional<SrvPackMatrix> packed_;
+  std::shared_ptr<const BsrMatrix> bsr_;  ///< set for the BSR extension
+  SrvWorkspace ws_;
+  double prep_seconds_ = 0.0;
+};
+
+/// Times `iters` SpMV runs of a prepared matrix and returns the average
+/// seconds per iteration (minimum of `repeats` timing passes to suppress
+/// scheduling noise).
+double time_spmv(PreparedMatrix& pm, std::span<const value_t> x,
+                 std::span<value_t> y, int iters, int repeats = 3);
+
+}  // namespace wise

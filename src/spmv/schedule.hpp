@@ -1,0 +1,29 @@
+#pragma once
+// Row-to-thread scheduling policies for parallel SpMV (paper §2.1).
+
+#include <string>
+
+namespace wise {
+
+/// How rows (or SRVPack chunks) are assigned to OpenMP threads.
+///   kDyn    — dynamic, K rows at a time (work stealing from a shared queue)
+///   kSt     — static round-robin, K rows at a time
+///   kStCont — static contiguous: one dense block of rows per thread
+enum class Schedule { kDyn, kSt, kStCont };
+
+inline const char* schedule_name(Schedule s) {
+  switch (s) {
+    case Schedule::kDyn: return "Dyn";
+    case Schedule::kSt: return "St";
+    case Schedule::kStCont: return "StCont";
+  }
+  return "?";
+}
+
+/// Grain size K: how many rows Dyn and St hand out at a time (§2.1 "assign
+/// K rows at a time"). Chosen so a grain is a few thousand nonzeros on
+/// typical matrices — big enough to amortize dequeue cost, small enough to
+/// load-balance skewed rows.
+inline constexpr int kScheduleGrainRows = 256;
+
+}  // namespace wise

@@ -1,0 +1,146 @@
+#include "spmv/srvpack_kernels.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wise {
+
+namespace {
+
+/// Processes the chunks of one segment. C is a compile-time SIMD width so
+/// the inner lane loop fully vectorizes; runtime widths fall back to
+/// run_chunks_generic below.
+template <int C>
+void run_chunks(const SrvSegment& seg, const value_t* x, value_t* y,
+                Schedule sched) {
+  const index_t nchunks = seg.num_chunks();
+  const index_t nrows_seg = seg.num_rows();
+  const nnz_t* off = seg.chunk_offset.data();
+  const value_t* vals = seg.vals.data();
+  const index_t* cols = seg.col_ids.data();
+  const index_t* order = seg.row_order.data();
+  const int grain = std::max(1, kScheduleGrainRows / C);
+
+  auto chunk = [=](index_t k) {
+    const nnz_t lo = off[k];
+    const nnz_t len = off[k + 1] - lo;
+    value_t acc[C] = {};
+    const value_t* v = vals + lo * C;
+    const index_t* ci = cols + lo * C;
+    for (nnz_t j = 0; j < len; ++j) {
+#pragma omp simd
+      for (int l = 0; l < C; ++l) {
+        acc[l] += v[j * C + l] * x[ci[j * C + l]];
+      }
+    }
+    const index_t base = k * C;
+    const int lanes = static_cast<int>(
+        std::min<index_t>(C, nrows_seg - base));
+    for (int l = 0; l < lanes; ++l) {
+      y[order[base + l]] += acc[l];
+    }
+  };
+
+  switch (sched) {
+    case Schedule::kDyn:
+#pragma omp parallel for schedule(dynamic, grain)
+      for (index_t k = 0; k < nchunks; ++k) chunk(k);
+      break;
+    case Schedule::kSt:
+#pragma omp parallel for schedule(static, grain)
+      for (index_t k = 0; k < nchunks; ++k) chunk(k);
+      break;
+    case Schedule::kStCont:
+#pragma omp parallel for schedule(static)
+      for (index_t k = 0; k < nchunks; ++k) chunk(k);
+      break;
+  }
+}
+
+/// Runtime-width fallback for c values other than the instantiated 4/8.
+void run_chunks_generic(const SrvSegment& seg, int c, const value_t* x,
+                        value_t* y, Schedule sched) {
+  constexpr int kMaxC = 64;
+  const index_t nchunks = seg.num_chunks();
+  const index_t nrows_seg = seg.num_rows();
+  const nnz_t* off = seg.chunk_offset.data();
+  const value_t* vals = seg.vals.data();
+  const index_t* cols = seg.col_ids.data();
+  const index_t* order = seg.row_order.data();
+  const int grain = std::max(1, kScheduleGrainRows / c);
+
+  auto chunk = [=](index_t k) {
+    const nnz_t lo = off[k];
+    const nnz_t len = off[k + 1] - lo;
+    value_t acc[kMaxC] = {};
+    const value_t* v = vals + lo * c;
+    const index_t* ci = cols + lo * c;
+    for (nnz_t j = 0; j < len; ++j) {
+      for (int l = 0; l < c; ++l) {
+        acc[l] += v[j * c + l] * x[ci[j * c + l]];
+      }
+    }
+    const index_t base = k * static_cast<index_t>(c);
+    const int lanes = static_cast<int>(
+        std::min<index_t>(c, nrows_seg - base));
+    for (int l = 0; l < lanes; ++l) {
+      y[order[base + l]] += acc[l];
+    }
+  };
+
+  switch (sched) {
+    case Schedule::kDyn:
+#pragma omp parallel for schedule(dynamic, grain)
+      for (index_t k = 0; k < nchunks; ++k) chunk(k);
+      break;
+    case Schedule::kSt:
+#pragma omp parallel for schedule(static, grain)
+      for (index_t k = 0; k < nchunks; ++k) chunk(k);
+      break;
+    case Schedule::kStCont:
+#pragma omp parallel for schedule(static)
+      for (index_t k = 0; k < nchunks; ++k) chunk(k);
+      break;
+  }
+}
+
+}  // namespace
+
+void spmv_srvpack(const SrvPackMatrix& a, std::span<const value_t> x,
+                  std::span<value_t> y, Schedule sched, SrvWorkspace& ws) {
+  if (x.size() != static_cast<std::size_t>(a.ncols()) ||
+      y.size() != static_cast<std::size_t>(a.nrows())) {
+    throw std::invalid_argument("spmv_srvpack: dimension mismatch");
+  }
+
+  // With CFS the stored column ids live in permuted space; gather x into
+  // that space once per multiplication.
+  const value_t* xp = x.data();
+  if (a.has_cfs()) {
+    const auto& perm = a.col_order();
+    ws.permuted_x.resize(perm.size());
+#pragma omp parallel for schedule(static)
+    for (index_t p = 0; p < static_cast<index_t>(perm.size()); ++p) {
+      ws.permuted_x[static_cast<std::size_t>(p)] =
+          x[static_cast<std::size_t>(perm[static_cast<std::size_t>(p)])];
+    }
+    xp = ws.permuted_x.data();
+  }
+
+  value_t* yp = y.data();
+  const index_t n = a.nrows();
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i) yp[i] = 0;
+
+  // Segments run back-to-back: each keeps its slice of the input vector hot
+  // in the LLC before the next begins (the point of LAV segmentation).
+  for (const auto& seg : a.segments()) {
+    switch (a.c()) {
+      case 4: run_chunks<4>(seg, xp, yp, sched); break;
+      case 8: run_chunks<8>(seg, xp, yp, sched); break;
+      default: run_chunks_generic(seg, a.c(), xp, yp, sched); break;
+    }
+  }
+}
+
+}  // namespace wise

@@ -1,0 +1,31 @@
+#pragma once
+// Vectorized SpMV over the SRVPack unified format.
+//
+// One kernel serves SELLPACK, Sell-c-σ, Sell-c-R, LAV-1Seg and LAV — the
+// format build options decide which method executes (paper Appendix A).
+// Each SRVPack chunk is processed with c-wide SIMD across its lanes; chunks
+// are distributed to threads with the requested scheduling policy; segments
+// run one after another so the input-vector working set of each segment
+// stays LLC-resident (LAV's goal).
+
+#include <span>
+
+#include "sparse/srvpack.hpp"
+#include "spmv/schedule.hpp"
+#include "util/aligned.hpp"
+
+namespace wise {
+
+/// Scratch buffers reused across SpMV iterations. With CFS the input vector
+/// is gathered into permuted order once per call; the buffer persists here
+/// so iterative solvers pay one allocation total.
+struct SrvWorkspace {
+  aligned_vector<value_t> permuted_x;
+};
+
+/// y = A*x. y is fully overwritten (zero-initialized, then accumulated per
+/// segment). Throws std::invalid_argument on dimension mismatch.
+void spmv_srvpack(const SrvPackMatrix& a, std::span<const value_t> x,
+                  std::span<value_t> y, Schedule sched, SrvWorkspace& ws);
+
+}  // namespace wise

@@ -1,0 +1,148 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace wise {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo) || bins <= 0) {
+    throw std::invalid_argument("Histogram: invalid range or bin count");
+  }
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::add(double value) {
+  const int n = bins();
+  double t = (value - lo_) / (hi_ - lo_) * n;
+  int idx = static_cast<int>(std::floor(t));
+  idx = std::clamp(idx, 0, n - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+}
+
+void Histogram::add_all(const std::vector<double>& values) {
+  for (double v : values) add(v);
+}
+
+std::int64_t Histogram::total() const {
+  std::int64_t s = 0;
+  for (auto c : counts_) s += c;
+  return s;
+}
+
+double Histogram::bucket_lo(int i) const {
+  return lo_ + (hi_ - lo_) * i / bins();
+}
+
+double Histogram::bucket_hi(int i) const {
+  return lo_ + (hi_ - lo_) * (i + 1) / bins();
+}
+
+std::string Histogram::render(int max_bar_width) const {
+  std::int64_t maxc = 1;
+  for (auto c : counts_) maxc = std::max(maxc, c);
+
+  std::ostringstream out;
+  for (int i = 0; i < bins(); ++i) {
+    std::ostringstream label;
+    label << '[' << fmt(bucket_lo(i), 2) << ',' << fmt(bucket_hi(i), 2) << ')';
+    const auto c = count(i);
+    const int bar =
+        static_cast<int>(static_cast<double>(c) * max_bar_width / maxc);
+    out << std::setw(14) << label.str() << ' ' << std::setw(7) << c << ' '
+        << std::string(static_cast<std::size_t>(bar), '#') << '\n';
+  }
+  return out.str();
+}
+
+std::string fmt(double v, int prec) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(prec) << v;
+  std::string s = out.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string render_table(const std::vector<std::string>& col_labels,
+                         const std::vector<std::string>& row_labels,
+                         const std::vector<std::vector<std::string>>& cells,
+                         const std::string& corner) {
+  if (cells.size() != row_labels.size()) {
+    throw std::invalid_argument("render_table: row count mismatch");
+  }
+  const std::size_t ncols = col_labels.size();
+  std::vector<std::size_t> width(ncols + 1);
+  width[0] = corner.size();
+  for (const auto& r : row_labels) width[0] = std::max(width[0], r.size());
+  for (std::size_t j = 0; j < ncols; ++j) width[j + 1] = col_labels[j].size();
+  for (const auto& row : cells) {
+    if (row.size() != ncols) {
+      throw std::invalid_argument("render_table: column count mismatch");
+    }
+    for (std::size_t j = 0; j < ncols; ++j) {
+      width[j + 1] = std::max(width[j + 1], row[j].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::string& s, std::size_t w, bool last) {
+    out << std::setw(static_cast<int>(w)) << s << (last ? "\n" : "  ");
+  };
+  emit(corner, width[0], ncols == 0);
+  for (std::size_t j = 0; j < ncols; ++j) {
+    emit(col_labels[j], width[j + 1], j + 1 == ncols);
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    emit(row_labels[i], width[0], ncols == 0);
+    for (std::size_t j = 0; j < ncols; ++j) {
+      emit(cells[i][j], width[j + 1], j + 1 == ncols);
+    }
+  }
+  return out.str();
+}
+
+std::string render_glyph_grid(const std::vector<std::string>& x_labels,
+                              const std::vector<std::string>& y_labels,
+                              const std::vector<std::vector<char>>& glyphs,
+                              const std::string& x_title,
+                              const std::string& y_title) {
+  if (glyphs.size() != y_labels.size()) {
+    throw std::invalid_argument("render_glyph_grid: row count mismatch");
+  }
+  std::size_t ylw = y_title.size();
+  for (const auto& l : y_labels) ylw = std::max(ylw, l.size());
+
+  std::ostringstream out;
+  out << y_title << " \\ " << x_title << '\n';
+  // Rows are printed top-down in the order given (callers put the largest
+  // y value first to match the paper's plots).
+  for (std::size_t i = 0; i < glyphs.size(); ++i) {
+    if (glyphs[i].size() != x_labels.size()) {
+      throw std::invalid_argument("render_glyph_grid: column count mismatch");
+    }
+    out << std::setw(static_cast<int>(ylw)) << y_labels[i] << " |";
+    for (char g : glyphs[i]) out << ' ' << g;
+    out << '\n';
+  }
+  out << std::string(ylw + 1, ' ') << '+'
+      << std::string(2 * x_labels.size(), '-') << '\n';
+  // Column labels printed vertically to fit.
+  std::size_t maxxl = 0;
+  for (const auto& l : x_labels) maxxl = std::max(maxxl, l.size());
+  for (std::size_t r = 0; r < maxxl; ++r) {
+    out << std::string(ylw + 2, ' ');
+    for (const auto& l : x_labels) {
+      out << ' ' << (r < l.size() ? l[r] : ' ');
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace wise

@@ -1,0 +1,56 @@
+#pragma once
+// Text renderings of the paper's plot types.
+//
+// The bench binaries print their results both as machine-readable tables and
+// as quick-look ASCII charts: histograms (paper Figs 7, 11, 12, 13) and
+// labeled 2-D grids (paper Figs 5, 6 heatmaps, Fig 10 confusion matrices).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wise {
+
+/// Fixed-width histogram over [lo, hi) with `bins` equal-width buckets.
+/// Values outside the range are clamped into the first/last bucket.
+struct Histogram {
+  Histogram(double lo, double hi, int bins);
+
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  /// Count in bucket `i`.
+  std::int64_t count(int i) const { return counts_[static_cast<std::size_t>(i)]; }
+  int bins() const { return static_cast<int>(counts_.size()); }
+  std::int64_t total() const;
+  double bucket_lo(int i) const;
+  double bucket_hi(int i) const;
+
+  /// Renders as rows of `#` bars with bucket labels, e.g.
+  ///   [0.00,0.10)  37 #########
+  std::string render(int max_bar_width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::int64_t> counts_;
+};
+
+/// Renders a matrix of doubles as an aligned text table with row/column
+/// labels; used for confusion matrices and parameter-sweep tables.
+std::string render_table(const std::vector<std::string>& col_labels,
+                         const std::vector<std::string>& row_labels,
+                         const std::vector<std::vector<std::string>>& cells,
+                         const std::string& corner = "");
+
+/// Renders a 2-D grid of single-character glyphs with axis labels; used for
+/// the "fastest method" grids of Figs 5a/5c/6a/6c.
+std::string render_glyph_grid(const std::vector<std::string>& x_labels,
+                              const std::vector<std::string>& y_labels,
+                              const std::vector<std::vector<char>>& glyphs,
+                              const std::string& x_title,
+                              const std::string& y_title);
+
+/// Formats a double with `prec` significant decimals, trimming zeros.
+std::string fmt(double v, int prec = 3);
+
+}  // namespace wise

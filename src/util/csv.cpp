@@ -1,0 +1,85 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+namespace wise {
+
+std::size_t CsvTable::col(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::out_of_range("CSV column not found: " + name);
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (ch != '\r') {
+      cur.push_back(ch);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+
+  CsvTable table;
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("empty CSV file: " + path);
+  }
+  table.header = split_csv_line(line);
+
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto fields = split_csv_line(line);
+    if (fields.size() != table.header.size()) {
+      std::ostringstream msg;
+      msg << path << ":" << lineno << ": expected " << table.header.size()
+          << " fields, got " << fields.size();
+      throw std::runtime_error(msg.str());
+    }
+    table.rows.push_back(std::move(fields));
+  }
+  return table;
+}
+
+void ensure_dir(const std::string& dir) {
+  if (!dir.empty()) std::filesystem::create_directories(dir);
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : width_(header.size()) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  out_.open(path);
+  if (!out_) throw std::runtime_error("cannot create CSV file: " + path);
+  write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  if (fields.size() != width_) {
+    throw std::invalid_argument("CSV row width mismatch");
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << fields[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace wise

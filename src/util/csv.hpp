@@ -1,0 +1,48 @@
+#pragma once
+// Minimal CSV reading/writing for the on-disk measurement cache.
+//
+// The format is deliberately restricted: comma separator, no quoting, no
+// embedded commas/newlines in fields. Every producer in this repository
+// writes identifiers and numbers only, so full RFC-4180 handling would be
+// dead weight. Readers validate column counts and fail loudly.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace wise {
+
+/// One parsed CSV table: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column; throws std::out_of_range when absent.
+  std::size_t col(const std::string& name) const;
+};
+
+/// Parses a whole CSV file. Throws std::runtime_error on I/O failure or on
+/// rows whose field count differs from the header's.
+CsvTable read_csv(const std::string& path);
+
+/// Streaming CSV writer. Creates parent directories as needed.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& fields);
+  void flush();
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+/// Splits `line` on commas. Exposed for tests.
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Creates `dir` (and parents) if missing.
+void ensure_dir(const std::string& dir);
+
+}  // namespace wise

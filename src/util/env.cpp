@@ -1,0 +1,44 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace wise {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  try {
+    return std::stoll(v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const std::string s(v);
+  return !(s == "0" || s == "false" || s == "off" || s == "no");
+}
+
+double experiment_scale() { return env_double("WISE_SCALE", 1.0); }
+
+std::string data_dir() { return env_string("WISE_DATA_DIR", "data"); }
+
+}  // namespace wise

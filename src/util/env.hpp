@@ -1,0 +1,28 @@
+#pragma once
+// Environment-variable configuration knobs.
+//
+// The benchmark harness scales experiment sizes through a handful of
+// WISE_* environment variables so the full suite can run both on a laptop
+// (defaults) and on a larger machine (raised values) without recompiling.
+
+#include <cstdint>
+#include <string>
+
+namespace wise {
+
+/// Returns the value of environment variable `name`, or `fallback` when it
+/// is unset or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+double env_double(const char* name, double fallback);
+std::string env_string(const char* name, const std::string& fallback);
+bool env_flag(const char* name, bool fallback);
+
+/// Global size multiplier for experiments (WISE_SCALE, default 1.0).
+/// Row counts in the experiment corpus are multiplied by this value.
+double experiment_scale();
+
+/// Directory where the measurement cache and trained models are stored
+/// (WISE_DATA_DIR, default "data" relative to the current directory).
+std::string data_dir();
+
+}  // namespace wise

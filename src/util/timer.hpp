@@ -1,0 +1,37 @@
+#pragma once
+// Wall-clock timing helpers used by the measurement harness and benches.
+
+#include <chrono>
+#include <cstdint>
+
+namespace wise {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class Timer {
+ public:
+  Timer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+  double microseconds() const noexcept { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Prevents the compiler from optimizing away a computed value.
+/// Equivalent in spirit to benchmark::DoNotOptimize but usable without
+/// linking google-benchmark into the library.
+template <typename T>
+inline void do_not_optimize(T const& value) noexcept {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace wise

@@ -1,0 +1,97 @@
+#include "wise/amortized.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "features/extractor.hpp"
+#include "wise/speedup_class.hpp"
+
+namespace wise {
+
+namespace {
+// Upper bounds of prep classes P0..P4 (P5 is open-ended).
+constexpr double kPrepBounds[] = {1, 3, 8, 20, 50};
+constexpr double kPrepMidpoints[] = {0.5, 2, 5, 13, 33, 80};
+}  // namespace
+
+int classify_prep_cost(double prep_csr_iters) {
+  if (!(prep_csr_iters >= 0)) {
+    throw std::invalid_argument("classify_prep_cost: negative cost");
+  }
+  for (int k = 0; k < kNumPrepClasses - 1; ++k) {
+    if (prep_csr_iters < kPrepBounds[k]) return k;
+  }
+  return kNumPrepClasses - 1;
+}
+
+double prep_class_midpoint(int cls) {
+  if (cls < 0 || cls >= kNumPrepClasses) {
+    throw std::out_of_range("prep_class_midpoint");
+  }
+  return kPrepMidpoints[cls];
+}
+
+void AmortizedWise::train(const std::vector<MethodConfig>& configs,
+                          const std::vector<std::vector<double>>& features,
+                          const std::vector<std::vector<double>>& rel_times,
+                          const std::vector<std::vector<double>>& prep_iters,
+                          const TreeParams& params) {
+  if (configs.empty() || features.empty() ||
+      features.size() != rel_times.size() ||
+      features.size() != prep_iters.size()) {
+    throw std::invalid_argument("AmortizedWise::train: shape mismatch");
+  }
+  configs_ = configs;
+  speed_trees_.assign(configs.size(), {});
+  prep_trees_.assign(configs.size(), {});
+
+  const auto& names = feature_names();
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    Dataset speed_ds(names, kNumSpeedupClasses);
+    Dataset prep_ds(names, kNumPrepClasses);
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      if (rel_times[i].size() != configs.size() ||
+          prep_iters[i].size() != configs.size()) {
+        throw std::invalid_argument("AmortizedWise::train: row width");
+      }
+      speed_ds.add(features[i], classify_relative_time(rel_times[i][c]));
+      prep_ds.add(features[i], classify_prep_cost(prep_iters[i][c]));
+    }
+    speed_trees_[c].fit(speed_ds, params);
+    prep_trees_[c].fit(prep_ds, params);
+  }
+}
+
+AmortizedChoice AmortizedWise::choose(std::span<const double> features,
+                                      double expected_iterations) const {
+  if (!trained()) {
+    throw std::logic_error("AmortizedWise::choose: not trained");
+  }
+  if (!(expected_iterations > 0)) {
+    throw std::invalid_argument(
+        "AmortizedWise::choose: iterations must be > 0");
+  }
+
+  AmortizedChoice best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<double> best_rank;
+  for (std::size_t c = 0; c < configs_.size(); ++c) {
+    const int speed_cls = speed_trees_[c].predict(features);
+    const int prep_cls = prep_trees_[c].predict(features);
+    const double cost =
+        expected_iterations * class_midpoint_rel(speed_cls) +
+        prep_class_midpoint(prep_cls);
+    auto rank = configs_[c].selection_rank();
+    const bool better =
+        cost < best_cost - 1e-12 ||
+        (cost < best_cost + 1e-12 && (best_rank.empty() || rank < best_rank));
+    if (better) {
+      best_cost = cost;
+      best_rank = std::move(rank);
+      best = {configs_[c], speed_cls, prep_cls, cost};
+    }
+  }
+  return best;
+}
+
+}  // namespace wise

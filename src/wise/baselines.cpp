@@ -1,0 +1,77 @@
+#include "wise/baselines.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+namespace wise {
+
+namespace {
+
+ExplorationResult explore(const CsrMatrix& m,
+                          std::span<const MethodConfig> configs, int iters) {
+  if (configs.empty()) {
+    throw std::invalid_argument("explore: no candidate configurations");
+  }
+  aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()));
+  aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()));
+  Xoshiro256 rng(0xbedd1e);
+  for (auto& v : x) v = static_cast<value_t>(rng.next_double());
+
+  ExplorationResult result;
+  result.best_seconds = std::numeric_limits<double>::infinity();
+
+  Timer total;
+  for (const auto& cfg : configs) {
+    PreparedMatrix pm = PreparedMatrix::prepare(m, cfg);
+    const double secs = time_spmv(pm, x, y, iters, /*repeats=*/1);
+    if (secs < result.best_seconds) {
+      result.best_seconds = secs;
+      result.best = cfg;
+    }
+  }
+  result.preprocessing_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace
+
+ExplorationResult oracle_select(const CsrMatrix& m,
+                                std::span<const MethodConfig> configs,
+                                int iters) {
+  return explore(m, configs, iters);
+}
+
+std::vector<MethodConfig> inspector_executor_candidates() {
+  return {
+      {.kind = MethodKind::kCsr, .sched = Schedule::kDyn},
+      {.kind = MethodKind::kSellpack, .sched = Schedule::kStCont, .c = 8},
+      {.kind = MethodKind::kSellCSigma,
+       .sched = Schedule::kStCont,
+       .c = 8,
+       .sigma = 1 << 12},
+      {.kind = MethodKind::kSellCR,
+       .sched = Schedule::kDyn,
+       .c = 8,
+       .sigma = kSigmaAll},
+      {.kind = MethodKind::kLav1Seg,
+       .sched = Schedule::kDyn,
+       .c = 8,
+       .sigma = kSigmaAll},
+      {.kind = MethodKind::kLav,
+       .sched = Schedule::kDyn,
+       .c = 8,
+       .sigma = kSigmaAll,
+       .T = 0.8},
+  };
+}
+
+ExplorationResult inspector_executor_select(
+    const CsrMatrix& m, std::span<const MethodConfig> candidates,
+    int probe_iters) {
+  return explore(m, candidates, probe_iters);
+}
+
+}  // namespace wise

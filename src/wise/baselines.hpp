@@ -1,0 +1,46 @@
+#pragma once
+// Comparison baselines (paper §6.3-6.4).
+//
+//  * Oracle: exhaustively measures every configuration and keeps the
+//    fastest — the upper bound WISE is compared against (Fig 13b).
+//  * Inspector-executor: an empirical autotuner standing in for Intel MKL's
+//    closed-source inspector-executor, which the paper describes only as
+//    "explores different methods before picking the best one". Our stand-in
+//    converts + probe-times a candidate subset (one representative per
+//    method family by default) and returns the winner; its preprocessing
+//    overhead is the total exploration time, which — like MKL IE's — is a
+//    multiple of plain SpMV iterations.
+
+#include <span>
+#include <vector>
+
+#include "spmv/executor.hpp"
+#include "spmv/method.hpp"
+
+namespace wise {
+
+struct ExplorationResult {
+  MethodConfig best;
+  double best_seconds = 0;           ///< measured per-iteration time of best
+  double preprocessing_seconds = 0;  ///< conversions + probing, total
+};
+
+/// Oracle: tries every configuration in `configs` with `iters` timed
+/// iterations each and returns the fastest. preprocessing_seconds reports
+/// the exhaustive search cost (not counted against the oracle in the
+/// paper's Fig 13b, but recorded for completeness).
+ExplorationResult oracle_select(const CsrMatrix& m,
+                                std::span<const MethodConfig> configs,
+                                int iters = 3);
+
+/// Default inspector-executor candidate set: one representative per method
+/// family (CSR/Dyn, SELLPACK/c8/StCont, Sell-c-σ/c8/σ=2^12/StCont,
+/// Sell-c-R/c8, LAV-1Seg/c8, LAV/c8/T0.8).
+std::vector<MethodConfig> inspector_executor_candidates();
+
+/// The IE stand-in: probe-times each candidate and picks the winner.
+ExplorationResult inspector_executor_select(
+    const CsrMatrix& m, std::span<const MethodConfig> candidates,
+    int probe_iters = 2);
+
+}  // namespace wise

@@ -1,0 +1,91 @@
+#include "wise/model_bank.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "features/extractor.hpp"
+#include "wise/speedup_class.hpp"
+
+namespace wise {
+
+void ModelBank::train(const std::vector<MethodConfig>& configs,
+                      const std::vector<std::vector<double>>& features,
+                      const std::vector<std::vector<double>>& rel_times,
+                      const TreeParams& params) {
+  if (configs.empty()) {
+    throw std::invalid_argument("ModelBank::train: no configurations");
+  }
+  if (features.size() != rel_times.size() || features.empty()) {
+    throw std::invalid_argument("ModelBank::train: shape mismatch");
+  }
+  for (const auto& row : rel_times) {
+    if (row.size() != configs.size()) {
+      throw std::invalid_argument(
+          "ModelBank::train: rel_times width != #configs");
+    }
+  }
+
+  configs_ = configs;
+  trees_.clear();
+  trees_.resize(configs.size());
+
+  const auto& names = feature_names();
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    Dataset ds(names, kNumSpeedupClasses);
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      ds.add(features[i], classify_relative_time(rel_times[i][c]));
+    }
+    trees_[c].fit(ds, params);
+  }
+}
+
+std::vector<int> ModelBank::predict_classes(
+    std::span<const double> features) const {
+  if (!trained()) {
+    throw std::logic_error("ModelBank::predict_classes: not trained");
+  }
+  std::vector<int> out(trees_.size());
+  for (std::size_t c = 0; c < trees_.size(); ++c) {
+    out[c] = trees_[c].predict(features);
+  }
+  return out;
+}
+
+void ModelBank::save(const std::string& dir) const {
+  if (!trained()) throw std::logic_error("ModelBank::save: not trained");
+  std::filesystem::create_directories(dir);
+  std::ofstream out(std::filesystem::path(dir) / "models.txt");
+  if (!out) throw std::runtime_error("ModelBank::save: cannot write to " + dir);
+  out << "wise-model-bank v1\n" << configs_.size() << '\n';
+  for (std::size_t c = 0; c < configs_.size(); ++c) {
+    out << configs_[c].name() << '\n';
+    trees_[c].save(out);
+  }
+}
+
+ModelBank ModelBank::load(const std::string& dir) {
+  std::ifstream in(std::filesystem::path(dir) / "models.txt");
+  if (!in) {
+    throw std::runtime_error("ModelBank::load: cannot open models in " + dir);
+  }
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "wise-model-bank" || version != "v1") {
+    throw std::runtime_error("ModelBank::load: bad header");
+  }
+  std::size_t n = 0;
+  in >> n;
+  ModelBank bank;
+  bank.configs_.reserve(n);
+  bank.trees_.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    std::string name;
+    in >> name;
+    bank.configs_.push_back(parse_method_config(name));
+    bank.trees_.push_back(DecisionTree::load(in));
+  }
+  return bank;
+}
+
+}  // namespace wise

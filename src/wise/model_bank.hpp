@@ -1,0 +1,46 @@
+#pragma once
+// The bank of per-configuration performance models (paper Fig 8, step 2).
+//
+// WISE trains one decision tree per {method, parameter} configuration; each
+// tree maps a matrix's feature vector to the configuration's speedup class.
+// The bank owns the trees, keyed by MethodConfig::name(), and can be saved
+// to / loaded from a directory so a trained WISE ships with the library.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+#include "spmv/method.hpp"
+
+namespace wise {
+
+class ModelBank {
+ public:
+  /// Trains one tree per configuration.
+  ///   features[i]        — feature vector of training matrix i
+  ///   rel_times[i][c]    — t_config / t_bestCSR of matrix i, configuration
+  ///                        configs[c]
+  /// Throws std::invalid_argument on shape mismatches.
+  void train(const std::vector<MethodConfig>& configs,
+             const std::vector<std::vector<double>>& features,
+             const std::vector<std::vector<double>>& rel_times,
+             const TreeParams& params = {});
+
+  /// Predicted speedup class per configuration, in configs() order.
+  std::vector<int> predict_classes(std::span<const double> features) const;
+
+  const std::vector<MethodConfig>& configs() const { return configs_; }
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+  bool trained() const { return !trees_.empty(); }
+
+  /// Persists as <dir>/models.txt (one header + serialized trees).
+  void save(const std::string& dir) const;
+  static ModelBank load(const std::string& dir);
+
+ private:
+  std::vector<MethodConfig> configs_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace wise

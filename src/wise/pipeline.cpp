@@ -1,0 +1,38 @@
+#include "wise/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+#include "wise/selector.hpp"
+
+namespace wise {
+
+Wise::Wise(ModelBank bank) : bank_(std::move(bank)) {
+  if (!bank_.trained()) {
+    throw std::invalid_argument("Wise: model bank is not trained");
+  }
+}
+
+WiseChoice Wise::choose(const CsrMatrix& m) const {
+  WiseChoice choice;
+
+  Timer t;
+  const FeatureVector features = extract_features(m, feature_params);
+  choice.feature_seconds = t.seconds();
+
+  t.reset();
+  const std::vector<int> classes = bank_.predict_classes(features.values);
+  const std::size_t best = select_best_config(bank_.configs(), classes);
+  choice.inference_seconds = t.seconds();
+
+  choice.config = bank_.configs()[best];
+  choice.predicted_class = classes[best];
+  return choice;
+}
+
+PreparedMatrix Wise::prepare(const CsrMatrix& m) const {
+  const WiseChoice choice = choose(m);
+  return PreparedMatrix::prepare(m, choice.config);
+}
+
+}  // namespace wise

@@ -1,0 +1,49 @@
+#pragma once
+// End-to-end WISE pipeline (paper Fig 8): feature extraction → per-config
+// class prediction → selection → layout conversion → SpMV.
+//
+// This is the library's main user-facing entry point:
+//
+//   wise::Wise predictor(wise::ModelBank::load("models/"));
+//   auto prepared = predictor.prepare(csr_matrix);   // picks + converts
+//   prepared.run(x, y);                              // fast SpMV
+//
+// The choice is user-transparent: callers never name a format.
+
+#include <span>
+
+#include "features/extractor.hpp"
+#include "spmv/executor.hpp"
+#include "wise/model_bank.hpp"
+
+namespace wise {
+
+/// Outcome of the selection stage, including the measured decision costs.
+struct WiseChoice {
+  MethodConfig config;
+  int predicted_class = 0;
+  double feature_seconds = 0;    ///< feature-extraction wall time
+  double inference_seconds = 0;  ///< tree-inference + selection wall time
+};
+
+class Wise {
+ public:
+  /// Takes ownership of a trained bank. Throws if the bank is untrained.
+  explicit Wise(ModelBank bank);
+
+  /// Runs feature extraction + model inference + the selection heuristic.
+  WiseChoice choose(const CsrMatrix& m) const;
+
+  /// choose() + layout conversion. The returned PreparedMatrix references
+  /// `m` when CSR is selected, so `m` must outlive it.
+  PreparedMatrix prepare(const CsrMatrix& m) const;
+
+  const ModelBank& bank() const { return bank_; }
+
+  FeatureParams feature_params;  ///< tiling resolution override, if any
+
+ private:
+  ModelBank bank_;
+};
+
+}  // namespace wise

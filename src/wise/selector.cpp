@@ -1,0 +1,31 @@
+#include "wise/selector.hpp"
+
+#include <stdexcept>
+
+namespace wise {
+
+std::size_t select_best_config(const std::vector<MethodConfig>& configs,
+                               const std::vector<int>& predicted_classes) {
+  if (configs.empty() || configs.size() != predicted_classes.size()) {
+    throw std::invalid_argument("select_best_config: size mismatch");
+  }
+  std::size_t best = 0;
+  auto best_rank = configs[0].selection_rank();
+  for (std::size_t i = 1; i < configs.size(); ++i) {
+    const int cls = predicted_classes[i];
+    const int best_cls = predicted_classes[best];
+    if (cls > best_cls) {
+      best = i;
+      best_rank = configs[i].selection_rank();
+    } else if (cls == best_cls) {
+      auto rank = configs[i].selection_rank();
+      if (rank < best_rank) {
+        best = i;
+        best_rank = std::move(rank);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace wise

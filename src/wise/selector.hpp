@@ -1,0 +1,20 @@
+#pragma once
+// The method-selection heuristic (paper §4.4).
+//
+// Given one predicted speedup class per configuration, pick the
+// configuration predicted fastest; break ties by preprocessing cost
+// (CSR < SELLPACK < Sell-c-σ < Sell-c-R < LAV-1Seg < LAV), then by smaller
+// parameter values (smaller parameters empirically preprocess faster).
+
+#include <vector>
+
+#include "spmv/method.hpp"
+
+namespace wise {
+
+/// Index into `configs` of the chosen configuration.
+/// Throws std::invalid_argument when sizes mismatch or inputs are empty.
+std::size_t select_best_config(const std::vector<MethodConfig>& configs,
+                               const std::vector<int>& predicted_classes);
+
+}  // namespace wise

@@ -1,0 +1,107 @@
+// Tests for preprocessing-cost classes and the amortization-aware selector.
+
+#include <gtest/gtest.h>
+
+#include "features/extractor.hpp"
+#include "util/prng.hpp"
+#include "wise/amortized.hpp"
+
+namespace wise {
+namespace {
+
+TEST(PrepClass, BucketsMatchDefinition) {
+  EXPECT_EQ(classify_prep_cost(0.0), 0);
+  EXPECT_EQ(classify_prep_cost(0.99), 0);
+  EXPECT_EQ(classify_prep_cost(1.0), 1);
+  EXPECT_EQ(classify_prep_cost(2.9), 1);
+  EXPECT_EQ(classify_prep_cost(3.0), 2);
+  EXPECT_EQ(classify_prep_cost(8.0), 3);
+  EXPECT_EQ(classify_prep_cost(20.0), 4);
+  EXPECT_EQ(classify_prep_cost(50.0), 5);
+  EXPECT_EQ(classify_prep_cost(1e6), 5);
+}
+
+TEST(PrepClass, RejectsNegativeCost) {
+  EXPECT_THROW(classify_prep_cost(-1.0), std::invalid_argument);
+}
+
+TEST(PrepClass, MidpointsAreInsideBuckets) {
+  for (int k = 0; k < kNumPrepClasses; ++k) {
+    EXPECT_EQ(classify_prep_cost(prep_class_midpoint(k)), k);
+  }
+  EXPECT_THROW(prep_class_midpoint(kNumPrepClasses), std::out_of_range);
+}
+
+/// Two-config synthetic problem: config 0 is fast (rel 0.5) but expensive
+/// to build (~30 CSR iterations); config 1 is CSR itself (rel 1.0, free).
+class AmortizedFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    configs_ = {
+        {.kind = MethodKind::kLav,
+         .sched = Schedule::kDyn,
+         .c = 8,
+         .sigma = kSigmaAll,
+         .T = 0.7},
+        {.kind = MethodKind::kCsr, .sched = Schedule::kStCont},
+    };
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 60; ++i) {
+      std::vector<double> f(feature_count());
+      for (auto& v : f) v = rng.next_double();
+      features_.push_back(std::move(f));
+      rel_times_.push_back({0.5, 1.0});
+      prep_iters_.push_back({30.0, 0.0});
+    }
+    wise_.train(configs_, features_, rel_times_, prep_iters_,
+                {.max_depth = 3, .ccp_alpha = 0.0});
+  }
+
+  std::vector<MethodConfig> configs_;
+  std::vector<std::vector<double>> features_;
+  std::vector<std::vector<double>> rel_times_;
+  std::vector<std::vector<double>> prep_iters_;
+  AmortizedWise wise_;
+};
+
+TEST_F(AmortizedFixture, ShortRunsPickCheapConfig) {
+  // N=5: fast config costs 5*0.5 + 33 = 35.5; CSR costs 5*1 + 0.5 = 5.5.
+  const auto choice = wise_.choose(features_[0], 5);
+  EXPECT_EQ(choice.config.kind, MethodKind::kCsr);
+}
+
+TEST_F(AmortizedFixture, LongRunsPickFastConfig) {
+  // N=1000: fast costs 500 + 33 = 533; CSR costs 1000.5.
+  const auto choice = wise_.choose(features_[0], 1000);
+  EXPECT_EQ(choice.config.kind, MethodKind::kLav);
+  EXPECT_EQ(choice.speed_class, 6);   // rel 0.5 → C6
+  EXPECT_EQ(choice.prep_class, 4);    // 30 iters → P4
+}
+
+TEST_F(AmortizedFixture, BreakevenIsWhereCostsCross) {
+  // Costs cross when N*0.5 + 33 = N*1 + 0.5 → N = 65.
+  const auto below = wise_.choose(features_[0], 60);
+  const auto above = wise_.choose(features_[0], 70);
+  EXPECT_EQ(below.config.kind, MethodKind::kCsr);
+  EXPECT_EQ(above.config.kind, MethodKind::kLav);
+}
+
+TEST_F(AmortizedFixture, ExpectedCostIsReported) {
+  const auto choice = wise_.choose(features_[0], 1000);
+  EXPECT_NEAR(choice.expected_cost_iters, 1000 * 0.5 + 33, 1e-9);
+}
+
+TEST_F(AmortizedFixture, RejectsBadInputs) {
+  EXPECT_THROW(wise_.choose(features_[0], 0), std::invalid_argument);
+  EXPECT_THROW(wise_.choose(features_[0], -5), std::invalid_argument);
+  AmortizedWise untrained;
+  EXPECT_THROW(untrained.choose(features_[0], 10), std::logic_error);
+  AmortizedWise bad;
+  EXPECT_THROW(bad.train({}, features_, rel_times_, prep_iters_),
+               std::invalid_argument);
+  EXPECT_THROW(bad.train(configs_, features_, rel_times_, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wise

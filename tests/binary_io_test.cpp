@@ -1,0 +1,80 @@
+// Tests for binary CSR serialization.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sparse/binary_io.hpp"
+#include "test_util.hpp"
+
+namespace wise {
+namespace {
+
+using testing::random_csr;
+
+TEST(BinaryIo, RoundTripsRandomMatrices) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const CsrMatrix m = random_csr(100, 80, 5.0, seed);
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    write_csr_binary(buf, m);
+    EXPECT_EQ(read_csr_binary(buf), m) << "seed " << seed;
+  }
+}
+
+TEST(BinaryIo, RoundTripsEmptyMatrix) {
+  const CsrMatrix m = CsrMatrix::from_coo(CooMatrix(7, 3));
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_binary(buf, m);
+  const CsrMatrix back = read_csr_binary(buf);
+  EXPECT_EQ(back.nrows(), 7);
+  EXPECT_EQ(back.ncols(), 3);
+  EXPECT_EQ(back.nnz(), 0);
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "wise_bin_test.csrb").string();
+  const CsrMatrix m = random_csr(64, 64, 4.0, 4);
+  write_csr_binary_file(path, m);
+  EXPECT_EQ(read_csr_binary_file(path), m);
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf << "NOTWISE1 garbage";
+  EXPECT_THROW(read_csr_binary(buf), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsTruncatedFile) {
+  const CsrMatrix m = random_csr(50, 50, 3.0, 5);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_binary(buf, m);
+  const std::string full = buf.str();
+  for (std::size_t cut : {full.size() / 4, full.size() / 2, full.size() - 4}) {
+    std::stringstream cut_buf(full.substr(0, cut),
+                              std::ios::in | std::ios::binary);
+    EXPECT_THROW(read_csr_binary(cut_buf), std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(BinaryIo, DetectsPayloadCorruption) {
+  const CsrMatrix m = random_csr(40, 40, 3.0, 6);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_binary(buf, m);
+  std::string bytes = buf.str();
+  bytes[bytes.size() / 2] ^= 0x5a;  // flip bits mid-payload
+  std::stringstream corrupted(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_csr_binary(corrupted), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsMissingFile) {
+  EXPECT_THROW(read_csr_binary_file("/nonexistent/file.csrb"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wise

@@ -1,0 +1,200 @@
+// Tests for the experiment harness: specs, corpora, measurement, cache.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+
+#include <fstream>
+
+#include "exp/cache.hpp"
+#include "exp/corpus.hpp"
+#include "exp/measure.hpp"
+#include "features/extractor.hpp"
+#include "test_util.hpp"
+
+namespace wise {
+namespace {
+
+using testing::random_csr;
+
+TEST(Spec, RmatSpecMaterializesDeterministically) {
+  const MatrixSpec spec = rmat_spec(RmatClass::kHighSkew, 256, 8, 42);
+  const CsrMatrix a = spec.materialize();
+  const CsrMatrix b = spec.materialize();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.nrows(), 256);
+}
+
+TEST(Spec, RggSpecMaterializes) {
+  const MatrixSpec spec = rgg_spec(200, 6, 7);
+  const CsrMatrix m = spec.materialize();
+  EXPECT_EQ(m.nrows(), 200);
+  EXPECT_GT(m.nnz(), 0);
+}
+
+TEST(Spec, IdsEncodeClassAndShape) {
+  const MatrixSpec spec = rmat_spec(RmatClass::kMedSkew, 1024, 16, 1);
+  EXPECT_EQ(spec.id, "rmat-MS-r1024-d16");
+  EXPECT_EQ(spec.family, "MS");
+}
+
+TEST(Corpus, SciCorpusHas136UniqueSpecs) {
+  const auto specs = sci_corpus();
+  EXPECT_EQ(specs.size(), 136u);  // paper §5: 136 SuiteSparse matrices
+  std::set<std::string> ids;
+  for (const auto& s : specs) {
+    EXPECT_TRUE(ids.insert(s.id).second) << "duplicate id " << s.id;
+    EXPECT_EQ(s.family, "sci");
+  }
+}
+
+TEST(Corpus, RandomCorpusCoversAllClasses) {
+  const auto specs = random_corpus();
+  EXPECT_EQ(specs.size(), 350u);
+  std::set<std::string> families;
+  for (const auto& s : specs) families.insert(s.family);
+  EXPECT_EQ(families,
+            (std::set<std::string>{"HS", "MS", "LS", "LL", "ML", "HL", "rgg"}));
+}
+
+TEST(Corpus, FullCorpusIdsAreGloballyUnique) {
+  const auto specs = full_corpus();
+  std::set<std::string> ids;
+  for (const auto& s : specs) {
+    EXPECT_TRUE(ids.insert(s.id).second) << "duplicate id " << s.id;
+  }
+  EXPECT_EQ(specs.size(), 486u);
+}
+
+TEST(Corpus, SweepGridHasOneSpecPerCell) {
+  const auto grid = sweep_grid(RmatClass::kLowSkew);
+  EXPECT_EQ(grid.size(), sweep_rows().size() * sweep_degrees().size());
+  for (const auto& s : grid) {
+    EXPECT_EQ(s.family, "LS");
+    EXPECT_EQ(s.id.substr(0, 6), "sweep-");
+  }
+}
+
+TEST(Corpus, SampleSpecsMaterialize) {
+  // Materialize one spec of each kind to catch parameter bugs.
+  const auto specs = sci_corpus();
+  std::set<MatrixSpec::Kind> done;
+  for (const auto& s : specs) {
+    if (done.contains(s.kind)) continue;
+    if (s.n > 20000) continue;  // keep the test fast
+    const CsrMatrix m = s.materialize();
+    EXPECT_GT(m.nnz(), 0) << s.id;
+    done.insert(s.kind);
+  }
+  EXPECT_GE(done.size(), 5u);
+}
+
+TEST(Measure, RecordsAllConfigurations) {
+  const CsrMatrix m = random_csr(128, 128, 4.0, 1);
+  const MatrixRecord rec =
+      measure_matrix(m, "test-matrix", "test", {.iters = 1, .repeats = 1});
+  EXPECT_EQ(rec.config_seconds.size(), all_method_configs().size());
+  EXPECT_EQ(rec.config_prep_seconds.size(), all_method_configs().size());
+  EXPECT_EQ(rec.features.size(), feature_count());
+  EXPECT_GT(rec.mkl_seconds, 0.0);
+  for (double t : rec.config_seconds) EXPECT_GT(t, 0.0);
+  EXPECT_GT(rec.best_csr_seconds(), 0.0);
+  EXPECT_LE(rec.best_csr_seconds(), rec.config_seconds[0]);
+}
+
+TEST(Measure, RelTimeNormalizesByBestCsr) {
+  const CsrMatrix m = random_csr(64, 64, 3.0, 2);
+  const MatrixRecord rec =
+      measure_matrix(m, "t2", "test", {.iters = 1, .repeats = 1});
+  // At least one CSR config has rel_time exactly 1.
+  const auto configs = all_method_configs();
+  bool unit_found = false;
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    if (configs[c].kind == MethodKind::kCsr && rec.rel_time(c) == 1.0) {
+      unit_found = true;
+    }
+  }
+  EXPECT_TRUE(unit_found);
+  EXPECT_LT(rec.best_config_index(), configs.size());
+}
+
+TEST(Cache, CsvRowRoundTrip) {
+  const CsrMatrix m = random_csr(64, 64, 3.0, 3);
+  const MatrixRecord rec =
+      measure_matrix(m, "rt", "fam", {.iters = 1, .repeats = 1});
+  const auto row = measurement_csv_row(rec);
+  EXPECT_EQ(row.size(), measurement_csv_header().size());
+  const MatrixRecord back = measurement_from_csv_row(row);
+  EXPECT_EQ(back.id, rec.id);
+  EXPECT_EQ(back.family, rec.family);
+  EXPECT_EQ(back.nnz, rec.nnz);
+  EXPECT_EQ(back.features, rec.features);
+  EXPECT_EQ(back.config_seconds, rec.config_seconds);
+  EXPECT_EQ(back.config_prep_seconds, rec.config_prep_seconds);
+}
+
+TEST(Cache, PersistsAndReloadsMeasurements) {
+  const auto dir = std::filesystem::temp_directory_path() / "wise_cache_test";
+  std::filesystem::remove_all(dir);
+  const auto path = (dir / "m.csv").string();
+
+  std::vector<MatrixSpec> specs = {rmat_spec(RmatClass::kLowSkew, 128, 4, 1),
+                                   rgg_spec(128, 4, 2)};
+  const MeasureOptions opts{.iters = 1, .repeats = 1};
+
+  MeasurementCache cache1(path);
+  const auto first = cache1.get_or_measure(specs, opts);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_TRUE(std::filesystem::exists(path));
+
+  // A fresh cache object must serve from disk (identical values, no
+  // remeasurement — timings are noisy, so equality proves the cache hit).
+  MeasurementCache cache2(path);
+  const auto second = cache2.get_or_measure(specs, opts);
+  ASSERT_EQ(second.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(second[i].id, first[i].id);
+    EXPECT_EQ(second[i].config_seconds, first[i].config_seconds);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cache, MeasuresOnlyMissingSpecs) {
+  const auto dir = std::filesystem::temp_directory_path() / "wise_cache_test2";
+  std::filesystem::remove_all(dir);
+  const auto path = (dir / "m.csv").string();
+  const MeasureOptions opts{.iters = 1, .repeats = 1};
+
+  MeasurementCache cache(path);
+  const auto a =
+      cache.get_or_measure({rmat_spec(RmatClass::kLowSkew, 128, 4, 1)}, opts);
+  const auto b = cache.get_or_measure(
+      {rmat_spec(RmatClass::kLowSkew, 128, 4, 1),
+       rmat_spec(RmatClass::kHighSkew, 128, 4, 2)},
+      opts);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0].config_seconds, a[0].config_seconds);  // served from cache
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cache, SchemaMismatchTriggersRemeasure) {
+  const auto dir = std::filesystem::temp_directory_path() / "wise_cache_test3";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "m.csv").string();
+  {
+    std::ofstream out(path);
+    out << "bogus,header\n1,2\n";
+  }
+  MeasurementCache cache(path);
+  const auto recs = cache.get_or_measure(
+      {rmat_spec(RmatClass::kLowSkew, 128, 4, 1)}, {.iters = 1, .repeats = 1});
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_GT(recs[0].nnz, 0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace wise

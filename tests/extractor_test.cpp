@@ -1,0 +1,162 @@
+// Tests for the 67-feature WISE extractor (paper Table 2).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "features/extractor.hpp"
+#include "test_util.hpp"
+
+namespace wise {
+namespace {
+
+using testing::random_csr;
+
+double feature(const FeatureVector& fv, const std::string& name) {
+  const auto& names = feature_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return fv[i];
+  }
+  throw std::out_of_range("no feature named " + name);
+}
+
+TEST(Features, CountIs67) {
+  EXPECT_EQ(feature_count(), 67u);  // 3 size + 5x8 dist stats + 24 locality
+}
+
+TEST(Features, NamesAreUniqueAndStable) {
+  const auto& names = feature_names();
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  // Spot-check the names the paper defines.
+  EXPECT_EQ(names[0], "n_rows");
+  EXPECT_EQ(names[1], "n_cols");
+  EXPECT_EQ(names[2], "n_nnz");
+  EXPECT_NE(std::find(names.begin(), names.end(), "gini_R"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "pratio_CB"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "uniqR"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Gr64_potReuseC"),
+            names.end());
+}
+
+TEST(Features, SizePropertiesAreExact) {
+  const CsrMatrix m = random_csr(123, 77, 4.0, 1);
+  const FeatureVector fv = extract_features(m);
+  EXPECT_EQ(feature(fv, "n_rows"), 123.0);
+  EXPECT_EQ(feature(fv, "n_cols"), 77.0);
+  EXPECT_EQ(feature(fv, "n_nnz"), static_cast<double>(m.nnz()));
+}
+
+TEST(Features, RowStatsMatchDirectComputation) {
+  const CsrMatrix m = random_csr(100, 100, 5.0, 2);
+  const FeatureVector fv = extract_features(m);
+  const DistStats r = row_dist_stats(m);
+  EXPECT_DOUBLE_EQ(feature(fv, "mean_R"), r.mean);
+  EXPECT_DOUBLE_EQ(feature(fv, "gini_R"), r.gini);
+  EXPECT_DOUBLE_EQ(feature(fv, "pratio_R"), r.pratio);
+  EXPECT_DOUBLE_EQ(feature(fv, "max_R"), r.max);
+  EXPECT_DOUBLE_EQ(feature(fv, "ne_R"), r.nonempty);
+}
+
+TEST(Features, MeanRowEqualsNnzOverRows) {
+  const CsrMatrix m = random_csr(200, 200, 7.0, 3);
+  const FeatureVector fv = extract_features(m);
+  EXPECT_NEAR(feature(fv, "mean_R"),
+              static_cast<double>(m.nnz()) / 200.0, 1e-12);
+  EXPECT_NEAR(feature(fv, "mean_C"),
+              static_cast<double>(m.nnz()) / 200.0, 1e-12);
+}
+
+TEST(Features, UniqAndPotReuseSharePresencePairs) {
+  // uniqR * nnz == potReuseR * nrows (both count presence pairs).
+  const CsrMatrix m = random_csr(150, 150, 6.0, 4);
+  const FeatureVector fv = extract_features(m);
+  const double pairs_from_uniq =
+      feature(fv, "uniqR") * static_cast<double>(m.nnz());
+  const double pairs_from_reuse = feature(fv, "potReuseR") * 150.0;
+  EXPECT_NEAR(pairs_from_uniq, pairs_from_reuse, 1e-6);
+}
+
+TEST(Features, UniqRAtMostOne) {
+  const CsrMatrix m = random_csr(100, 100, 8.0, 5);
+  const FeatureVector fv = extract_features(m);
+  for (const char* name : {"uniqR", "uniqC", "Gr4_uniqR", "Gr64_uniqC"}) {
+    EXPECT_GT(feature(fv, name), 0.0) << name;
+    EXPECT_LE(feature(fv, name), 1.0) << name;
+  }
+}
+
+TEST(Features, SkewedMatrixHasHigherRowGini) {
+  const auto hs = rmat_class_params(RmatClass::kHighSkew, 1024, 8);
+  const auto ls = rmat_class_params(RmatClass::kLowSkew, 1024, 8);
+  const auto f_hs =
+      extract_features(CsrMatrix::from_coo(generate_rmat(hs, 1)));
+  const auto f_ls =
+      extract_features(CsrMatrix::from_coo(generate_rmat(ls, 1)));
+  EXPECT_GT(feature(f_hs, "gini_R"), feature(f_ls, "gini_R"));
+  EXPECT_LT(feature(f_hs, "pratio_R"), feature(f_ls, "pratio_R"));
+}
+
+TEST(Features, LocalMatrixHasFewerOccupiedTiles) {
+  // ne_T (occupied tiles) separates banded from uniform structure.
+  const auto banded =
+      extract_features(CsrMatrix::from_coo(generate_banded(1024, 8, 0.5, 2)));
+  const auto uniform = extract_features(random_csr(1024, 1024, 8.0, 6));
+  EXPECT_LT(feature(banded, "ne_T"), feature(uniform, "ne_T"));
+}
+
+TEST(Features, PotReuseCDetectsColumnReuseAcrossTiles) {
+  // A full dense column is reused in every tile row; potReuseC rises.
+  CooMatrix hot(64, 64);
+  for (index_t i = 0; i < 64; ++i) {
+    hot.add(i, 0, 1.0);   // hot column 0
+    hot.add(i, i, 1.0);   // diagonal
+  }
+  CooMatrix diag_only(64, 64);
+  for (index_t i = 0; i < 64; ++i) diag_only.add(i, i, 1.0);
+
+  FeatureParams params;
+  params.tile_grid = 8;
+  const auto f_hot = extract_features(CsrMatrix::from_coo(hot), params);
+  const auto f_diag = extract_features(CsrMatrix::from_coo(diag_only), params);
+  EXPECT_GT(feature(f_hot, "potReuseC"), feature(f_diag, "potReuseC"));
+}
+
+TEST(Features, DeterministicForSameMatrix) {
+  const CsrMatrix m = random_csr(80, 80, 5.0, 7);
+  const FeatureVector a = extract_features(m);
+  const FeatureVector b = extract_features(m);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(Features, HandlesEmptyMatrix) {
+  const CsrMatrix m = CsrMatrix::from_coo(CooMatrix(10, 10));
+  const FeatureVector fv = extract_features(m);
+  EXPECT_EQ(fv.size(), feature_count());
+  EXPECT_EQ(feature(fv, "n_nnz"), 0.0);
+  EXPECT_EQ(feature(fv, "gini_R"), 0.0);
+}
+
+TEST(Features, HandlesSingleElementMatrix) {
+  CooMatrix coo(1, 1);
+  coo.add(0, 0, 1.0);
+  const FeatureVector fv = extract_features(CsrMatrix::from_coo(coo));
+  EXPECT_EQ(feature(fv, "n_nnz"), 1.0);
+  EXPECT_EQ(feature(fv, "uniqR"), 1.0);
+}
+
+TEST(Features, TileGridOverrideIsHonored) {
+  const CsrMatrix m = random_csr(256, 256, 4.0, 8);
+  FeatureParams coarse;
+  coarse.tile_grid = 2;
+  FeatureParams fine;
+  fine.tile_grid = 32;
+  const auto f_coarse = extract_features(m, coarse);
+  const auto f_fine = extract_features(m, fine);
+  // ne_T is bounded by K^2 = 4 for the coarse grid.
+  EXPECT_LE(feature(f_coarse, "ne_T"), 4.0);
+  EXPECT_GT(feature(f_fine, "ne_T"), feature(f_coarse, "ne_T"));
+}
+
+}  // namespace
+}  // namespace wise

@@ -1,0 +1,236 @@
+// Tests for the RMAT / RGG / scientific-flavored matrix generators.
+
+#include <gtest/gtest.h>
+
+#include "features/stats.hpp"
+#include "gen/generators.hpp"
+#include "sparse/csr.hpp"
+
+namespace wise {
+namespace {
+
+std::vector<nnz_t> row_counts(const CsrMatrix& m) {
+  std::vector<nnz_t> counts(static_cast<std::size_t>(m.nrows()));
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    counts[static_cast<std::size_t>(i)] = m.row_nnz(i);
+  }
+  return counts;
+}
+
+TEST(Rmat, IsDeterministicPerSeed) {
+  const RmatParams p{.n = 512, .avg_degree = 8.0};
+  const CooMatrix a = generate_rmat(p, 42);
+  const CooMatrix b = generate_rmat(p, 42);
+  EXPECT_EQ(a, b);
+  const CooMatrix c = generate_rmat(p, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(Rmat, ProducesRequestedShape) {
+  const RmatParams p{.n = 1024, .avg_degree = 4.0};
+  const CooMatrix m = generate_rmat(p, 1);
+  EXPECT_EQ(m.nrows(), 1024);
+  EXPECT_EQ(m.ncols(), 1024);
+  // Dedup shrinks nnz slightly; it must stay within a sane band.
+  EXPECT_GT(m.nnz(), 1024 * 2);
+  EXPECT_LE(m.nnz(), 1024 * 4);
+}
+
+TEST(Rmat, HandlesNonPowerOfTwoSizes) {
+  const RmatParams p{.n = 700, .avg_degree = 4.0};
+  const CooMatrix m = generate_rmat(p, 2);
+  EXPECT_EQ(m.nrows(), 700);
+  CsrMatrix::from_coo(m);  // validates internally
+}
+
+TEST(Rmat, HighSkewHasLowerPRatioThanLowSkew) {
+  // Paper §4.5: P_R ≈ 0.1 for HighSkew vs ≈ 0.3 for LowSkew.
+  const auto hs = rmat_class_params(RmatClass::kHighSkew, 4096, 16);
+  const auto ls = rmat_class_params(RmatClass::kLowSkew, 4096, 16);
+  const auto m_hs = CsrMatrix::from_coo(generate_rmat(hs, 3));
+  const auto m_ls = CsrMatrix::from_coo(generate_rmat(ls, 3));
+  const double p_hs = p_ratio(row_counts(m_hs));
+  const double p_ls = p_ratio(row_counts(m_ls));
+  EXPECT_LT(p_hs, p_ls);
+  EXPECT_LT(p_hs, 0.22);
+  EXPECT_GT(p_ls, 0.22);
+}
+
+TEST(Rmat, SkewClassGiniOrderingHolds) {
+  auto gini_of = [](RmatClass cls) {
+    const auto p = rmat_class_params(cls, 4096, 16);
+    return gini_coefficient(
+        row_counts(CsrMatrix::from_coo(generate_rmat(p, 5))));
+  };
+  const double hs = gini_of(RmatClass::kHighSkew);
+  const double ms = gini_of(RmatClass::kMedSkew);
+  const double ls = gini_of(RmatClass::kLowSkew);
+  EXPECT_GT(hs, ms);
+  EXPECT_GT(ms, ls);
+}
+
+TEST(Rmat, LocalityClassesConcentrateNearDiagonal) {
+  // Fraction of nonzeros within |i-j| < n/8 should rise from LL to HL.
+  auto near_diag_fraction = [](RmatClass cls) {
+    const auto p = rmat_class_params(cls, 2048, 16);
+    const CooMatrix m = generate_rmat(p, 6);
+    nnz_t near = 0;
+    for (const auto& e : m.entries()) {
+      if (std::abs(e.row - e.col) < 2048 / 8) ++near;
+    }
+    return static_cast<double>(near) / static_cast<double>(m.nnz());
+  };
+  const double ll = near_diag_fraction(RmatClass::kLowLoc);
+  const double ml = near_diag_fraction(RmatClass::kMedLoc);
+  const double hl = near_diag_fraction(RmatClass::kHighLoc);
+  EXPECT_LT(ll, ml);
+  EXPECT_LT(ml, hl);
+}
+
+TEST(Rmat, LocalityClassesHaveBalancedRows) {
+  // Paper: LL/ML/HL have P_R of 0.4-0.5 (little skew).
+  for (RmatClass cls :
+       {RmatClass::kLowLoc, RmatClass::kMedLoc, RmatClass::kHighLoc}) {
+    const auto p = rmat_class_params(cls, 2048, 16);
+    const double pr =
+        p_ratio(row_counts(CsrMatrix::from_coo(generate_rmat(p, 7))));
+    EXPECT_GT(pr, 0.33) << rmat_class_name(cls);
+    EXPECT_LE(pr, 0.55) << rmat_class_name(cls);
+  }
+}
+
+TEST(Rmat, RejectsInvalidParameters) {
+  EXPECT_THROW(generate_rmat({.n = 0, .avg_degree = 4}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(generate_rmat({.n = 16, .avg_degree = -1}, 1),
+               std::invalid_argument);
+  RmatParams bad{.n = 16, .avg_degree = 4, .a = 0.9, .b = 0.9, .c = 0.0,
+                 .d = 0.0};
+  EXPECT_THROW(generate_rmat(bad, 1), std::invalid_argument);
+}
+
+TEST(Rmat, ClassNamesAreStable) {
+  EXPECT_STREQ(rmat_class_name(RmatClass::kHighSkew), "HS");
+  EXPECT_STREQ(rmat_class_name(RmatClass::kLowLoc), "LL");
+}
+
+TEST(Rgg, IsSymmetric) {
+  const CooMatrix m = generate_rgg(500, 8.0, 11);
+  const CsrMatrix a = CsrMatrix::from_coo(m);
+  EXPECT_EQ(a, a.transpose());
+}
+
+TEST(Rgg, ApproximatesTargetDegree) {
+  const CooMatrix m = generate_rgg(2000, 12.0, 12);
+  const double avg =
+      static_cast<double>(m.nnz()) / static_cast<double>(m.nrows());
+  EXPECT_GT(avg, 6.0);
+  EXPECT_LT(avg, 24.0);
+}
+
+TEST(Rgg, SpatialNumberingGivesLocality) {
+  // With cell-major vertex numbering most edges connect nearby ids.
+  const CooMatrix m = generate_rgg(2000, 8.0, 13);
+  nnz_t near = 0;
+  for (const auto& e : m.entries()) {
+    if (std::abs(e.row - e.col) < 250) ++near;
+  }
+  EXPECT_GT(static_cast<double>(near) / static_cast<double>(m.nnz()), 0.6);
+}
+
+TEST(Rgg, IsDeterministic) {
+  EXPECT_EQ(generate_rgg(300, 6.0, 5), generate_rgg(300, 6.0, 5));
+}
+
+TEST(Banded, StaysWithinBand) {
+  const CooMatrix m = generate_banded(200, 5, 0.5, 3);
+  for (const auto& e : m.entries()) {
+    EXPECT_LE(std::abs(e.row - e.col), 5);
+  }
+}
+
+TEST(Banded, KeepsFullDiagonal) {
+  const CsrMatrix m = CsrMatrix::from_coo(generate_banded(100, 3, 0.1, 4));
+  for (index_t i = 0; i < 100; ++i) {
+    const auto cols = m.row_cols(i);
+    EXPECT_TRUE(std::find(cols.begin(), cols.end(), i) != cols.end())
+        << "row " << i;
+  }
+}
+
+TEST(Banded, DensityControlsFill) {
+  const CooMatrix sparse = generate_banded(500, 10, 0.1, 5);
+  const CooMatrix dense = generate_banded(500, 10, 0.9, 5);
+  EXPECT_LT(sparse.nnz(), dense.nnz());
+}
+
+TEST(Stencil2d, FivePointHasExpectedStructure) {
+  const CsrMatrix m = CsrMatrix::from_coo(generate_stencil2d(4, 4, 5));
+  EXPECT_EQ(m.nrows(), 16);
+  // Interior point (1,1) = row 5 has 5 entries; corner row 0 has 3.
+  EXPECT_EQ(m.row_nnz(5), 5);
+  EXPECT_EQ(m.row_nnz(0), 3);
+  // Total: 16 diag + 2*(2*3*4) interior links = 16 + 48 = 64.
+  EXPECT_EQ(m.nnz(), 64);
+}
+
+TEST(Stencil2d, NinePointAddsDiagonals) {
+  const CsrMatrix m5 = CsrMatrix::from_coo(generate_stencil2d(8, 8, 5));
+  const CsrMatrix m9 = CsrMatrix::from_coo(generate_stencil2d(8, 8, 9));
+  EXPECT_GT(m9.nnz(), m5.nnz());
+  EXPECT_EQ(m9.row_nnz(9), 9);  // interior point
+}
+
+TEST(Stencil3d, SevenPointInteriorDegree) {
+  const CsrMatrix m = CsrMatrix::from_coo(generate_stencil3d(4, 4, 4, 7));
+  EXPECT_EQ(m.nrows(), 64);
+  // Interior voxel (1,1,1) = row 1*16+1*4+1 = 21.
+  EXPECT_EQ(m.row_nnz(21), 7);
+}
+
+TEST(Stencil3d, TwentySevenPointInteriorDegree) {
+  const CsrMatrix m = CsrMatrix::from_coo(generate_stencil3d(4, 4, 4, 27));
+  EXPECT_EQ(m.row_nnz(21), 27);
+}
+
+TEST(Stencil, RejectsUnsupportedPointCounts) {
+  EXPECT_THROW(generate_stencil2d(4, 4, 7), std::invalid_argument);
+  EXPECT_THROW(generate_stencil3d(4, 4, 4, 9), std::invalid_argument);
+}
+
+TEST(BlockDiag, EntriesStayInBlocks) {
+  const CooMatrix m = generate_block_diag(64, 16, 0.5, 6);
+  for (const auto& e : m.entries()) {
+    EXPECT_EQ(e.row / 16, e.col / 16);
+  }
+}
+
+TEST(BlockDiag, HandlesRaggedLastBlock) {
+  const CooMatrix m = generate_block_diag(70, 16, 0.5, 7);
+  EXPECT_EQ(m.nrows(), 70);
+  CsrMatrix::from_coo(m);
+}
+
+TEST(RoadLike, IsSymmetricLowDegree) {
+  const CsrMatrix m = CsrMatrix::from_coo(generate_road_like(1000, 8));
+  EXPECT_EQ(m, m.transpose());
+  const double avg =
+      static_cast<double>(m.nnz()) / static_cast<double>(m.nrows());
+  EXPECT_GT(avg, 1.0);
+  EXPECT_LT(avg, 6.0);
+}
+
+TEST(RoadLike, IsDeterministic) {
+  EXPECT_EQ(generate_road_like(500, 1), generate_road_like(500, 1));
+}
+
+TEST(Generators, AllRejectNonPositiveSizes) {
+  EXPECT_THROW(generate_rgg(0, 4.0, 1), std::invalid_argument);
+  EXPECT_THROW(generate_banded(-1, 2, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(generate_block_diag(0, 4, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(generate_road_like(0, 1), std::invalid_argument);
+  EXPECT_THROW(generate_stencil2d(0, 4, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wise

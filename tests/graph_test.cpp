@@ -1,0 +1,262 @@
+// Tests for the semiring SpMV and graph algorithms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <queue>
+
+#include "graph/algorithms.hpp"
+#include "graph/semiring.hpp"
+#include "test_util.hpp"
+
+namespace wise {
+namespace {
+
+using testing::expect_vectors_near;
+using testing::random_csr;
+using testing::random_vector;
+
+/// Small directed test graph:
+///   0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0, 3 -> 2   (vertex 4 isolated)
+CsrMatrix small_digraph() {
+  CooMatrix coo(5, 5);
+  coo.add(0, 1, 1.0);
+  coo.add(0, 2, 1.0);
+  coo.add(1, 2, 1.0);
+  coo.add(2, 0, 1.0);
+  coo.add(3, 2, 1.0);
+  return CsrMatrix::from_coo(coo);
+}
+
+/// Reference BFS with an explicit queue.
+std::vector<index_t> reference_bfs(const CsrMatrix& g, index_t source) {
+  std::vector<index_t> level(static_cast<std::size_t>(g.nrows()), -1);
+  std::queue<index_t> q;
+  level[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const index_t u = q.front();
+    q.pop();
+    for (index_t v : g.row_cols(u)) {
+      if (level[static_cast<std::size_t>(v)] < 0) {
+        level[static_cast<std::size_t>(v)] =
+            level[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return level;
+}
+
+/// Reference Dijkstra (non-negative weights).
+std::vector<value_t> reference_sssp(const CsrMatrix& g, index_t source) {
+  using Entry = std::pair<double, index_t>;
+  std::vector<value_t> dist(static_cast<std::size_t>(g.nrows()),
+                            std::numeric_limits<value_t>::infinity());
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(source)] = 0;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    const auto cols = g.row_cols(u);
+    const auto vals = g.row_vals(u);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const double nd = d + vals[k];
+      if (nd < dist[static_cast<std::size_t>(cols[k])]) {
+        dist[static_cast<std::size_t>(cols[k])] = static_cast<value_t>(nd);
+        pq.push({nd, cols[k]});
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(Semiring, PlusTimesMatchesOrdinarySpmv) {
+  const CsrMatrix m = random_csr(60, 40, 4.0, 1);
+  const auto x = random_vector(40, 2);
+  std::vector<value_t> y_ref(60), y(60);
+  spmv_reference(m, x, y_ref);
+  spmv_semiring<PlusTimes>(m, x, y);
+  expect_vectors_near(y_ref, y);
+}
+
+TEST(Semiring, MinPlusComputesRelaxation) {
+  // One row [3, 10] over x = [2, 1]: min(3+2, 10+1) = 5.
+  CooMatrix coo(1, 2);
+  coo.add(0, 0, 3.0);
+  coo.add(0, 1, 10.0);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  const std::vector<value_t> x = {2.0, 1.0};
+  std::vector<value_t> y(1);
+  spmv_semiring<MinPlus>(m, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+}
+
+TEST(Semiring, MinPlusEmptyRowGivesIdentity) {
+  const CsrMatrix m = CsrMatrix::from_coo(CooMatrix(2, 2));
+  const std::vector<value_t> x = {1.0, 2.0};
+  std::vector<value_t> y(2);
+  spmv_semiring<MinPlus>(m, x, y);
+  EXPECT_TRUE(std::isinf(y[0]));
+  EXPECT_TRUE(std::isinf(y[1]));
+}
+
+TEST(Semiring, OrAndComputesReachabilityStep) {
+  const CsrMatrix g = small_digraph();
+  // Frontier {0} over A^T: reaches 1 and 2.
+  const CsrMatrix gt = g.transpose();
+  std::vector<value_t> frontier(5, 0), next(5);
+  frontier[0] = 1;
+  spmv_semiring<OrAnd>(gt, frontier, next);
+  EXPECT_EQ(next[1], 1.0);
+  EXPECT_EQ(next[2], 1.0);
+  EXPECT_EQ(next[3], 0.0);
+  EXPECT_EQ(next[4], 0.0);
+}
+
+TEST(Semiring, RejectsDimensionMismatch) {
+  const CsrMatrix m = random_csr(4, 4, 2.0, 3);
+  std::vector<value_t> x(4), y(3);
+  EXPECT_THROW(spmv_semiring<PlusTimes>(m, x, y), std::invalid_argument);
+}
+
+TEST(Bfs, MatchesReferenceOnSmallGraph) {
+  const CsrMatrix g = small_digraph();
+  EXPECT_EQ(bfs_levels(g, 0), reference_bfs(g, 0));
+  EXPECT_EQ(bfs_levels(g, 3), reference_bfs(g, 3));
+}
+
+TEST(Bfs, MatchesReferenceOnRandomGraphs) {
+  for (std::uint64_t seed : {4u, 5u, 6u}) {
+    const CsrMatrix g = CsrMatrix::from_coo(generate_rmat(
+        rmat_class_params(RmatClass::kMedSkew, 256, 4), seed));
+    EXPECT_EQ(bfs_levels(g, 0), reference_bfs(g, 0)) << "seed " << seed;
+  }
+}
+
+TEST(Bfs, IsolatedVerticesStayUnreached) {
+  const CsrMatrix g = small_digraph();
+  const auto levels = bfs_levels(g, 0);
+  EXPECT_EQ(levels[4], -1);
+  EXPECT_EQ(levels[3], -1);  // 3 has only an out-edge
+}
+
+TEST(Bfs, RejectsBadSource) {
+  const CsrMatrix g = small_digraph();
+  EXPECT_THROW(bfs_levels(g, -1), std::invalid_argument);
+  EXPECT_THROW(bfs_levels(g, 5), std::invalid_argument);
+}
+
+TEST(Sssp, MatchesDijkstraOnSmallGraph) {
+  CooMatrix coo(4, 4);
+  coo.add(0, 1, 1.0);
+  coo.add(0, 2, 4.0);
+  coo.add(1, 2, 2.0);
+  coo.add(2, 3, 1.0);
+  const CsrMatrix g = CsrMatrix::from_coo(coo);
+  const auto dist = sssp(g, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[2], 3.0);  // via vertex 1
+  EXPECT_DOUBLE_EQ(dist[3], 4.0);
+}
+
+TEST(Sssp, MatchesDijkstraOnRandomGraphs) {
+  for (std::uint64_t seed : {7u, 8u}) {
+    const CsrMatrix g = CsrMatrix::from_coo(generate_rmat(
+        rmat_class_params(RmatClass::kLowSkew, 128, 6), seed));
+    const auto bf = sssp(g, 0);
+    const auto dj = reference_sssp(g, 0);
+    ASSERT_EQ(bf.size(), dj.size());
+    for (std::size_t i = 0; i < bf.size(); ++i) {
+      if (std::isinf(dj[i])) {
+        EXPECT_TRUE(std::isinf(bf[i])) << i;
+      } else {
+        EXPECT_NEAR(bf[i], dj[i], 1e-9) << i;
+      }
+    }
+  }
+}
+
+TEST(PagerankTransition, ColumnsAreStochastic) {
+  const CsrMatrix g = small_digraph();
+  const CsrMatrix m = pagerank_transition(g);
+  // Column u sums to 1 for non-dangling u; sums live in M^T rows.
+  const CsrMatrix mt = m.transpose();
+  for (index_t u = 0; u < g.nrows(); ++u) {
+    double sum = 0;
+    for (value_t v : mt.row_vals(u)) sum += v;
+    if (g.row_nnz(u) > 0) {
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "column " << u;
+    } else {
+      EXPECT_EQ(sum, 0.0);
+    }
+  }
+}
+
+TEST(Pagerank, SumsToOneAndConverges) {
+  const CsrMatrix g = CsrMatrix::from_coo(generate_rmat(
+      rmat_class_params(RmatClass::kHighSkew, 512, 8), 9));
+  const CsrMatrix m = pagerank_transition(g);
+  const auto res = pagerank(make_csr_operator(m), m.nrows());
+  EXPECT_TRUE(res.converged);
+  double sum = 0;
+  for (value_t v : res.rank) {
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Pagerank, UniformOnSymmetricCycle) {
+  // A directed cycle: perfectly symmetric, so PageRank must be uniform.
+  CooMatrix coo(6, 6);
+  for (index_t i = 0; i < 6; ++i) coo.add(i, (i + 1) % 6, 1.0);
+  const CsrMatrix m = pagerank_transition(CsrMatrix::from_coo(coo));
+  const auto res = pagerank(make_csr_operator(m), 6);
+  for (value_t v : res.rank) EXPECT_NEAR(v, 1.0 / 6.0, 1e-10);
+}
+
+TEST(Pagerank, HubGetsHigherRank) {
+  // Everyone links to vertex 0; vertex 0 links back to 1.
+  CooMatrix coo(5, 5);
+  for (index_t i = 1; i < 5; ++i) coo.add(i, 0, 1.0);
+  coo.add(0, 1, 1.0);
+  const CsrMatrix m = pagerank_transition(CsrMatrix::from_coo(coo));
+  const auto res = pagerank(make_csr_operator(m), 5);
+  for (index_t i = 2; i < 5; ++i) {
+    EXPECT_GT(res.rank[0], res.rank[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Hits, IdentifiesHubAndAuthority) {
+  // Vertices 0,1,2 all point at 3 and 4. 0-2 are hubs, 3-4 authorities.
+  CooMatrix coo(5, 5);
+  for (index_t h = 0; h < 3; ++h) {
+    coo.add(h, 3, 1.0);
+    coo.add(h, 4, 1.0);
+  }
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  const CsrMatrix at = a.transpose();
+  const auto res = hits(make_csr_operator(a), make_csr_operator(at),
+                        a.nrows());
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.hub[0], res.hub[3]);
+  EXPECT_GT(res.authority[3], res.authority[0]);
+  EXPECT_NEAR(res.authority[3], res.authority[4], 1e-9);
+}
+
+TEST(Hits, VectorsAreUnitNorm) {
+  const CsrMatrix g = CsrMatrix::from_coo(generate_rmat(
+      rmat_class_params(RmatClass::kMedSkew, 256, 6), 10));
+  const CsrMatrix gt = g.transpose();
+  const auto res = hits(make_csr_operator(g), make_csr_operator(gt),
+                        g.nrows());
+  EXPECT_NEAR(blas::norm2(res.hub), 1.0, 1e-9);
+  EXPECT_NEAR(blas::norm2(res.authority), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wise

@@ -1,0 +1,127 @@
+// Tests for the CSR utility helpers.
+
+#include <gtest/gtest.h>
+
+#include "sparse/utils.hpp"
+#include "test_util.hpp"
+
+namespace wise {
+namespace {
+
+using testing::expect_vectors_near;
+using testing::random_csr;
+using testing::random_vector;
+
+TEST(ExtractDiagonal, ReadsPresentAndAbsentEntries) {
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 5.0);
+  coo.add(1, 2, 1.0);  // no (1,1)
+  coo.add(2, 2, -2.0);
+  const auto d = extract_diagonal(CsrMatrix::from_coo(coo));
+  EXPECT_EQ(d, (std::vector<value_t>{5.0, 0.0, -2.0}));
+}
+
+TEST(ExtractDiagonal, HandlesRectangular) {
+  CooMatrix coo(2, 4);
+  coo.add(1, 1, 3.0);
+  const auto d = extract_diagonal(CsrMatrix::from_coo(coo));
+  ASSERT_EQ(d.size(), 2u);  // min(2, 4)
+  EXPECT_EQ(d[1], 3.0);
+}
+
+TEST(IsSymmetric, DetectsSymmetryAndAsymmetry) {
+  EXPECT_TRUE(is_symmetric(
+      CsrMatrix::from_coo(generate_rgg(200, 6, 1))));  // RGG is symmetric
+  CooMatrix coo(2, 2);
+  coo.add(0, 1, 1.0);
+  EXPECT_FALSE(is_symmetric(CsrMatrix::from_coo(coo)));
+  CooMatrix rect(2, 3);
+  EXPECT_FALSE(is_symmetric(CsrMatrix::from_coo(rect)));
+}
+
+TEST(Symmetrize, ProducesSymmetricMatrix) {
+  const CsrMatrix m = random_csr(50, 50, 4.0, 2);
+  const CsrMatrix s = symmetrize(m);
+  EXPECT_TRUE(is_symmetric(s));
+  // (i,j) of s = m(i,j) + m(j,i).
+  CooMatrix coo(3, 3);
+  coo.add(0, 1, 2.0);
+  coo.add(1, 0, 3.0);
+  const CsrMatrix small = symmetrize(CsrMatrix::from_coo(coo));
+  EXPECT_EQ(small.row_vals(0)[0], 5.0);
+  EXPECT_EQ(small.row_vals(1)[0], 5.0);
+}
+
+TEST(Symmetrize, RejectsRectangular) {
+  EXPECT_THROW(symmetrize(random_csr(3, 4, 1.0, 3)), std::invalid_argument);
+}
+
+TEST(ScaleRows, MultipliesEachRow) {
+  const CsrMatrix m = random_csr(20, 30, 3.0, 4);
+  std::vector<value_t> s(20);
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = static_cast<value_t>(i + 1);
+  const CsrMatrix scaled = scale_rows(m, s);
+  // (diag(s) A) x == s .* (A x)
+  const auto x = random_vector(30, 5);
+  std::vector<value_t> ax(20), sax(20);
+  spmv_reference(m, x, ax);
+  spmv_reference(scaled, x, sax);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(sax[i], s[i] * ax[i], 1e-12);
+  }
+}
+
+TEST(ScaleCols, MultipliesEachColumn) {
+  const CsrMatrix m = random_csr(20, 30, 3.0, 6);
+  std::vector<value_t> s(30);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = static_cast<value_t>(0.5 + i * 0.1);
+  }
+  const CsrMatrix scaled = scale_cols(m, s);
+  // (A diag(s)) x == A (s .* x)
+  const auto x = random_vector(30, 7);
+  std::vector<value_t> sx(30);
+  for (std::size_t i = 0; i < 30; ++i) sx[i] = s[i] * x[i];
+  std::vector<value_t> left(20), right(20);
+  spmv_reference(scaled, x, left);
+  spmv_reference(m, sx, right);
+  expect_vectors_near(right, left, 1e-12);
+}
+
+TEST(Scale, RejectsWrongLengthVector) {
+  const CsrMatrix m = random_csr(5, 7, 2.0, 8);
+  std::vector<value_t> bad(6, 1.0);
+  EXPECT_THROW(scale_rows(m, bad), std::invalid_argument);
+  EXPECT_THROW(scale_cols(m, bad), std::invalid_argument);
+}
+
+TEST(MakeDiagonallyDominant, GuaranteesDominance) {
+  const CsrMatrix m = random_csr(100, 100, 5.0, 9);
+  const CsrMatrix d = make_diagonally_dominant(m, 2.0);
+  const auto diag = extract_diagonal(d);
+  for (index_t i = 0; i < 100; ++i) {
+    double off = 0;
+    const auto cols = d.row_cols(i);
+    const auto vals = d.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] != i) off += std::abs(vals[k]);
+    }
+    EXPECT_GT(diag[static_cast<std::size_t>(i)], off) << "row " << i;
+  }
+}
+
+TEST(MakeDiagonallyDominant, InsertsMissingDiagonal) {
+  CooMatrix coo(3, 3);
+  coo.add(0, 1, 4.0);  // row 0 has no diagonal
+  const CsrMatrix d = make_diagonally_dominant(CsrMatrix::from_coo(coo));
+  EXPECT_EQ(extract_diagonal(d)[0], 9.0);  // 2*4 + 1
+  EXPECT_EQ(extract_diagonal(d)[2], 1.0);  // empty row gets 2*0 + 1
+}
+
+TEST(MakeDiagonallyDominant, RejectsRectangular) {
+  EXPECT_THROW(make_diagonally_dominant(random_csr(3, 4, 1.0, 10)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wise

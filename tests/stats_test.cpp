@@ -1,0 +1,120 @@
+// Tests for Gini / p-ratio / distribution statistics (§4.2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/stats.hpp"
+
+namespace wise {
+namespace {
+
+TEST(Gini, ZeroForPerfectBalance) {
+  EXPECT_NEAR(gini_coefficient({5, 5, 5, 5}), 0.0, 1e-12);
+  EXPECT_NEAR(gini_coefficient({1}), 0.0, 1e-12);
+}
+
+TEST(Gini, ApproachesOneForMaxImbalance) {
+  // All mass in one of n buckets → G = 1 - 1/n.
+  std::vector<nnz_t> counts(100, 0);
+  counts[0] = 1000;
+  EXPECT_NEAR(gini_coefficient(counts), 1.0 - 0.01, 1e-12);
+}
+
+TEST(Gini, KnownTwoBucketValue) {
+  // {0, 1}: G = 0.5 for two buckets with all mass in one.
+  EXPECT_NEAR(gini_coefficient({0, 1}), 0.5, 1e-12);
+}
+
+TEST(Gini, IsOrderInvariant) {
+  EXPECT_DOUBLE_EQ(gini_coefficient({1, 5, 3, 9}),
+                   gini_coefficient({9, 1, 3, 5}));
+}
+
+TEST(Gini, MonotoneInSkew) {
+  EXPECT_LT(gini_coefficient({4, 4, 4, 4}), gini_coefficient({1, 2, 4, 9}));
+  EXPECT_LT(gini_coefficient({1, 2, 4, 9}), gini_coefficient({0, 0, 1, 15}));
+}
+
+TEST(PRatio, HalfForPerfectBalance) {
+  EXPECT_NEAR(p_ratio({7, 7, 7, 7, 7, 7, 7, 7, 7, 7}), 0.5, 0.01);
+}
+
+TEST(PRatio, SmallForExtremeSkew) {
+  std::vector<nnz_t> counts(100, 0);
+  counts[42] = 100000;
+  EXPECT_NEAR(p_ratio(counts), 0.01, 1e-12);
+}
+
+TEST(PRatio, MatchesPaperSemantics) {
+  // "p fraction of the rows has a (1-p) fraction of the nonzeros":
+  // 1 bucket with 80, 4 with 5 → top 20% holds 80%. p = 0.2.
+  EXPECT_NEAR(p_ratio({80, 5, 5, 5, 5}), 0.2, 1e-12);
+}
+
+TEST(PRatio, IsOrderInvariant) {
+  EXPECT_DOUBLE_EQ(p_ratio({80, 5, 5, 5, 5}), p_ratio({5, 5, 80, 5, 5}));
+}
+
+TEST(DistStats, ComputesBasicMoments) {
+  const DistStats s = compute_dist_stats({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.variance, 1.25);
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.nonempty, 4.0);
+}
+
+TEST(DistStats, MinIsZeroWhenAnyBucketEmpty) {
+  const DistStats s = compute_dist_stats({0, 3, 5});
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.nonempty, 2.0);
+}
+
+TEST(DistStats, EmptyDistributionIsNeutral) {
+  const DistStats s = compute_dist_stats({});
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.gini, 0.0);
+  EXPECT_DOUBLE_EQ(s.pratio, 0.5);
+}
+
+TEST(DistStats, AllZeroDistributionIsNeutral) {
+  const DistStats s = compute_dist_stats({0, 0, 0});
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.gini, 0.0);
+  EXPECT_DOUBLE_EQ(s.pratio, 0.5);
+  EXPECT_DOUBLE_EQ(s.nonempty, 0.0);
+}
+
+TEST(DistStats, SparseMatchesDenseRepresentation) {
+  // {0,0,0,0,0,0,7,3,1,0} dense vs sparse {7,3,1} over 10 buckets.
+  const std::vector<nnz_t> dense = {0, 0, 0, 0, 0, 0, 7, 3, 1, 0};
+  const DistStats a = compute_dist_stats(dense);
+  const DistStats b = compute_dist_stats_sparse({7, 3, 1}, 10);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.variance, b.variance);
+  EXPECT_DOUBLE_EQ(a.gini, b.gini);
+  EXPECT_DOUBLE_EQ(a.pratio, b.pratio);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  EXPECT_DOUBLE_EQ(a.nonempty, b.nonempty);
+}
+
+TEST(DistStats, SparseToleratesZerosInList) {
+  const DistStats a = compute_dist_stats_sparse({0, 5, 0, 3}, 8);
+  const DistStats b = compute_dist_stats_sparse({5, 3}, 8);
+  EXPECT_DOUBLE_EQ(a.gini, b.gini);
+  EXPECT_DOUBLE_EQ(a.nonempty, b.nonempty);
+}
+
+TEST(DistStats, GiniAndPRatioMoveOppositeDirections) {
+  // More skew → higher Gini, lower p-ratio.
+  const DistStats balanced = compute_dist_stats({10, 10, 10, 10});
+  const DistStats skewed = compute_dist_stats({37, 1, 1, 1});
+  EXPECT_GT(skewed.gini, balanced.gini);
+  EXPECT_LT(skewed.pratio, balanced.pratio);
+}
+
+}  // namespace
+}  // namespace wise

@@ -1,0 +1,151 @@
+// Tests for the 2-D tiling analysis backing the locality features.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "features/tiling.hpp"
+#include "test_util.hpp"
+
+namespace wise {
+namespace {
+
+using testing::random_csr;
+
+/// Brute-force presence computation for verification: counts distinct
+/// (group, tile) pairs.
+nnz_t brute_row_presence(const CsrMatrix& m, index_t k, int x) {
+  const index_t tile_rows = (m.nrows() + k - 1) / k;
+  const index_t tile_cols = (m.ncols() + k - 1) / k;
+  std::set<std::tuple<index_t, index_t, index_t>> pairs;  // (group, tr, tc)
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    for (index_t j : m.row_cols(i)) {
+      pairs.insert({i / x, i / tile_rows, j / tile_cols});
+    }
+  }
+  return static_cast<nnz_t>(pairs.size());
+}
+
+nnz_t brute_col_presence(const CsrMatrix& m, index_t k, int x) {
+  const index_t tile_rows = (m.nrows() + k - 1) / k;
+  const index_t tile_cols = (m.ncols() + k - 1) / k;
+  std::set<std::tuple<index_t, index_t, index_t>> pairs;  // (group, tr, tc)
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    for (index_t j : m.row_cols(i)) {
+      pairs.insert({j / x, i / tile_rows, j / tile_cols});
+    }
+  }
+  return static_cast<nnz_t>(pairs.size());
+}
+
+TEST(Tiling, BlockCountsSumToNnz) {
+  const CsrMatrix m = random_csr(128, 96, 5.0, 1);
+  const TilingResult t = analyze_tiling(m, 8);
+  nnz_t tile_sum = 0, rb_sum = 0, cb_sum = 0;
+  for (auto c : t.tile_counts) tile_sum += c;
+  for (auto c : t.rowblock_counts) rb_sum += c;
+  for (auto c : t.colblock_counts) cb_sum += c;
+  EXPECT_EQ(tile_sum, m.nnz());
+  EXPECT_EQ(rb_sum, m.nnz());
+  EXPECT_EQ(cb_sum, m.nnz());
+}
+
+TEST(Tiling, TileCountsAreAllPositive) {
+  const CsrMatrix m = random_csr(64, 64, 4.0, 2);
+  const TilingResult t = analyze_tiling(m, 4);
+  for (auto c : t.tile_counts) EXPECT_GT(c, 0);
+  EXPECT_LE(static_cast<nnz_t>(t.tile_counts.size()), t.total_tiles);
+  EXPECT_EQ(t.total_tiles, 16);
+}
+
+TEST(Tiling, HandComputedSmallExample) {
+  // 4x4 matrix, k=2 → 2x2 tiles of 2x2 elements.
+  CooMatrix coo(4, 4);
+  coo.add(0, 0, 1);  // tile (0,0)
+  coo.add(0, 1, 1);  // tile (0,0)
+  coo.add(1, 3, 1);  // tile (0,1)
+  coo.add(3, 0, 1);  // tile (1,0)
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  const TilingResult t = analyze_tiling(m, 2);
+  EXPECT_EQ(t.tile_rows, 2);
+  EXPECT_EQ(t.tile_cols, 2);
+  ASSERT_EQ(t.tile_counts.size(), 3u);  // three occupied tiles
+  // Occupied tile masses (in block scan order): (0,0)=2, (0,1)=1, (1,0)=1.
+  EXPECT_EQ(t.tile_counts[0] + t.tile_counts[1] + t.tile_counts[2], 4);
+  EXPECT_EQ(t.rowblock_counts, (std::vector<nnz_t>{3, 1}));
+  EXPECT_EQ(t.colblock_counts, (std::vector<nnz_t>{3, 1}));
+}
+
+TEST(Tiling, PresenceMatchesBruteForce) {
+  for (std::uint64_t seed : {3u, 4u, 5u}) {
+    const CsrMatrix m = random_csr(200, 160, 6.0, seed);
+    const index_t k = 8;
+    const TilingResult t = analyze_tiling(m, k);
+    for (std::size_t xi = 0; xi < kGroupFactors.size(); ++xi) {
+      const int x = kGroupFactors[xi];
+      EXPECT_EQ(t.row_presence[xi], brute_row_presence(m, k, x))
+          << "row X=" << x << " seed " << seed;
+      EXPECT_EQ(t.col_presence[xi], brute_col_presence(m, k, x))
+          << "col X=" << x << " seed " << seed;
+    }
+  }
+}
+
+TEST(Tiling, PresenceDecreasesWithGrouping) {
+  // Coarser groups can only merge presence pairs.
+  const CsrMatrix m = random_csr(256, 256, 8.0, 6);
+  const TilingResult t = analyze_tiling(m, 8);
+  for (std::size_t xi = 1; xi < kGroupFactors.size(); ++xi) {
+    EXPECT_LE(t.row_presence[xi], t.row_presence[xi - 1]);
+    EXPECT_LE(t.col_presence[xi], t.col_presence[xi - 1]);
+  }
+}
+
+TEST(Tiling, PresenceBoundedByNnzAndGroups) {
+  const CsrMatrix m = random_csr(100, 100, 4.0, 7);
+  const TilingResult t = analyze_tiling(m, 4);
+  for (std::size_t xi = 0; xi < kGroupFactors.size(); ++xi) {
+    EXPECT_LE(t.row_presence[xi], m.nnz());
+    EXPECT_GT(t.row_presence[xi], 0);
+    EXPECT_LE(t.col_presence[xi], m.nnz());
+  }
+  EXPECT_EQ(t.row_groups[0], 100);
+  EXPECT_EQ(t.row_groups[1], 25);   // X=4
+  EXPECT_EQ(t.row_groups[5], 2);    // X=64 → ceil(100/64)
+}
+
+TEST(Tiling, DiagonalMatrixTouchesDiagonalTilesOnly) {
+  CooMatrix coo(16, 16);
+  for (index_t i = 0; i < 16; ++i) coo.add(i, i, 1.0);
+  const TilingResult t = analyze_tiling(CsrMatrix::from_coo(coo), 4);
+  EXPECT_EQ(t.tile_counts.size(), 4u);  // only the 4 diagonal tiles
+  for (auto c : t.tile_counts) EXPECT_EQ(c, 4);
+  // Each row touches exactly 1 tile.
+  EXPECT_EQ(t.row_presence[0], 16);
+}
+
+TEST(Tiling, DefaultGridScalesWithMatrixSize) {
+  EXPECT_EQ(default_tile_grid(1 << 20, 1 << 20), 2048);
+  EXPECT_EQ(default_tile_grid(1 << 26, 1 << 26), 2048);  // capped
+  EXPECT_EQ(default_tile_grid(4096, 4096), 8);           // 4096/512
+  EXPECT_EQ(default_tile_grid(100, 100), 4);             // floor
+  EXPECT_GE(default_tile_grid(1, 1), 1);
+}
+
+TEST(Tiling, GridClampedToMatrixDimensions) {
+  const CsrMatrix m = random_csr(3, 3, 1.0, 8);
+  const TilingResult t = analyze_tiling(m, 100);
+  EXPECT_LE(t.k, 3);
+}
+
+TEST(Tiling, BandedMatrixHasFewerTilesThanUniform) {
+  const CsrMatrix banded =
+      CsrMatrix::from_coo(generate_banded(512, 4, 0.8, 1));
+  const CsrMatrix uniform = random_csr(512, 512, 7.0, 9);
+  const auto tb = analyze_tiling(banded, 16);
+  const auto tu = analyze_tiling(uniform, 16);
+  EXPECT_LT(tb.tile_counts.size(), tu.tile_counts.size());
+}
+
+}  // namespace
+}  // namespace wise

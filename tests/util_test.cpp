@@ -1,0 +1,251 @@
+// Tests for src/util: PRNG, timers, CSV, ASCII plots, env knobs, alignment.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/aligned.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+namespace wise {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowZeroBoundIsZero) {
+  Xoshiro256 rng(9);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Xoshiro256, NextInCoversClosedRange) {
+  Xoshiro256 rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit with overwhelming probability
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(17);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Xoshiro256, ForkProducesIndependentStream) {
+  Xoshiro256 a(5);
+  Xoshiro256 child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Timer, MeasuresNonNegativeMonotonicTime) {
+  Timer t;
+  const double first = t.seconds();
+  const double second = t.seconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+}
+
+TEST(Aligned, VectorDataIs64ByteAligned) {
+  aligned_vector<double> v(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+  aligned_vector<int> w(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % 64, 0u);
+}
+
+TEST(Aligned, VectorSupportsGrowth) {
+  aligned_vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_EQ(v[999], 999.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+}
+
+TEST(Histogram, CountsFallInCorrectBuckets) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.05);
+  h.add(0.15);
+  h.add(0.151);
+  h.add(0.95);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 2);
+  EXPECT_EQ(h.count(9), 1);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(Histogram, ClampsOutOfRangeValues) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(3), 1);
+}
+
+TEST(Histogram, BucketBoundsAreUniform) {
+  Histogram h(0.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 1.5);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 2.0);
+}
+
+TEST(Histogram, RejectsInvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderContainsCountsAndBars) {
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 5; ++i) h.add(0.1);
+  const std::string s = h.render(10);
+  EXPECT_NE(s.find("5"), std::string::npos);
+  EXPECT_NE(s.find("##########"), std::string::npos);
+}
+
+TEST(Fmt, TrimsTrailingZeros) {
+  EXPECT_EQ(fmt(1.5, 3), "1.5");
+  EXPECT_EQ(fmt(2.0, 3), "2");
+  EXPECT_EQ(fmt(0.125, 3), "0.125");
+  EXPECT_EQ(fmt(0.1239, 2), "0.12");
+}
+
+TEST(RenderTable, AlignsAndLabels) {
+  const std::string s = render_table({"a", "bb"}, {"r1"}, {{"1", "22"}}, "x");
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("r1"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(RenderTable, RejectsRaggedInput) {
+  EXPECT_THROW(render_table({"a"}, {"r"}, {{"1", "2"}}), std::invalid_argument);
+  EXPECT_THROW(render_table({"a"}, {"r", "s"}, {{"1"}}), std::invalid_argument);
+}
+
+TEST(RenderGlyphGrid, ProducesGridWithLabels) {
+  const std::string s = render_glyph_grid({"1", "2"}, {"hi", "lo"},
+                                          {{'*', 'v'}, {'o', '+'}}, "x", "y");
+  EXPECT_NE(s.find("hi"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find('+'), std::string::npos);
+}
+
+TEST(Csv, SplitsLines) {
+  const auto fields = split_csv_line("a,b,,d");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "d");
+}
+
+TEST(Csv, WriterReaderRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "wise_csv_test.csv").string();
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.write_row({"1", "hello"});
+    w.write_row({"2", "world"});
+    w.flush();
+  }
+  const CsvTable t = read_csv(path);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.col("y"), 1u);
+  EXPECT_EQ(t.rows[1][1], "world");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, WriterRejectsWrongWidth) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "wise_csv_test2.csv").string();
+  CsvWriter w(path, {"x", "y"});
+  EXPECT_THROW(w.write_row({"only-one"}), std::invalid_argument);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ReaderRejectsRaggedRows) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "wise_csv_test3.csv").string();
+  std::ofstream(path) << "a,b\n1,2\n3\n";
+  EXPECT_THROW(read_csv(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ColThrowsOnUnknownColumn) {
+  CsvTable t;
+  t.header = {"a"};
+  EXPECT_THROW(t.col("nope"), std::out_of_range);
+}
+
+TEST(Env, ParsesIntWithFallback) {
+  ::setenv("WISE_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("WISE_TEST_INT", 7), 42);
+  ::unsetenv("WISE_TEST_INT");
+  EXPECT_EQ(env_int("WISE_TEST_INT", 7), 7);
+  ::setenv("WISE_TEST_INT", "not-a-number", 1);
+  EXPECT_EQ(env_int("WISE_TEST_INT", 7), 7);
+  ::unsetenv("WISE_TEST_INT");
+}
+
+TEST(Env, ParsesFlag) {
+  ::setenv("WISE_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("WISE_TEST_FLAG", true));
+  ::setenv("WISE_TEST_FLAG", "yes", 1);
+  EXPECT_TRUE(env_flag("WISE_TEST_FLAG", false));
+  ::unsetenv("WISE_TEST_FLAG");
+}
+
+TEST(Env, ParsesDoubleAndString) {
+  ::setenv("WISE_TEST_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("WISE_TEST_D", 1.0), 2.5);
+  ::unsetenv("WISE_TEST_D");
+  EXPECT_EQ(env_string("WISE_TEST_S", "dft"), "dft");
+}
+
+}  // namespace
+}  // namespace wise

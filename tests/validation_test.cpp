@@ -1,0 +1,128 @@
+// Tests for stratified k-fold cross-validation and confusion matrices.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ml/validation.hpp"
+
+namespace wise {
+namespace {
+
+TEST(StratifiedKfold, FoldsPartitionAllIndices) {
+  std::vector<int> labels(100);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 3;
+  const auto folds = stratified_kfold(labels, 10, 1);
+  ASSERT_EQ(folds.size(), 10u);
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    for (std::size_t idx : fold) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(StratifiedKfold, FoldsAreBalancedInSize) {
+  std::vector<int> labels(103, 0);
+  const auto folds = stratified_kfold(labels, 10, 2);
+  for (const auto& fold : folds) {
+    EXPECT_GE(fold.size(), 10u);
+    EXPECT_LE(fold.size(), 11u);
+  }
+}
+
+TEST(StratifiedKfold, PreservesClassProportions) {
+  // 80/20 class split must hold in each fold (+-1 sample).
+  std::vector<int> labels;
+  for (int i = 0; i < 80; ++i) labels.push_back(0);
+  for (int i = 0; i < 20; ++i) labels.push_back(1);
+  const auto folds = stratified_kfold(labels, 5, 3);
+  for (const auto& fold : folds) {
+    int ones = 0;
+    for (std::size_t idx : fold) ones += labels[idx];
+    EXPECT_GE(ones, 3);
+    EXPECT_LE(ones, 5);
+  }
+}
+
+TEST(StratifiedKfold, DeterministicForSeed) {
+  std::vector<int> labels(50);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 2;
+  EXPECT_EQ(stratified_kfold(labels, 5, 7), stratified_kfold(labels, 5, 7));
+  EXPECT_NE(stratified_kfold(labels, 5, 7), stratified_kfold(labels, 5, 8));
+}
+
+TEST(StratifiedKfold, RejectsInvalidK) {
+  std::vector<int> labels(10, 0);
+  EXPECT_THROW(stratified_kfold(labels, 1, 1), std::invalid_argument);
+  EXPECT_THROW(stratified_kfold(labels, 11, 1), std::invalid_argument);
+  std::vector<int> negative = {0, -1};
+  EXPECT_THROW(stratified_kfold(negative, 2, 1), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, AccumulatesAndComputesAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  cm.add(2, 0);  // miss
+  EXPECT_EQ(cm.total(), 4);
+  EXPECT_EQ(cm.at(0, 0), 2);
+  EXPECT_EQ(cm.at(2, 0), 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, MisclassifiedWithinDistance) {
+  ConfusionMatrix cm(7);
+  cm.add(3, 3);  // correct — not counted
+  cm.add(3, 4);  // distance 1
+  cm.add(3, 2);  // distance 1
+  cm.add(0, 6);  // distance 6
+  EXPECT_DOUBLE_EQ(cm.misclassified_within(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.misclassified_within(6), 1.0);
+}
+
+TEST(ConfusionMatrix, AllCorrectGivesWithinOne) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.misclassified_within(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+}
+
+TEST(ConfusionMatrix, MergeAddsCellwise) {
+  ConfusionMatrix a(2), b(2);
+  a.add(0, 1);
+  b.add(0, 1);
+  b.add(1, 1);
+  a.merge(b);
+  EXPECT_EQ(a.at(0, 1), 2);
+  EXPECT_EQ(a.at(1, 1), 1);
+  ConfusionMatrix c(3);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, RejectsOutOfRangeClasses) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, -1), std::out_of_range);
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, RenderShowsCells) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  const std::string s = cm.render();
+  EXPECT_NE(s.find("P0"), std::string::npos);
+  EXPECT_NE(s.find("C1"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, EmptyMatrixAccuracyIsZero) {
+  ConfusionMatrix cm(3);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace wise
