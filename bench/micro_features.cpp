@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <omp.h>
+
 #include "features/extractor.hpp"
 #include "features/tiling.hpp"
 #include "gen/generators.hpp"
@@ -20,6 +22,19 @@ const CsrMatrix& fixture_matrix() {
   return m;
 }
 
+/// Paper-scale fixture: 2^20 rows, avg degree 8 (~8.4M nonzeros). Built once
+/// on first use so the small benchmarks stay cheap to run in isolation.
+const CsrMatrix& large_fixture_matrix() {
+  static const CsrMatrix m = CsrMatrix::from_coo(generate_rmat(
+      rmat_class_params(RmatClass::kMedSkew, index_t{1} << 20, 8), 11));
+  return m;
+}
+
+void report_threads(benchmark::State& state) {
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(omp_get_max_threads()));
+}
+
 void BM_ExtractFeatures(benchmark::State& state) {
   const CsrMatrix& m = fixture_matrix();
   for (auto _ : state) {
@@ -27,8 +42,44 @@ void BM_ExtractFeatures(benchmark::State& state) {
     benchmark::DoNotOptimize(fv.values.data());
   }
   state.SetItemsProcessed(state.iterations() * m.nnz());
+  report_threads(state);
 }
 BENCHMARK(BM_ExtractFeatures)->Unit(benchmark::kMillisecond);
+
+void BM_ExtractFeaturesSerialRef(benchmark::State& state) {
+  // The pre-parallelization baseline (serial sweeps + explicit transpose);
+  // the ratio to BM_ExtractFeatures is the decision-cost speedup gate.
+  const CsrMatrix& m = fixture_matrix();
+  for (auto _ : state) {
+    const FeatureVector fv = extract_features_reference(m);
+    benchmark::DoNotOptimize(fv.values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz());
+  report_threads(state);
+}
+BENCHMARK(BM_ExtractFeaturesSerialRef)->Unit(benchmark::kMillisecond);
+
+void BM_ExtractFeaturesLarge(benchmark::State& state) {
+  const CsrMatrix& m = large_fixture_matrix();
+  for (auto _ : state) {
+    const FeatureVector fv = extract_features(m);
+    benchmark::DoNotOptimize(fv.values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz());
+  report_threads(state);
+}
+BENCHMARK(BM_ExtractFeaturesLarge)->Unit(benchmark::kMillisecond);
+
+void BM_ExtractFeaturesLargeSerialRef(benchmark::State& state) {
+  const CsrMatrix& m = large_fixture_matrix();
+  for (auto _ : state) {
+    const FeatureVector fv = extract_features_reference(m);
+    benchmark::DoNotOptimize(fv.values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz());
+  report_threads(state);
+}
+BENCHMARK(BM_ExtractFeaturesLargeSerialRef)->Unit(benchmark::kMillisecond);
 
 void BM_AnalyzeTiling(benchmark::State& state) {
   const CsrMatrix& m = fixture_matrix();
@@ -37,8 +88,20 @@ void BM_AnalyzeTiling(benchmark::State& state) {
     benchmark::DoNotOptimize(t.tile_counts.data());
   }
   state.SetItemsProcessed(state.iterations() * m.nnz());
+  report_threads(state);
 }
 BENCHMARK(BM_AnalyzeTiling)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeTilingSerialRef(benchmark::State& state) {
+  const CsrMatrix& m = fixture_matrix();
+  for (auto _ : state) {
+    const TilingResult t = analyze_tiling_reference(m);
+    benchmark::DoNotOptimize(t.tile_counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz());
+  report_threads(state);
+}
+BENCHMARK(BM_AnalyzeTilingSerialRef)->Unit(benchmark::kMillisecond);
 
 void BM_RowColStats(benchmark::State& state) {
   const CsrMatrix& m = fixture_matrix();

@@ -49,7 +49,7 @@ MatrixRecord measure_matrix(const CsrMatrix& m, const std::string& id,
   rec.nnz = m.nnz();
 
   Timer t;
-  rec.features = extract_features(m).values;
+  rec.features = extract_features(m, opts.feature_params).values;
   rec.feature_seconds = t.seconds();
 
   aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()));

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exp/spec.hpp"
+#include "features/extractor.hpp"
 #include "spmv/method.hpp"
 
 namespace wise {
@@ -14,6 +15,10 @@ namespace wise {
 struct MeasureOptions {
   int iters = 3;    ///< minimum SpMV iterations per timing pass
   int repeats = 3;  ///< timing passes (minimum taken)
+  /// Extraction settings for the recorded features / inspector time. The
+  /// default runs the fused parallel extractor, so feature_seconds reflects
+  /// the production decision cost.
+  FeatureParams feature_params;
 };
 
 /// Everything measured for one matrix. config_* vectors are indexed in

@@ -45,29 +45,12 @@ std::vector<std::string> build_names() {
   return names;
 }
 
-}  // namespace
-
-const std::vector<std::string>& feature_names() {
-  static const std::vector<std::string> names = build_names();
-  return names;
-}
-
-std::size_t feature_count() { return feature_names().size(); }
-
-DistStats row_dist_stats(const CsrMatrix& m) {
-  std::vector<nnz_t> counts(static_cast<std::size_t>(m.nrows()));
-  for (index_t i = 0; i < m.nrows(); ++i) {
-    counts[static_cast<std::size_t>(i)] = m.row_nnz(i);
-  }
-  return compute_dist_stats(counts);
-}
-
-DistStats col_dist_stats(const CsrMatrix& m) {
-  return compute_dist_stats(m.col_counts());
-}
-
-FeatureVector extract_features(const CsrMatrix& m,
-                               const FeatureParams& params) {
+/// Assembles the fixed-order vector from the per-distribution stats and the
+/// tiling counters. Shared by the fused and reference paths so the two can
+/// only differ if their counters differ — which the tiling tests rule out.
+FeatureVector assemble_features(const CsrMatrix& m, const DistStats& row_stats,
+                                const DistStats& col_stats,
+                                const TilingResult& tiling) {
   FeatureVector fv;
   fv.values.reserve(feature_count());
 
@@ -77,11 +60,10 @@ FeatureVector extract_features(const CsrMatrix& m,
   fv.values.push_back(static_cast<double>(m.nnz()));
 
   // (2) Skew properties: R and C distributions.
-  append_dist(fv.values, row_dist_stats(m));
-  append_dist(fv.values, col_dist_stats(m));
+  append_dist(fv.values, row_stats);
+  append_dist(fv.values, col_stats);
 
   // (3) Locality properties: T, RB, CB distributions plus presence sums.
-  const TilingResult tiling = analyze_tiling(m, params.tile_grid);
   append_dist(fv.values, compute_dist_stats_sparse(tiling.tile_counts,
                                                    tiling.total_tiles));
   append_dist(fv.values, compute_dist_stats(tiling.rowblock_counts));
@@ -111,6 +93,43 @@ FeatureVector extract_features(const CsrMatrix& m,
     throw std::logic_error("extract_features: feature count drift");
   }
   return fv;
+}
+
+}  // namespace
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = build_names();
+  return names;
+}
+
+std::size_t feature_count() { return feature_names().size(); }
+
+DistStats row_dist_stats(const CsrMatrix& m) {
+  // Direct adjacent difference of row_ptr: contiguous loads and stores with
+  // no per-row indirection, so the loop vectorizes.
+  return compute_dist_stats(m.row_counts());
+}
+
+DistStats col_dist_stats(const CsrMatrix& m) {
+  return compute_dist_stats(m.col_counts());
+}
+
+FeatureVector extract_features(const CsrMatrix& m,
+                               const FeatureParams& params) {
+  // Fused path: one parallel sweep produces tiles, blocks, presence sums,
+  // and the column histogram; rows come from the row_ptr difference.
+  const TilingResult tiling = analyze_tiling(m, params.tile_grid);
+  const DistStats row_stats = row_dist_stats(m);
+  const DistStats col_stats = compute_dist_stats(tiling.col_counts);
+  return assemble_features(m, row_stats, col_stats, tiling);
+}
+
+FeatureVector extract_features_reference(const CsrMatrix& m,
+                                         const FeatureParams& params) {
+  const TilingResult tiling = analyze_tiling_reference(m, params.tile_grid);
+  const DistStats row_stats = row_dist_stats(m);
+  const DistStats col_stats = col_dist_stats(m);
+  return assemble_features(m, row_stats, col_stats, tiling);
 }
 
 }  // namespace wise

@@ -5,6 +5,13 @@
 // models consume: 3 size features, 8 summary statistics for each of the
 // five nonzero distributions (rows, columns, tiles, row blocks, column
 // blocks), and 24 uniq/potReuse locality features.
+//
+// extract_features runs the fused pipeline: one OpenMP row-partitioned
+// sweep over the nonzeros yields the tile/row-block/column-block masses,
+// both presence families, and the column histogram; the row distribution
+// comes from a vectorized row_ptr adjacent difference. No transpose is
+// materialized and every intermediate counter is an exact integer, so the
+// output is bit-identical to the serial reference at any thread count.
 
 #include <string>
 #include <vector>
@@ -38,10 +45,18 @@ const std::vector<std::string>& feature_names();
 /// Number of features (67).
 std::size_t feature_count();
 
-/// Extracts all features of `m` in one pass over the matrix plus one over
-/// its transpose.
+/// Extracts all features of `m` with the fused parallel single-pass
+/// pipeline. Honors the ambient OpenMP thread count; the result is a pure
+/// function of `m` and `params` regardless of it.
 FeatureVector extract_features(const CsrMatrix& m,
                                const FeatureParams& params = {});
+
+/// Serial reference extractor: separate sweeps plus an explicit transpose,
+/// the original algorithm. The oracle for the cross-thread-count
+/// determinism tests and the decision-cost benchmarks; bit-identical to
+/// extract_features by construction.
+FeatureVector extract_features_reference(const CsrMatrix& m,
+                                         const FeatureParams& params = {});
 
 /// Per-distribution stats used by extract_features; exposed so analyses
 /// (e.g. the p-ratio histogram benches) can reuse single distributions.

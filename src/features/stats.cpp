@@ -2,37 +2,140 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <omp.h>
 
 namespace wise {
 
 namespace {
 
-/// Shared implementation: `sorted` must be ascending and contain only the
-/// positive masses; `n` is the total bucket count (zeros implicit).
-DistStats stats_from_sorted_nonempty(const std::vector<nnz_t>& sorted,
-                                     nnz_t n) {
+// All aggregates are carried in exact integer arithmetic (128-bit where
+// products can exceed 64 bits) and converted to double exactly once at the
+// end. This makes every statistic independent of summation order, so the
+// parallel reductions below produce bit-identical results at any thread
+// count, and the histogram and sort fallback paths agree exactly.
+using uint128 = unsigned __int128;
+
+/// Below this element count the OpenMP parallel regions are pure overhead.
+constexpr std::size_t kParallelThreshold = std::size_t{1} << 15;
+
+/// Histogram (counting-sort) path limits: the value range must be modest
+/// both absolutely and relative to the bucket count, otherwise fall back to
+/// a comparison sort of the nonempty masses.
+constexpr nnz_t kHistAbsoluteMax = nnz_t{1} << 26;
+
+struct BasicAgg {
+  uint128 total = 0;     ///< sum of masses
+  uint128 total_sq = 0;  ///< sum of squared masses
+  nnz_t max_value = 0;
+  nnz_t min_positive = std::numeric_limits<nnz_t>::max();
+  nnz_t n_nonempty = 0;
+
+  void add(nnz_t v) {
+    if (v == 0) return;
+    total += static_cast<uint128>(v);
+    total_sq += static_cast<uint128>(v) * static_cast<uint128>(v);
+    max_value = std::max(max_value, v);
+    min_positive = std::min(min_positive, v);
+    ++n_nonempty;
+  }
+  void merge(const BasicAgg& o) {
+    total += o.total;
+    total_sq += o.total_sq;
+    max_value = std::max(max_value, o.max_value);
+    min_positive = std::min(min_positive, o.min_positive);
+    n_nonempty += o.n_nonempty;
+  }
+};
+
+/// Order-independent moment accumulation (the "parallel moments" half of
+/// the stats pipeline). Integer merges commute, so the critical-section
+/// merge order cannot change the result.
+BasicAgg accumulate_basic(const std::vector<nnz_t>& counts) {
+  BasicAgg g;
+  const auto n = static_cast<std::int64_t>(counts.size());
+#pragma omp parallel if (counts.size() >= kParallelThreshold)
+  {
+    BasicAgg local;
+#pragma omp for nowait schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) {
+      local.add(counts[static_cast<std::size_t>(i)]);
+    }
+#pragma omp critical(wise_stats_basic_merge)
+    g.merge(local);
+  }
+  return g;
+}
+
+/// Gini numerator: W = sum over ascending ranks 1..n of rank * mass, where
+/// the n_zero empty buckets occupy the lowest ranks and contribute nothing.
+/// Consumed as runs of equal values: a run of h copies of v occupying ranks
+/// r0+1 .. r0+h contributes v * (h*(r0+1) + h*(h-1)/2).
+struct GiniAcc {
+  uint128 weighted = 0;
+  nnz_t ranks_used = 0;  ///< initialize to n_zero
+
+  void add_run(nnz_t v, nnz_t h) {
+    const auto uv = static_cast<uint128>(v);
+    const auto uh = static_cast<uint128>(h);
+    const auto r1 = static_cast<uint128>(ranks_used) + 1;
+    weighted += uv * (uh * r1 + uh * (uh - 1) / 2);
+    ranks_used += h;
+  }
+};
+
+/// p-ratio in exact arithmetic: the smallest k >= 1 with
+///   cum_k * n >= total * (n - k)
+/// where cum_k is the sum of the k largest masses. Visited as descending
+/// runs; within a run of h copies of v starting after rank k0 with prefix
+/// cum0, the condition linearizes to k * (v*n + total) >= total*n - cum0*n
+/// + k0*v*n, solved by one ceiling division.
+double exact_pratio_from_desc_runs(
+    const std::vector<std::pair<nnz_t, nnz_t>>& desc_runs, uint128 total,
+    nnz_t n) {
+  const auto un = static_cast<uint128>(n);
+  uint128 cum0 = 0;
+  nnz_t k0 = 0;
+  for (const auto& [v, h] : desc_runs) {
+    const auto uv = static_cast<uint128>(v);
+    const uint128 den = uv * un + total;
+    const uint128 num =
+        total * un - cum0 * un + static_cast<uint128>(k0) * uv * un;
+    uint128 kmin = den == 0 ? 1 : (num + den - 1) / den;
+    if (kmin <= static_cast<uint128>(k0)) kmin = static_cast<uint128>(k0) + 1;
+    if (kmin <= static_cast<uint128>(k0) + static_cast<uint128>(h)) {
+      return static_cast<double>(static_cast<nnz_t>(kmin)) /
+             static_cast<double>(n);
+    }
+    cum0 += uv * static_cast<uint128>(h);
+    k0 += h;
+  }
+  // Unreachable for total > 0: at k = n_nonempty, cum == total and the
+  // condition holds. Kept as the balanced-distribution default.
+  return 0.5;
+}
+
+/// Shared finalization from ascending runs of (value, multiplicity).
+DistStats stats_from_runs(const std::vector<std::pair<nnz_t, nnz_t>>& asc_runs,
+                          const BasicAgg& agg, nnz_t n) {
   DistStats s;
   if (n <= 0) return s;
 
-  const auto n_nonempty = static_cast<nnz_t>(sorted.size());
-  const nnz_t n_zero = n - n_nonempty;
-
-  double total = 0, total_sq = 0;
-  for (nnz_t v : sorted) {
-    const auto d = static_cast<double>(v);
-    total += d;
-    total_sq += d * d;
-  }
-
+  const nnz_t n_zero = n - agg.n_nonempty;
   const auto dn = static_cast<double>(n);
-  s.mean = total / dn;
-  s.variance = std::max(0.0, total_sq / dn - s.mean * s.mean);
+  const auto dtotal = static_cast<double>(agg.total);
+  s.mean = dtotal / dn;
+  s.variance = std::max(0.0, static_cast<double>(agg.total_sq) / dn -
+                                 s.mean * s.mean);
   s.stddev = std::sqrt(s.variance);
-  s.min = n_zero > 0 ? 0.0 : static_cast<double>(sorted.front());
-  s.max = sorted.empty() ? 0.0 : static_cast<double>(sorted.back());
-  s.nonempty = static_cast<double>(n_nonempty);
+  s.min = n_zero > 0 ? 0.0
+                     : (agg.n_nonempty > 0
+                            ? static_cast<double>(agg.min_positive)
+                            : 0.0);
+  s.max = static_cast<double>(agg.max_value);
+  s.nonempty = static_cast<double>(agg.n_nonempty);
 
-  if (total <= 0) {
+  if (agg.total == 0) {
     // No mass at all: define G=0, P=0.5 (perfectly balanced emptiness).
     s.gini = 0.0;
     s.pratio = 0.5;
@@ -41,53 +144,100 @@ DistStats stats_from_sorted_nonempty(const std::vector<nnz_t>& sorted,
 
   // Gini over the full distribution (zeros included): with ascending order
   // x_1..x_n, G = (2 * sum(i * x_i)) / (n * sum(x)) - (n + 1) / n.
-  // Implicit zeros occupy ranks 1..n_zero and contribute nothing to the
-  // weighted sum.
-  double weighted = 0;
-  for (nnz_t k = 0; k < n_nonempty; ++k) {
-    const auto rank = static_cast<double>(n_zero + k + 1);
-    weighted += rank * static_cast<double>(sorted[static_cast<std::size_t>(k)]);
-  }
-  s.gini = std::clamp(2.0 * weighted / (dn * total) - (dn + 1.0) / dn, 0.0, 1.0);
+  GiniAcc gini;
+  gini.ranks_used = n_zero;
+  for (const auto& [v, h] : asc_runs) gini.add_run(v, h);
+  s.gini = std::clamp(2.0 * static_cast<double>(gini.weighted) / (dn * dtotal) -
+                          (dn + 1.0) / dn,
+                      0.0, 1.0);
 
-  // p-ratio: walk the buckets in descending order; the first k where the
-  // top-k share reaches 1 - k/n gives p = k/n. The crossing always happens
-  // by k = n_nonempty because the remaining buckets are empty.
-  double cum = 0;
-  s.pratio = 0.5;
-  for (nnz_t k = 1; k <= n_nonempty; ++k) {
-    cum += static_cast<double>(
-        sorted[static_cast<std::size_t>(n_nonempty - k)]);
-    const double share_needed = 1.0 - static_cast<double>(k) / dn;
-    if (cum / total >= share_needed) {
-      s.pratio = static_cast<double>(k) / dn;
-      break;
-    }
-  }
+  std::vector<std::pair<nnz_t, nnz_t>> desc_runs(asc_runs.rbegin(),
+                                                 asc_runs.rend());
+  s.pratio = exact_pratio_from_desc_runs(desc_runs, agg.total, n);
   return s;
+}
+
+/// Counting-sort path: build a mass histogram in parallel (per-thread
+/// histograms merged with order-independent integer sums), then read the
+/// ascending runs straight off it. O(n + max_value) work, no sort.
+std::vector<std::pair<nnz_t, nnz_t>> runs_from_histogram(
+    const std::vector<nnz_t>& counts, nnz_t max_value) {
+  const auto range = static_cast<std::size_t>(max_value) + 1;
+  std::vector<nnz_t> hist(range, 0);
+  const auto n = static_cast<std::int64_t>(counts.size());
+  if (counts.size() >= kParallelThreshold && omp_get_max_threads() > 1) {
+#pragma omp parallel
+    {
+      std::vector<nnz_t> local(range, 0);
+#pragma omp for nowait schedule(static)
+      for (std::int64_t i = 0; i < n; ++i) {
+        ++local[static_cast<std::size_t>(counts[static_cast<std::size_t>(i)])];
+      }
+#pragma omp critical(wise_stats_hist_merge)
+      for (std::size_t v = 0; v < range; ++v) hist[v] += local[v];
+    }
+  } else {
+    for (nnz_t c : counts) ++hist[static_cast<std::size_t>(c)];
+  }
+
+  std::vector<std::pair<nnz_t, nnz_t>> runs;
+  for (std::size_t v = 1; v < range; ++v) {
+    if (hist[v] != 0) runs.emplace_back(static_cast<nnz_t>(v), hist[v]);
+  }
+  return runs;
+}
+
+/// Comparison-sort fallback for distributions whose masses are large
+/// relative to the bucket count (e.g. the K row/column block sums).
+std::vector<std::pair<nnz_t, nnz_t>> runs_from_sort(
+    const std::vector<nnz_t>& counts) {
+  std::vector<nnz_t> positive;
+  positive.reserve(counts.size());
+  for (nnz_t v : counts) {
+    if (v != 0) positive.push_back(v);
+  }
+  std::sort(positive.begin(), positive.end());
+
+  std::vector<std::pair<nnz_t, nnz_t>> runs;
+  for (std::size_t i = 0; i < positive.size();) {
+    std::size_t j = i;
+    while (j < positive.size() && positive[j] == positive[i]) ++j;
+    runs.emplace_back(positive[i], static_cast<nnz_t>(j - i));
+    i = j;
+  }
+  return runs;
+}
+
+DistStats dist_stats_impl(const std::vector<nnz_t>& counts, nnz_t n) {
+  DistStats s;
+  if (n <= 0) return s;
+
+  const BasicAgg agg = accumulate_basic(counts);
+  if (agg.n_nonempty == 0) {
+    s.pratio = 0.5;
+    return s;
+  }
+
+  const auto hist_limit = std::min<nnz_t>(
+      kHistAbsoluteMax,
+      std::max<nnz_t>(nnz_t{1} << 16, 4 * static_cast<nnz_t>(counts.size())));
+  const auto runs = agg.max_value <= hist_limit
+                        ? runs_from_histogram(counts, agg.max_value)
+                        : runs_from_sort(counts);
+  return stats_from_runs(runs, agg, n);
 }
 
 }  // namespace
 
 DistStats compute_dist_stats(const std::vector<nnz_t>& counts) {
-  std::vector<nnz_t> nonempty;
-  nonempty.reserve(counts.size());
-  for (nnz_t v : counts) {
-    if (v != 0) nonempty.push_back(v);
-  }
-  std::sort(nonempty.begin(), nonempty.end());
-  return stats_from_sorted_nonempty(nonempty,
-                                    static_cast<nnz_t>(counts.size()));
+  return dist_stats_impl(counts, static_cast<nnz_t>(counts.size()));
 }
 
 DistStats compute_dist_stats_sparse(std::vector<nnz_t> nonempty_counts,
                                     nnz_t total_buckets) {
-  std::sort(nonempty_counts.begin(), nonempty_counts.end());
-  // Tolerate zeros slipping into the "nonempty" list.
-  auto first_positive = std::upper_bound(nonempty_counts.begin(),
-                                         nonempty_counts.end(), nnz_t{0});
-  nonempty_counts.erase(nonempty_counts.begin(), first_positive);
-  return stats_from_sorted_nonempty(nonempty_counts, total_buckets);
+  // Zeros slipping into the "nonempty" list are tolerated: the aggregates
+  // and both run builders skip them.
+  return dist_stats_impl(nonempty_counts, total_buckets);
 }
 
 double gini_coefficient(std::vector<nnz_t> counts) {

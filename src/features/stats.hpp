@@ -33,6 +33,14 @@ struct DistStats {
 
 /// Statistics of a dense distribution: counts[b] is bucket b's mass.
 /// An empty vector yields all-zero stats with pratio 0.5.
+///
+/// Implementation contract: all aggregates are accumulated in exact integer
+/// arithmetic (128-bit where products may overflow), so the result is a pure
+/// function of the count multiset — bit-identical at every OpenMP thread
+/// count. Moments are parallel reductions; the ordered statistics (Gini,
+/// p-ratio, min/max) come from a counting sort when the masses are small
+/// integers (rows/columns/tiles in practice) and from a comparison sort of
+/// the nonempty masses otherwise.
 DistStats compute_dist_stats(const std::vector<nnz_t>& counts);
 
 /// Statistics of a sparsely-represented distribution: `nonempty_counts`

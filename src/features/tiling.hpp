@@ -2,10 +2,13 @@
 // 2-D tiling analysis of a sparse matrix (paper §4.2, Fig 9).
 //
 // The matrix is logically split into K×K tiles of ceil(nR/K) × ceil(nC/K)
-// elements. One pass over the nonzeros produces:
+// elements. One fused, OpenMP row-partitioned pass over the nonzeros
+// produces:
 //   * the T distribution  — nonzeros per tile (sparse: only occupied tiles),
 //   * the RB distribution — nonzeros per row block (row of tiles),
 //   * the CB distribution — nonzeros per column block,
+//   * per-column nonzero counts (the C distribution, a free by-product of
+//     the per-thread column histograms),
 //   * presence sums for the uniq/potReuse features: for every grouping
 //     factor X in {1, 4, 8, 16, 32, 64},
 //       row_presence[X]  = Σ over groups of X adjacent rows of the number
@@ -18,6 +21,16 @@
 // potReuseC / GrX_potReuse* (tiles touched per row/column group). The
 // identity holds because both count the same set of (group, tile) presence
 // pairs, only aggregated along different axes.
+//
+// Parallelization and determinism: rows are partitioned into contiguous
+// chunks aligned to tile-row boundaries and balanced by nonzero count, so
+// every (group, tile-row, tile-column) presence triple is counted by exactly
+// one chunk. All per-chunk counters are integers merged in chunk order,
+// which makes every field of TilingResult — including the order of
+// tile_counts — a pure function of the matrix, independent of the OpenMP
+// thread count. The column side is computed in the same sweep via
+// monotone change-detection markers over the refined (column-group ×
+// tile-column) partition; no transpose is ever materialized.
 
 #include <array>
 #include <vector>
@@ -42,6 +55,11 @@ struct TilingResult {
   std::vector<nnz_t> rowblock_counts;  ///< dense, K entries (RB)
   std::vector<nnz_t> colblock_counts;  ///< dense, K entries (CB)
 
+  /// Per-column nonzero counts (C distribution). Filled by the fused
+  /// analyze_tiling sweep so extract_features needs no separate column
+  /// pass; left empty by analyze_tiling_reference.
+  std::vector<nnz_t> col_counts;
+
   /// presence sums per grouping factor, same order as kGroupFactors.
   std::array<nnz_t, kGroupFactors.size()> row_presence{};
   std::array<nnz_t, kGroupFactors.size()> col_presence{};
@@ -55,10 +73,17 @@ struct TilingResult {
 /// 2^20..2^26 rows, i.e. 512..32768 rows per tile. For the smaller matrices
 /// this repository evaluates, a fixed 2048 would leave most tiles empty and
 /// wash out the statistics, so K scales to keep ~512 rows per tile, clamped
-/// to [4, 2048] and rounded down to a power of two.
+/// to [4, 2048] and floored to a power of two.
 index_t default_tile_grid(index_t nrows, index_t ncols);
 
-/// Runs the single-pass tiling analysis. k == 0 selects default_tile_grid.
+/// Runs the fused single-pass tiling analysis (parallel, transpose-free).
+/// k == 0 selects default_tile_grid.
 TilingResult analyze_tiling(const CsrMatrix& m, index_t k = 0);
+
+/// Serial reference implementation: the original forward sweep plus an
+/// explicit transpose and backward sweep. Kept as the oracle for the
+/// cross-thread-count determinism tests and the before/after benchmarks.
+/// Does not fill TilingResult::col_counts.
+TilingResult analyze_tiling_reference(const CsrMatrix& m, index_t k = 0);
 
 }  // namespace wise

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include <omp.h>
+
 namespace wise {
 
 CsrMatrix::CsrMatrix(index_t nrows, index_t ncols, std::vector<nnz_t> row_ptr,
@@ -87,7 +89,34 @@ CsrMatrix CsrMatrix::transpose() const {
 
 std::vector<nnz_t> CsrMatrix::col_counts() const {
   std::vector<nnz_t> counts(static_cast<std::size_t>(ncols_), 0);
-  for (auto c : col_idx_) ++counts[static_cast<std::size_t>(c)];
+  const auto n = static_cast<std::int64_t>(col_idx_.size());
+  if (n < (1 << 16) || omp_get_max_threads() <= 1) {
+    for (auto c : col_idx_) ++counts[static_cast<std::size_t>(c)];
+    return counts;
+  }
+  // Per-thread histograms merged with ordered integer sums: exact and
+  // bit-identical at any thread count.
+#pragma omp parallel
+  {
+    std::vector<nnz_t> local(static_cast<std::size_t>(ncols_), 0);
+#pragma omp for nowait schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) {
+      ++local[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(i)])];
+    }
+#pragma omp critical(wise_csr_col_counts_merge)
+    for (std::size_t j = 0; j < counts.size(); ++j) counts[j] += local[j];
+  }
+  return counts;
+}
+
+std::vector<nnz_t> CsrMatrix::row_counts() const {
+  std::vector<nnz_t> counts(static_cast<std::size_t>(nrows_));
+  const nnz_t* rp = row_ptr_.data();
+  const auto n = static_cast<std::int64_t>(counts.size());
+#pragma omp parallel for schedule(static) if (n > (1 << 16))
+  for (std::int64_t i = 0; i < n; ++i) {
+    counts[static_cast<std::size_t>(i)] = rp[i + 1] - rp[i];
+  }
   return counts;
 }
 

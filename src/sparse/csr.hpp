@@ -55,8 +55,14 @@ class CsrMatrix {
   /// Returns the transpose (equivalently, this matrix in CSC viewed as CSR).
   CsrMatrix transpose() const;
 
-  /// Per-column nonzero counts (the C distribution of §4.2).
+  /// Per-column nonzero counts (the C distribution of §4.2). Parallelized
+  /// with per-thread histograms merged by integer sums, so the result is
+  /// identical at any thread count.
   std::vector<nnz_t> col_counts() const;
+
+  /// Per-row nonzero counts (the R distribution of §4.2): the adjacent
+  /// difference of row_ptr, computed with a branch-free vectorizable loop.
+  std::vector<nnz_t> row_counts() const;
 
   /// Structural and numerical equality.
   friend bool operator==(const CsrMatrix&, const CsrMatrix&) = default;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include <omp.h>
+
 #include "util/timer.hpp"
 #include "wise/selector.hpp"
 
@@ -19,6 +21,7 @@ WiseChoice Wise::choose(const CsrMatrix& m) const {
   Timer t;
   const FeatureVector features = extract_features(m, feature_params);
   choice.feature_seconds = t.seconds();
+  choice.feature_threads = omp_get_max_threads();
 
   t.reset();
   const std::vector<int> classes = bank_.predict_classes(features.values);

@@ -24,6 +24,7 @@ struct WiseChoice {
   int predicted_class = 0;
   double feature_seconds = 0;    ///< feature-extraction wall time
   double inference_seconds = 0;  ///< tree-inference + selection wall time
+  int feature_threads = 1;       ///< OpenMP threads available to the extractor
 };
 
 class Wise {

@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include <omp.h>
+
 #include "features/extractor.hpp"
 #include "test_util.hpp"
 
@@ -127,6 +129,43 @@ TEST(Features, DeterministicForSameMatrix) {
   const FeatureVector a = extract_features(m);
   const FeatureVector b = extract_features(m);
   EXPECT_EQ(a.values, b.values);
+}
+
+TEST(Features, BitIdenticalAcrossThreadCounts) {
+  // Cross-thread determinism regression: the parallel fused extractor must
+  // produce bit-identical vectors to the serial reference path at every
+  // thread count, across structurally distinct matrix families.
+  struct Case {
+    const char* name;
+    CsrMatrix m;
+  };
+  const std::vector<Case> cases = {
+      {"rmat", CsrMatrix::from_coo(generate_rmat(
+                   rmat_class_params(RmatClass::kMedSkew, 2048, 8), 21))},
+      {"rgg", CsrMatrix::from_coo(generate_rgg(2048, 6.0, 22))},
+      {"banded", CsrMatrix::from_coo(generate_banded(1500, 12, 0.6, 23))},
+      {"stencil", CsrMatrix::from_coo(generate_stencil2d(60, 45))},
+  };
+  const int saved_threads = omp_get_max_threads();
+  for (const auto& c : cases) {
+    const FeatureVector ref = extract_features_reference(c.m);
+    for (int threads : {1, 2, 8}) {
+      omp_set_num_threads(threads);
+      const FeatureVector fused = extract_features(c.m);
+      EXPECT_EQ(fused.values, ref.values)
+          << c.name << " at " << threads << " threads";
+    }
+    omp_set_num_threads(saved_threads);
+  }
+}
+
+TEST(Features, ReferencePathMatchesFusedOnRandomMatrices) {
+  for (std::uint64_t seed : {31u, 32u, 33u}) {
+    const CsrMatrix m = random_csr(400, 277, 5.0, seed);
+    EXPECT_EQ(extract_features(m).values,
+              extract_features_reference(m).values)
+        << "seed " << seed;
+  }
 }
 
 TEST(Features, HandlesEmptyMatrix) {

@@ -138,6 +138,44 @@ TEST(Tiling, GridClampedToMatrixDimensions) {
   EXPECT_LE(t.k, 3);
 }
 
+TEST(Tiling, FusedMatchesReferenceOnVariedShapes) {
+  // The fused transpose-free sweep must reproduce the serial
+  // reference (forward sweep + transpose + backward sweep) exactly,
+  // including the first-touch order of tile_counts. The shapes cover
+  // tile widths that are not multiples of 64 (517/8 → 65 columns per
+  // tile), which exercises the masked word-straddle path.
+  struct Case {
+    CsrMatrix m;
+    index_t k;
+  };
+  const std::vector<Case> cases = {
+      {random_csr(200, 160, 6.0, 11), 8},
+      {random_csr(300, 517, 5.0, 12), 8},
+      {random_csr(129, 1000, 3.0, 13), 16},
+      {CsrMatrix::from_coo(generate_banded(512, 9, 0.7, 14)), 16},
+      {CsrMatrix::from_coo(generate_stencil2d(40, 31)), 8},
+      {random_csr(70, 70, 2.0, 15), 0},  // default grid
+  };
+  for (const auto& c : cases) {
+    const TilingResult fused = analyze_tiling(c.m, c.k);
+    const TilingResult ref = analyze_tiling_reference(c.m, c.k);
+    EXPECT_EQ(fused.k, ref.k);
+    EXPECT_EQ(fused.tile_counts, ref.tile_counts);
+    EXPECT_EQ(fused.rowblock_counts, ref.rowblock_counts);
+    EXPECT_EQ(fused.colblock_counts, ref.colblock_counts);
+    EXPECT_EQ(fused.row_presence, ref.row_presence);
+    EXPECT_EQ(fused.col_presence, ref.col_presence);
+  }
+}
+
+TEST(Tiling, FusedColCountsMatchMatrix) {
+  const CsrMatrix m = random_csr(150, 333, 4.0, 16);
+  const TilingResult t = analyze_tiling(m, 8);
+  EXPECT_EQ(t.col_counts, m.col_counts());
+  // The reference path does not fill col_counts (documented contract).
+  EXPECT_TRUE(analyze_tiling_reference(m, 8).col_counts.empty());
+}
+
 TEST(Tiling, BandedMatrixHasFewerTilesThanUniform) {
   const CsrMatrix banded =
       CsrMatrix::from_coo(generate_banded(512, 4, 0.8, 1));
