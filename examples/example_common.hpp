@@ -9,14 +9,35 @@
 // train_models.cpp).
 
 #include <cstdio>
+#include <exception>
 #include <vector>
 
 #include "exp/cache.hpp"
 #include "exp/corpus.hpp"
 #include "exp/train.hpp"
+#include "util/error.hpp"
 #include "wise/pipeline.hpp"
 
 namespace wise::examples {
+
+/// Runs an example body and maps failures to process exit codes: a
+/// wise::Error exits with its category code (parse=3, validation=4,
+/// model-bank=5, conversion=6, resource=7; see util/error.hpp), any other
+/// exception exits 1. Errors go to stderr, prefixed with the category so
+/// scripted callers can branch without parsing the message.
+template <typename Fn>
+int run_guarded(Fn&& body) {
+  try {
+    return body();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error [%s]: %s\n",
+                 error_category_name(e.category()), e.what());
+    return error_exit_code(e.category());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
 
 /// A ~40-matrix corpus of small matrices covering all generator classes.
 inline std::vector<MatrixSpec> mini_corpus() {

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "example_common.hpp"
 #include "exp/measure.hpp"
 #include "features/extractor.hpp"
 #include "gen/generators.hpp"
@@ -46,7 +47,7 @@ void explore(const std::string& title, const CsrMatrix& m) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   if (argc > 1) {
     explore(argv[1], CsrMatrix::from_coo(read_matrix_market_file(argv[1])));
     return 0;
@@ -60,4 +61,8 @@ int main(int argc, char** argv) {
           CsrMatrix::from_coo(generate_rmat(
               rmat_class_params(RmatClass::kLowLoc, 8192, 16), 3)));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return examples::run_guarded([&] { return run(argc, argv); });
 }

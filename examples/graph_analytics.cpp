@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "example_common.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/semiring.hpp"
 #include "gen/generators.hpp"
@@ -14,7 +15,7 @@
 
 using namespace wise;
 
-int main() {
+int run() {
   const CsrMatrix graph = CsrMatrix::from_coo(generate_rmat(
       rmat_class_params(RmatClass::kHighSkew, 32768, 16), /*seed=*/11));
   std::printf("graph: %d vertices, %lld edges (HighSkew RMAT)\n\n",
@@ -81,3 +82,5 @@ int main() {
   std::printf("\n");
   return 0;
 }
+
+int main() { return examples::run_guarded(run); }

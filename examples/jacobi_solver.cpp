@@ -60,7 +60,7 @@ JacobiResult jacobi(const CsrMatrix& a, const std::vector<value_t>& b,
 
 }  // namespace
 
-int main() {
+int run() {
   const index_t n = 32768;
   const CsrMatrix a = dominant_banded(n, 24, /*seed=*/9);
   std::printf("banded system: %d unknowns, %lld nonzeros, half-bandwidth 24\n",
@@ -103,3 +103,5 @@ int main() {
   std::printf("  max |solution difference| = %.2e\n", max_diff);
   return (baseline.residual < 1e-9 && max_diff < 1e-6) ? 0 : 1;
 }
+
+int main() { return examples::run_guarded(run); }

@@ -20,7 +20,7 @@
 
 using namespace wise;
 
-int main() {
+int run() {
   const CsrMatrix graph = CsrMatrix::from_coo(generate_rmat(
       rmat_class_params(RmatClass::kHighSkew, 32768, 24), /*seed=*/3));
   const CsrMatrix m = pagerank_transition(graph);
@@ -83,3 +83,5 @@ int main() {
   std::printf("\n");
   return max_diff < 1e-6 ? 0 : 1;
 }
+
+int main() { return examples::run_guarded(run); }

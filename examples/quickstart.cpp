@@ -17,7 +17,7 @@
 
 using namespace wise;
 
-int main() {
+int run() {
   // A power-law graph matrix — the kind plain CSR handles poorly.
   const CsrMatrix matrix = CsrMatrix::from_coo(generate_rmat(
       rmat_class_params(RmatClass::kHighSkew, 8192, 32), /*seed=*/7));
@@ -59,3 +59,5 @@ int main() {
               mkl_ms / wise_ms);
   return 0;
 }
+
+int main() { return examples::run_guarded(run); }

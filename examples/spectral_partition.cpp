@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "example_common.hpp"
 #include "gen/generators.hpp"
 #include "solvers/solver_common.hpp"
 #include "util/prng.hpp"
@@ -87,7 +88,7 @@ nnz_t cut_size(const CsrMatrix& adjacency, const std::vector<value_t>& f) {
 
 }  // namespace
 
-int main() {
+int run() {
   // A road-network-like planar mesh: spectral bisection should find a
   // near-geometric cut far below a random split.
   const CsrMatrix graph = CsrMatrix::from_coo(generate_road_like(16384, 21));
@@ -127,3 +128,5 @@ int main() {
                   static_cast<double>(std::max<nnz_t>(1, spectral_cut)));
   return spectral_cut < random_cut ? 0 : 1;
 }
+
+int main() { return examples::run_guarded(run); }

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "example_common.hpp"
 #include "exp/cache.hpp"
 #include "exp/corpus.hpp"
 #include "exp/train.hpp"
@@ -18,7 +19,7 @@
 
 using namespace wise;
 
-int main() {
+int run() {
   std::printf("== WISE model training ==\n");
   MeasurementCache cache;
   const auto records = cache.get_or_measure(full_corpus());
@@ -50,3 +51,5 @@ int main() {
   std::printf("load it with: wise::ModelBank::load(\"%s\")\n", dir.c_str());
   return 0;
 }
+
+int main() { return examples::run_guarded(run); }

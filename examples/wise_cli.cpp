@@ -14,6 +14,7 @@
 #include <cstring>
 #include <string>
 
+#include "example_common.hpp"
 #include "exp/measure.hpp"
 #include "features/extractor.hpp"
 #include "gen/generators.hpp"
@@ -76,6 +77,9 @@ int cmd_predict(const std::string& path, const std::string& model_dir) {
   const Wise predictor(ModelBank::load(model_dir));
   const WiseChoice choice = predictor.choose(m);
   std::printf("selected: %s\n", choice.config.name().c_str());
+  if (choice.fell_back()) {
+    std::printf("fallback: %s\n", choice.fallback_reason.c_str());
+  }
   std::printf("predicted class: %s (relative time %s %.2f)\n",
               class_name(choice.predicted_class).c_str(),
               choice.predicted_class == 0 ? ">" : "<=",
@@ -123,7 +127,7 @@ int cmd_generate(const std::string& cls, index_t rows, double degree,
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  try {
+  return examples::run_guarded([&]() -> int {
     if (cmd == "analyze" && argc == 3) return cmd_analyze(argv[2]);
     if (cmd == "bench" && argc == 3) return cmd_bench(argv[2]);
     if (cmd == "predict" && argc == 4) return cmd_predict(argv[2], argv[3]);
@@ -132,9 +136,6 @@ int main(int argc, char** argv) {
       return cmd_generate(argv[2], static_cast<index_t>(std::stoll(argv[3])),
                           std::stod(argv[4]), argv[5]);
     }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
-  return usage();
+    return usage();
+  });
 }

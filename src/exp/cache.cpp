@@ -9,6 +9,7 @@
 #include "features/extractor.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
+#include "util/error.hpp"
 
 namespace wise {
 
@@ -54,7 +55,7 @@ MatrixRecord measurement_from_csv_row(const std::vector<std::string>& fields) {
   const std::size_t nf = feature_count();
   const std::size_t nc = all_method_configs().size();
   if (fields.size() != 7 + nf + 2 * nc) {
-    throw std::runtime_error("measurement CSV row: wrong width");
+    throw Error(ErrorCategory::kParse, "measurement CSV row: wrong width");
   }
   MatrixRecord rec;
   std::size_t i = 0;
@@ -108,7 +109,10 @@ void MeasurementCache::append(const MatrixRecord& rec) {
   if (fresh) {
     ensure_dir(std::filesystem::path(path_).parent_path().string());
     std::ofstream out(path_);
-    if (!out) throw std::runtime_error("cannot create cache: " + path_);
+    if (!out) {
+      throw Error(ErrorCategory::kResource, "cannot create cache: " + path_,
+                  {.file = path_});
+    }
     const auto header = measurement_csv_header();
     for (std::size_t i = 0; i < header.size(); ++i) {
       out << (i ? "," : "") << header[i];
@@ -116,7 +120,10 @@ void MeasurementCache::append(const MatrixRecord& rec) {
     out << '\n';
   }
   std::ofstream out(path_, std::ios::app);
-  if (!out) throw std::runtime_error("cannot append to cache: " + path_);
+  if (!out) {
+    throw Error(ErrorCategory::kResource, "cannot append to cache: " + path_,
+                {.file = path_});
+  }
   const auto row = measurement_csv_row(rec);
   for (std::size_t i = 0; i < row.size(); ++i) {
     out << (i ? "," : "") << row[i];

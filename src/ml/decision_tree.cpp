@@ -8,6 +8,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace wise {
 
 namespace {
@@ -308,21 +310,41 @@ void DecisionTree::save(std::ostream& out) const {
 }
 
 DecisionTree DecisionTree::load(std::istream& in) {
+  auto bad = [](const std::string& what) -> void {
+    throw Error(ErrorCategory::kModelBank, "DecisionTree::load: " + what);
+  };
   std::string magic, version;
   in >> magic >> version;
-  if (magic != "wise-dtree" || version != "v1") {
-    throw std::runtime_error("DecisionTree::load: bad header");
-  }
+  if (magic != "wise-dtree" || version != "v1") bad("bad header");
   DecisionTree tree;
   std::size_t n = 0;
   in >> tree.params_.max_depth >> tree.params_.ccp_alpha >>
       tree.params_.min_samples_split >> tree.params_.min_samples_leaf >> n;
+  if (!in) bad("truncated stream");
+  // A corrupt count must not drive a huge allocation; real trees are tiny.
+  constexpr std::size_t kMaxNodes = 1u << 24;
+  if (n == 0 || n > kMaxNodes) {
+    bad("implausible node count " + std::to_string(n));
+  }
   tree.nodes_.resize(n);
   for (auto& nd : tree.nodes_) {
     in >> nd.feature >> nd.threshold >> nd.left >> nd.right >> nd.label >>
         nd.impurity >> nd.n_samples;
   }
-  if (!in) throw std::runtime_error("DecisionTree::load: truncated stream");
+  if (!in) bad("truncated stream");
+  // Structural check: children of a preorder-serialized tree point forward
+  // and stay in range, so predict() can never walk out of the array or
+  // loop forever on a corrupt file.
+  const auto count = static_cast<int>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nd = tree.nodes_[i];
+    if (nd.label < 0) bad("negative class label");
+    if (nd.feature < 0) continue;
+    if (nd.left <= static_cast<int>(i) || nd.left >= count ||
+        nd.right <= static_cast<int>(i) || nd.right >= count) {
+      bad("child index out of range at node " + std::to_string(i));
+    }
+  }
   return tree;
 }
 

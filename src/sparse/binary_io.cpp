@@ -2,8 +2,11 @@
 
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
+#include <limits>
 #include <vector>
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace wise {
 
@@ -27,6 +30,47 @@ class Checksum {
   std::uint64_t hash_ = 0xcbf29ce484222325ull;
 };
 
+[[noreturn]] void fail(ErrorCategory cat, const std::string& path,
+                       std::size_t offset, const std::string& what) {
+  ErrorContext ctx;
+  ctx.file = path;
+  ctx.offset = offset;
+  ctx.stage = stage::kParse;
+  throw Error(cat, "read_csr_binary: " + what, std::move(ctx));
+}
+
+/// Tracks the byte offset so truncation errors can say where the stream
+/// ended relative to what the header promised.
+struct Reader {
+  std::istream& in;
+  const std::string& path;
+  Checksum sum;
+  std::size_t offset = 0;
+
+  void read(void* data, std::size_t bytes, const char* what) {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    if (got != bytes) {
+      fail(ErrorCategory::kParse, path, offset + got,
+           std::string("truncated ") + what + ": expected " +
+               std::to_string(bytes) + " bytes, got " + std::to_string(got));
+    }
+    sum.update(data, bytes);
+    offset += bytes;
+  }
+};
+
+/// Bytes left in a seekable stream, or -1 when the stream cannot tell.
+std::int64_t bytes_remaining(std::istream& in) {
+  const auto pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return -1;
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1)) return -1;
+  return static_cast<std::int64_t>(end - pos);
+}
+
 void write_raw(std::ostream& out, Checksum& sum, const void* data,
                std::size_t bytes) {
   out.write(static_cast<const char*>(data),
@@ -34,13 +78,72 @@ void write_raw(std::ostream& out, Checksum& sum, const void* data,
   sum.update(data, bytes);
 }
 
-void read_raw(std::istream& in, Checksum& sum, void* data,
-              std::size_t bytes) {
-  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
-  if (static_cast<std::size_t>(in.gcount()) != bytes) {
-    throw std::runtime_error("read_csr_binary: truncated file");
+CsrMatrix read_impl(std::istream& in, const std::string& path) {
+  FaultInjector::global().maybe_throw(stage::kParse, ErrorCategory::kParse);
+
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (static_cast<std::size_t>(in.gcount()) != sizeof magic ||
+      std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    fail(ErrorCategory::kParse, path, 0, "bad magic");
   }
-  sum.update(data, bytes);
+
+  Reader r{in, path};
+  r.offset = sizeof magic;
+  std::int64_t dims[3];
+  r.read(dims, sizeof dims, "header");
+  constexpr auto kMaxIndex =
+      static_cast<std::int64_t>(std::numeric_limits<index_t>::max());
+  if (dims[0] < 0 || dims[1] < 0 || dims[2] < 0) {
+    fail(ErrorCategory::kValidation, path, r.offset, "negative dimensions");
+  }
+  if (dims[0] > kMaxIndex || dims[1] > kMaxIndex) {
+    fail(ErrorCategory::kValidation, path, r.offset,
+         "dimension overflow: " + std::to_string(dims[0]) + " x " +
+             std::to_string(dims[1]) + " exceeds 32-bit index range");
+  }
+  const auto nrows = static_cast<index_t>(dims[0]);
+  const auto ncols = static_cast<index_t>(dims[1]);
+  const auto nnz = dims[2];
+  if (nnz > dims[0] * dims[1]) {
+    fail(ErrorCategory::kValidation, path, r.offset,
+         "nnz " + std::to_string(nnz) + " exceeds rows*cols");
+  }
+
+  // Compare the header's implied payload size against the stream before
+  // allocating: a corrupt header cannot trigger a multi-gigabyte allocation
+  // or return partially-filled arrays.
+  const std::int64_t expected =
+      static_cast<std::int64_t>(dims[0] + 1) * sizeof(nnz_t) +
+      nnz * static_cast<std::int64_t>(sizeof(index_t) + sizeof(value_t)) +
+      static_cast<std::int64_t>(sizeof(std::uint64_t));
+  const std::int64_t remaining = bytes_remaining(in);
+  if (remaining >= 0 && remaining != expected) {
+    fail(ErrorCategory::kValidation, path, r.offset,
+         "payload size mismatch: header implies " + std::to_string(expected) +
+             " bytes, stream has " + std::to_string(remaining));
+  }
+
+  std::vector<nnz_t> row_ptr(static_cast<std::size_t>(nrows) + 1);
+  aligned_vector<index_t> col_idx(static_cast<std::size_t>(nnz));
+  aligned_vector<value_t> vals(static_cast<std::size_t>(nnz));
+  r.read(row_ptr.data(), row_ptr.size() * sizeof(nnz_t), "row_ptr");
+  r.read(col_idx.data(), col_idx.size() * sizeof(index_t), "col_idx");
+  r.read(vals.data(), vals.size() * sizeof(value_t), "vals");
+
+  std::uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof stored);
+  if (static_cast<std::size_t>(in.gcount()) != sizeof stored) {
+    fail(ErrorCategory::kParse, path, r.offset, "truncated checksum");
+  }
+  if (stored != r.sum.value()) {
+    fail(ErrorCategory::kValidation, path, r.offset, "checksum mismatch");
+  }
+  // The CsrMatrix constructor validates structure (monotone row_ptr, sorted
+  // in-range columns, finite values), so a corrupted-but-checksum-colliding
+  // file still cannot produce an invalid matrix.
+  return CsrMatrix(nrows, ncols, std::move(row_ptr), std::move(col_idx),
+                   std::move(vals));
 }
 
 }  // namespace
@@ -59,57 +162,29 @@ void write_csr_binary(std::ostream& out, const CsrMatrix& m) {
 
   const std::uint64_t checksum = sum.value();
   out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
-  if (!out) throw std::runtime_error("write_csr_binary: write failed");
+  if (!out) {
+    throw Error(ErrorCategory::kResource, "write_csr_binary: write failed");
+  }
 }
 
-CsrMatrix read_csr_binary(std::istream& in) {
-  char magic[8];
-  in.read(magic, sizeof magic);
-  if (static_cast<std::size_t>(in.gcount()) != sizeof magic ||
-      std::memcmp(magic, kMagic, sizeof magic) != 0) {
-    throw std::runtime_error("read_csr_binary: bad magic");
-  }
-
-  Checksum sum;
-  std::int64_t dims[3];
-  read_raw(in, sum, dims, sizeof dims);
-  const auto nrows = static_cast<index_t>(dims[0]);
-  const auto ncols = static_cast<index_t>(dims[1]);
-  const auto nnz = dims[2];
-  if (nrows < 0 || ncols < 0 || nnz < 0) {
-    throw std::runtime_error("read_csr_binary: negative dimensions");
-  }
-
-  std::vector<nnz_t> row_ptr(static_cast<std::size_t>(nrows) + 1);
-  aligned_vector<index_t> col_idx(static_cast<std::size_t>(nnz));
-  aligned_vector<value_t> vals(static_cast<std::size_t>(nnz));
-  read_raw(in, sum, row_ptr.data(), row_ptr.size() * sizeof(nnz_t));
-  read_raw(in, sum, col_idx.data(), col_idx.size() * sizeof(index_t));
-  read_raw(in, sum, vals.data(), vals.size() * sizeof(value_t));
-
-  std::uint64_t stored = 0;
-  in.read(reinterpret_cast<char*>(&stored), sizeof stored);
-  if (static_cast<std::size_t>(in.gcount()) != sizeof stored ||
-      stored != sum.value()) {
-    throw std::runtime_error("read_csr_binary: checksum mismatch");
-  }
-  // The CsrMatrix constructor validates structure (monotone row_ptr, sorted
-  // in-range columns), so a corrupted-but-checksum-colliding file still
-  // cannot produce an invalid matrix.
-  return CsrMatrix(nrows, ncols, std::move(row_ptr), std::move(col_idx),
-                   std::move(vals));
-}
+CsrMatrix read_csr_binary(std::istream& in) { return read_impl(in, ""); }
 
 void write_csr_binary_file(const std::string& path, const CsrMatrix& m) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot create: " + path);
+  if (!out) {
+    throw Error(ErrorCategory::kResource, "cannot create: " + path,
+                {.file = path});
+  }
   write_csr_binary(out, m);
 }
 
 CsrMatrix read_csr_binary_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open: " + path);
-  return read_csr_binary(in);
+  if (!in) {
+    throw Error(ErrorCategory::kResource, "cannot open: " + path,
+                {.file = path});
+  }
+  return read_impl(in, path);
 }
 
 }  // namespace wise

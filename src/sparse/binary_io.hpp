@@ -19,12 +19,15 @@
 
 namespace wise {
 
-/// Writes the matrix; throws std::runtime_error on I/O failure.
+/// Writes the matrix; throws wise::Error (kResource) on I/O failure.
 void write_csr_binary(std::ostream& out, const CsrMatrix& m);
 void write_csr_binary_file(const std::string& path, const CsrMatrix& m);
 
-/// Reads a matrix back; throws std::runtime_error on bad magic, truncation,
-/// or checksum mismatch.
+/// Reads a matrix back. Throws wise::Error with the failing byte offset in
+/// the error context: kParse on bad magic or short reads, kValidation on
+/// negative/overflowing header dimensions, payload-size-vs-header mismatch
+/// (checked before any allocation on seekable streams), or checksum
+/// mismatch. Never returns partially-filled arrays.
 CsrMatrix read_csr_binary(std::istream& in);
 CsrMatrix read_csr_binary_file(const std::string& path);
 

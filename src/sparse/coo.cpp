@@ -1,8 +1,10 @@
 #include "sparse/coo.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+#include <cmath>
 #include <string>
+
+#include "util/error.hpp"
 
 namespace wise {
 
@@ -41,14 +43,20 @@ bool CooMatrix::is_canonical() const {
 
 void CooMatrix::validate() const {
   if (nrows_ < 0 || ncols_ < 0) {
-    throw std::invalid_argument("CooMatrix: negative dimensions");
+    throw Error(ErrorCategory::kValidation, "CooMatrix: negative dimensions");
   }
   for (const auto& e : entries_) {
     if (e.row < 0 || e.row >= nrows_ || e.col < 0 || e.col >= ncols_) {
-      throw std::invalid_argument(
-          "CooMatrix: entry out of range at (" + std::to_string(e.row) + "," +
-          std::to_string(e.col) + ") for " + std::to_string(nrows_) + "x" +
-          std::to_string(ncols_));
+      throw Error(ErrorCategory::kValidation,
+                  "CooMatrix: entry out of range at (" +
+                      std::to_string(e.row) + "," + std::to_string(e.col) +
+                      ") for " + std::to_string(nrows_) + "x" +
+                      std::to_string(ncols_));
+    }
+    if (!std::isfinite(e.val)) {
+      throw Error(ErrorCategory::kValidation,
+                  "CooMatrix: non-finite value at (" + std::to_string(e.row) +
+                      "," + std::to_string(e.col) + ")");
     }
   }
 }

@@ -51,8 +51,8 @@ class CooMatrix {
   /// True when entries are sorted by (row, col) with no duplicates.
   bool is_canonical() const;
 
-  /// Throws std::invalid_argument when any index is out of range or the
-  /// dimensions are negative.
+  /// Throws wise::Error (kValidation) when any index is out of range, any
+  /// value is non-finite, or the dimensions are negative.
   void validate() const;
 
   friend bool operator==(const CooMatrix&, const CooMatrix&) = default;

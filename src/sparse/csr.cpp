@@ -1,11 +1,14 @@
 #include "sparse/csr.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include <omp.h>
+
+#include "util/error.hpp"
 
 namespace wise {
 
@@ -122,31 +125,51 @@ std::vector<nnz_t> CsrMatrix::row_counts() const {
 
 void CsrMatrix::validate() const {
   if (nrows_ < 0 || ncols_ < 0) {
-    throw std::invalid_argument("CsrMatrix: negative dimensions");
+    throw Error(ErrorCategory::kValidation, "CsrMatrix: negative dimensions");
   }
   if (row_ptr_.size() != static_cast<std::size_t>(nrows_) + 1 ||
       row_ptr_.front() != 0) {
-    throw std::invalid_argument("CsrMatrix: malformed row_ptr");
+    throw Error(ErrorCategory::kValidation, "CsrMatrix: malformed row_ptr");
   }
   for (std::size_t i = 1; i < row_ptr_.size(); ++i) {
     if (row_ptr_[i] < row_ptr_[i - 1]) {
-      throw std::invalid_argument("CsrMatrix: row_ptr not monotone");
+      throw Error(ErrorCategory::kValidation,
+                  "CsrMatrix: row_ptr not monotone at row " +
+                      std::to_string(i - 1));
     }
+  }
+  if (row_ptr_.back() < 0 ||
+      row_ptr_.back() >
+          static_cast<nnz_t>(nrows_) * static_cast<nnz_t>(ncols_)) {
+    throw Error(ErrorCategory::kValidation,
+                "CsrMatrix: nnz " + std::to_string(row_ptr_.back()) +
+                    " overflows rows*cols");
   }
   if (col_idx_.size() != static_cast<std::size_t>(row_ptr_.back()) ||
       vals_.size() != col_idx_.size()) {
-    throw std::invalid_argument("CsrMatrix: array length mismatch");
+    throw Error(ErrorCategory::kValidation,
+                "CsrMatrix: array length mismatch");
   }
   for (index_t i = 0; i < nrows_; ++i) {
     const auto cols = row_cols(i);
     for (std::size_t k = 0; k < cols.size(); ++k) {
       if (cols[k] < 0 || cols[k] >= ncols_) {
-        throw std::invalid_argument("CsrMatrix: column index out of range");
+        throw Error(ErrorCategory::kValidation,
+                    "CsrMatrix: column index out of range in row " +
+                        std::to_string(i));
       }
       if (k > 0 && cols[k] <= cols[k - 1]) {
-        throw std::invalid_argument("CsrMatrix: columns not strictly sorted in row " +
-                                    std::to_string(i));
+        throw Error(ErrorCategory::kValidation,
+                    "CsrMatrix: columns not strictly sorted in row " +
+                        std::to_string(i));
       }
+    }
+  }
+  for (std::size_t k = 0; k < vals_.size(); ++k) {
+    if (!std::isfinite(vals_[k])) {
+      throw Error(ErrorCategory::kValidation,
+                  "CsrMatrix: non-finite value at nonzero " +
+                      std::to_string(k));
     }
   }
 }

@@ -67,8 +67,9 @@ class CsrMatrix {
   /// Structural and numerical equality.
   friend bool operator==(const CsrMatrix&, const CsrMatrix&) = default;
 
-  /// Throws std::invalid_argument if internal invariants are violated
-  /// (row_ptr monotonicity, sorted columns in range).
+  /// Throws wise::Error (kValidation) if internal invariants are violated:
+  /// row_ptr monotonicity, nnz/index-arithmetic overflow, in-bounds strictly
+  /// sorted columns, finite values.
   void validate() const;
 
   /// Approximate heap footprint in bytes; used by benches to report

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
+#include <unordered_set>
+
+#include "util/fault.hpp"
 
 namespace wise {
 
@@ -16,118 +22,329 @@ std::string lower(std::string s) {
   return s;
 }
 
-[[noreturn]] void fail(std::size_t lineno, const std::string& what) {
-  throw std::runtime_error("matrix market line " + std::to_string(lineno) +
-                           ": " + what);
+[[noreturn]] void fail(ErrorCategory cat, const std::string& path,
+                       std::size_t lineno, const std::string& what) {
+  ErrorContext ctx;
+  ctx.file = path;
+  ctx.line = lineno;
+  ctx.stage = stage::kParse;
+  throw Error(cat, what, std::move(ctx));
 }
 
-enum class Field { kReal, kInteger, kPattern };
-enum class Symmetry { kGeneral, kSymmetric, kSkewSymmetric };
+/// Key for duplicate detection: (row, col) packed into 64 bits (indices are
+/// 31-bit after range checking).
+std::uint64_t coord_key(std::int64_t r, std::int64_t c) {
+  return (static_cast<std::uint64_t>(r) << 32) | static_cast<std::uint64_t>(c);
+}
 
-}  // namespace
+const char* field_name(MmField f) {
+  switch (f) {
+    case MmField::kReal: return "real";
+    case MmField::kInteger: return "integer";
+    case MmField::kPattern: return "pattern";
+  }
+  return "real";
+}
 
-CooMatrix read_matrix_market(std::istream& in) {
+const char* symmetry_name(MmSymmetry s) {
+  switch (s) {
+    case MmSymmetry::kGeneral: return "general";
+    case MmSymmetry::kSymmetric: return "symmetric";
+    case MmSymmetry::kSkewSymmetric: return "skew-symmetric";
+  }
+  return "general";
+}
+
+CooMatrix read_impl(std::istream& in, const std::string& path,
+                    MmHeader* header_out) {
+  FaultInjector::global().maybe_throw(stage::kParse, ErrorCategory::kParse);
+
   std::string line;
   std::size_t lineno = 0;
 
-  if (!std::getline(in, line)) fail(1, "missing header");
+  if (!std::getline(in, line)) {
+    fail(ErrorCategory::kParse, path, 1, "missing header");
+  }
   ++lineno;
   std::istringstream header(lower(line));
   std::string banner, object, format, field_s, symmetry_s;
   header >> banner >> object >> format >> field_s >> symmetry_s;
-  if (banner != "%%matrixmarket") fail(lineno, "not a MatrixMarket file");
-  if (object != "matrix") fail(lineno, "unsupported object: " + object);
+  if (banner != "%%matrixmarket") {
+    fail(ErrorCategory::kParse, path, lineno, "not a MatrixMarket file");
+  }
+  if (object != "matrix") {
+    fail(ErrorCategory::kParse, path, lineno, "unsupported object: " + object);
+  }
   if (format != "coordinate") {
-    fail(lineno, "only coordinate format is supported, got: " + format);
+    fail(ErrorCategory::kParse, path, lineno,
+         "only coordinate format is supported, got: " + format);
   }
 
-  Field field;
+  MmHeader hdr;
   if (field_s == "real" || field_s == "double") {
-    field = Field::kReal;
+    hdr.field = MmField::kReal;
   } else if (field_s == "integer") {
-    field = Field::kInteger;
+    hdr.field = MmField::kInteger;
   } else if (field_s == "pattern") {
-    field = Field::kPattern;
+    hdr.field = MmField::kPattern;
   } else {
-    fail(lineno, "unsupported field type: " + field_s);
+    fail(ErrorCategory::kParse, path, lineno,
+         "unsupported field type: " + field_s);
   }
 
-  Symmetry symmetry;
   if (symmetry_s == "general") {
-    symmetry = Symmetry::kGeneral;
+    hdr.symmetry = MmSymmetry::kGeneral;
   } else if (symmetry_s == "symmetric") {
-    symmetry = Symmetry::kSymmetric;
+    hdr.symmetry = MmSymmetry::kSymmetric;
   } else if (symmetry_s == "skew-symmetric") {
-    symmetry = Symmetry::kSkewSymmetric;
+    hdr.symmetry = MmSymmetry::kSkewSymmetric;
   } else {
-    fail(lineno, "unsupported symmetry: " + symmetry_s);
+    fail(ErrorCategory::kParse, path, lineno,
+         "unsupported symmetry: " + symmetry_s);
   }
 
   // Skip comments and blank lines until the size line.
   std::int64_t nrows = -1, ncols = -1, nstored = -1;
+  bool have_size = false;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty() || line[0] == '%') continue;
     std::istringstream size_line(line);
     if (!(size_line >> nrows >> ncols >> nstored)) {
-      fail(lineno, "malformed size line");
+      fail(ErrorCategory::kParse, path, lineno, "malformed size line");
     }
+    have_size = true;
     break;
   }
-  if (nstored < 0) fail(lineno, "missing size line");
-  if (nrows < 0 || ncols < 0) fail(lineno, "negative dimensions");
+  if (!have_size) {
+    fail(ErrorCategory::kParse, path, lineno, "missing size line");
+  }
+  if (nrows < 0 || ncols < 0) {
+    fail(ErrorCategory::kValidation, path, lineno, "negative dimensions");
+  }
+  constexpr auto kMaxIndex =
+      static_cast<std::int64_t>(std::numeric_limits<index_t>::max());
+  if (nrows > kMaxIndex || ncols > kMaxIndex) {
+    fail(ErrorCategory::kValidation, path, lineno,
+         "dimension overflow: " + std::to_string(nrows) + " x " +
+             std::to_string(ncols) + " exceeds 32-bit index range");
+  }
+  if (nstored < 0) {
+    fail(ErrorCategory::kValidation, path, lineno, "negative entry count");
+  }
+  // Duplicates are rejected below, so a valid file stores at most rows*cols
+  // entries (products of 31-bit dimensions cannot overflow int64).
+  if (nstored > nrows * ncols) {
+    fail(ErrorCategory::kValidation, path, lineno,
+         "entry count " + std::to_string(nstored) + " exceeds rows*cols = " +
+             std::to_string(nrows * ncols));
+  }
+  if (hdr.symmetry != MmSymmetry::kGeneral && nrows != ncols) {
+    fail(ErrorCategory::kValidation, path, lineno,
+         std::string(symmetry_name(hdr.symmetry)) +
+             " matrix must be square, got " + std::to_string(nrows) + " x " +
+             std::to_string(ncols));
+  }
 
   CooMatrix coo(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
   coo.entries().reserve(static_cast<std::size_t>(
-      symmetry == Symmetry::kGeneral ? nstored : 2 * nstored));
+      hdr.symmetry == MmSymmetry::kGeneral ? nstored : 2 * nstored));
+
+  std::unordered_set<std::uint64_t> seen_coords;
+  seen_coords.reserve(static_cast<std::size_t>(nstored));
 
   std::int64_t seen = 0;
   while (seen < nstored) {
-    if (!std::getline(in, line)) fail(lineno, "unexpected end of file");
+    if (!std::getline(in, line)) {
+      fail(ErrorCategory::kParse, path, lineno,
+           "unexpected end of file: " + std::to_string(seen) + " of " +
+               std::to_string(nstored) + " entries read");
+    }
     ++lineno;
     if (line.empty() || line[0] == '%') continue;
     std::istringstream entry(line);
     std::int64_t r, c;
     double v = 1.0;
-    if (!(entry >> r >> c)) fail(lineno, "malformed entry");
-    if (field != Field::kPattern && !(entry >> v)) {
-      fail(lineno, "missing value");
+    if (!(entry >> r >> c)) {
+      fail(ErrorCategory::kParse, path, lineno, "malformed entry");
+    }
+    if (hdr.field != MmField::kPattern) {
+      // strtod, not operator>>: libstdc++'s stream extraction rejects
+      // "nan"/"inf" tokens, which must instead reach the non-finite check
+      // below and be reported as a validation error.
+      std::string tok;
+      if (!(entry >> tok)) {
+        fail(ErrorCategory::kParse, path, lineno, "missing value");
+      }
+      char* end = nullptr;
+      v = std::strtod(tok.c_str(), &end);
+      if (end == tok.c_str() || *end != '\0') {
+        fail(ErrorCategory::kParse, path, lineno,
+             "malformed value '" + tok + "'");
+      }
     }
     if (r < 1 || r > nrows || c < 1 || c > ncols) {
-      fail(lineno, "index out of range");
+      fail(ErrorCategory::kValidation, path, lineno,
+           "index (" + std::to_string(r) + ", " + std::to_string(c) +
+               ") out of range for " + std::to_string(nrows) + " x " +
+               std::to_string(ncols) + " (1-based)");
+    }
+    if (!std::isfinite(v)) {
+      fail(ErrorCategory::kValidation, path, lineno, "non-finite value");
+    }
+    if (hdr.field == MmField::kInteger && v != std::nearbyint(v)) {
+      fail(ErrorCategory::kValidation, path, lineno,
+           "non-integral value in integer matrix");
+    }
+    if (hdr.symmetry == MmSymmetry::kSkewSymmetric && r == c) {
+      fail(ErrorCategory::kValidation, path, lineno,
+           "skew-symmetric matrix stores diagonal entry (" +
+               std::to_string(r) + ", " + std::to_string(c) + ")");
+    }
+    if (!seen_coords.insert(coord_key(r - 1, c - 1)).second) {
+      fail(ErrorCategory::kValidation, path, lineno,
+           "duplicate entry (" + std::to_string(r) + ", " + std::to_string(c) +
+               ")");
     }
     const auto ri = static_cast<index_t>(r - 1);
     const auto ci = static_cast<index_t>(c - 1);
     coo.add(ri, ci, static_cast<value_t>(v));
-    if (symmetry != Symmetry::kGeneral && ri != ci) {
-      const double mirrored = symmetry == Symmetry::kSkewSymmetric ? -v : v;
+    if (hdr.symmetry != MmSymmetry::kGeneral && ri != ci) {
+      // The mirrored coordinate also claims its slot: a symmetric file that
+      // stores both (r, c) and (c, r) is a duplicate, not two entries.
+      if (!seen_coords.insert(coord_key(c - 1, r - 1)).second) {
+        fail(ErrorCategory::kValidation, path, lineno,
+             "duplicate entry (" + std::to_string(r) + ", " +
+                 std::to_string(c) + ") mirrors an earlier entry");
+      }
+      const double mirrored =
+          hdr.symmetry == MmSymmetry::kSkewSymmetric ? -v : v;
       coo.add(ci, ri, static_cast<value_t>(mirrored));
     }
     ++seen;
   }
+
+  // Anything but trailing comments/blank lines means the size line lied.
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '%') continue;
+    fail(ErrorCategory::kParse, path, lineno,
+         "more entries than the declared " + std::to_string(nstored));
+  }
+
   coo.canonicalize();
+  if (header_out != nullptr) *header_out = hdr;
   return coo;
 }
 
-CooMatrix read_matrix_market_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open: " + path);
-  return read_matrix_market(in);
+/// Locates (row, col) in canonical (sorted, duplicate-free) entries.
+const Triplet* find_entry(const std::vector<Triplet>& entries, index_t row,
+                          index_t col) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), std::pair<index_t, index_t>{row, col},
+      [](const Triplet& t, const std::pair<index_t, index_t>& key) {
+        return t.row != key.first ? t.row < key.first : t.col < key.second;
+      });
+  if (it == entries.end() || it->row != row || it->col != col) return nullptr;
+  return &*it;
 }
 
-void write_matrix_market(std::ostream& out, const CooMatrix& coo) {
-  out << "%%MatrixMarket matrix coordinate real general\n";
-  out << coo.nrows() << ' ' << coo.ncols() << ' ' << coo.nnz() << '\n';
+}  // namespace
+
+CooMatrix read_matrix_market(std::istream& in, MmHeader* header_out) {
+  return read_impl(in, "", header_out);
+}
+
+CooMatrix read_matrix_market_file(const std::string& path,
+                                  MmHeader* header_out) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error(ErrorCategory::kResource, "cannot open: " + path,
+                {.file = path});
+  }
+  return read_impl(in, path, header_out);
+}
+
+void write_matrix_market(std::ostream& out, const CooMatrix& coo,
+                         const MmHeader& header) {
+  coo.validate();
+  CooMatrix canon = coo;
+  if (!canon.is_canonical()) canon.canonicalize();
+  const auto& entries = canon.entries();
+
+  const bool sym = header.symmetry != MmSymmetry::kGeneral;
+  const bool skew = header.symmetry == MmSymmetry::kSkewSymmetric;
+  if (sym && canon.nrows() != canon.ncols()) {
+    throw Error(ErrorCategory::kValidation,
+                std::string(symmetry_name(header.symmetry)) +
+                    " output requires a square matrix");
+  }
+
+  nnz_t stored = 0;
+  for (const auto& e : entries) {
+    if (header.field != MmField::kPattern && !std::isfinite(e.val)) {
+      throw Error(ErrorCategory::kValidation,
+                  "non-finite value at (" + std::to_string(e.row) + ", " +
+                      std::to_string(e.col) + ")");
+    }
+    if (header.field == MmField::kInteger && e.val != std::nearbyint(e.val)) {
+      throw Error(ErrorCategory::kValidation,
+                  "non-integral value at (" + std::to_string(e.row) + ", " +
+                      std::to_string(e.col) + ") in integer output");
+    }
+    if (!sym) {
+      ++stored;
+      continue;
+    }
+    if (e.row == e.col) {
+      if (skew) {
+        throw Error(ErrorCategory::kValidation,
+                    "skew-symmetric output forbids diagonal entry (" +
+                        std::to_string(e.row) + ", " + std::to_string(e.col) +
+                        ")");
+      }
+      ++stored;
+      continue;
+    }
+    const Triplet* mirror = find_entry(entries, e.col, e.row);
+    const value_t expect = skew ? -e.val : e.val;
+    if (mirror == nullptr || mirror->val != expect) {
+      throw Error(ErrorCategory::kValidation,
+                  "matrix is not " + std::string(symmetry_name(header.symmetry)) +
+                      ": entry (" + std::to_string(e.row) + ", " +
+                      std::to_string(e.col) + ") has no matching mirror");
+    }
+    if (e.row > e.col) ++stored;  // lower triangle is what gets written
+  }
+
+  out << "%%MatrixMarket matrix coordinate " << field_name(header.field) << ' '
+      << symmetry_name(header.symmetry) << '\n';
+  out << canon.nrows() << ' ' << canon.ncols() << ' ' << stored << '\n';
   out.precision(17);
-  for (const auto& e : coo.entries()) {
-    out << (e.row + 1) << ' ' << (e.col + 1) << ' ' << e.val << '\n';
+  for (const auto& e : entries) {
+    if (sym && e.row < e.col) continue;
+    out << (e.row + 1) << ' ' << (e.col + 1);
+    if (header.field == MmField::kReal) {
+      out << ' ' << e.val;
+    } else if (header.field == MmField::kInteger) {
+      out << ' ' << static_cast<long long>(e.val);
+    }
+    out << '\n';
   }
 }
 
-void write_matrix_market_file(const std::string& path, const CooMatrix& coo) {
+void write_matrix_market_file(const std::string& path, const CooMatrix& coo,
+                              const MmHeader& header) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot create: " + path);
-  write_matrix_market(out, coo);
+  if (!out) {
+    throw Error(ErrorCategory::kResource, "cannot create: " + path,
+                {.file = path});
+  }
+  write_matrix_market(out, coo, header);
+  if (!out) {
+    throw Error(ErrorCategory::kResource, "write failed: " + path,
+                {.file = path});
+  }
 }
 
 }  // namespace wise

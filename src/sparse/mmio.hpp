@@ -6,25 +6,55 @@
 // covers all SuiteSparse sparse matrices: `matrix coordinate` with
 // real/integer/pattern fields and general/symmetric/skew-symmetric symmetry.
 // Complex matrices are rejected explicitly (SpMV here is real-valued).
+//
+// The reader is strict: it rejects out-of-range 1-based indices, negative
+// or overflowing dimensions, nnz counts exceeding rows*cols, duplicate
+// coordinate entries (including mirrored duplicates in symmetric files),
+// diagonal entries of skew-symmetric files, and non-finite values. All
+// failures throw wise::Error — kParse for syntactic problems, kValidation
+// for semantic ones — with the offending file and 1-based line number in
+// the error context.
 
 #include <iosfwd>
 #include <string>
 
 #include "sparse/coo.hpp"
+#include "util/error.hpp"
 
 namespace wise {
 
-/// Parses Matrix Market text from a stream. Throws std::runtime_error with
-/// a line-numbered message on malformed input. Symmetric (and
-/// skew-symmetric) storage is expanded to general form; pattern matrices get
-/// value 1.0 for every stored entry.
-CooMatrix read_matrix_market(std::istream& in);
+enum class MmField { kReal, kInteger, kPattern };
+enum class MmSymmetry { kGeneral, kSymmetric, kSkewSymmetric };
 
-/// Convenience file wrapper around the stream overload.
-CooMatrix read_matrix_market_file(const std::string& path);
+/// Parsed (or to-be-written) banner-line options.
+struct MmHeader {
+  MmField field = MmField::kReal;
+  MmSymmetry symmetry = MmSymmetry::kGeneral;
 
-/// Writes `coo` as `matrix coordinate real general` with 1-based indices.
-void write_matrix_market(std::ostream& out, const CooMatrix& coo);
-void write_matrix_market_file(const std::string& path, const CooMatrix& coo);
+  friend bool operator==(const MmHeader&, const MmHeader&) = default;
+};
+
+/// Parses Matrix Market text from a stream. Symmetric (and skew-symmetric)
+/// storage is expanded to general form; pattern matrices get value 1.0 for
+/// every stored entry. When `header_out` is non-null the banner options are
+/// reported through it.
+CooMatrix read_matrix_market(std::istream& in, MmHeader* header_out = nullptr);
+
+/// Convenience file wrapper; the path appears in any error context.
+CooMatrix read_matrix_market_file(const std::string& path,
+                                  MmHeader* header_out = nullptr);
+
+/// Writes `coo` with the given banner options and 1-based indices in
+/// canonical entry order. Symmetric kinds store only the lower triangle, so
+/// write → read round-trips exactly. Throws wise::Error (kValidation) when
+/// the matrix does not satisfy the requested header: symmetric requires a
+/// square matrix with matching mirrored values, skew-symmetric additionally
+/// negated mirrors and an empty diagonal, and the integer field requires
+/// integral values.
+void write_matrix_market(std::ostream& out, const CooMatrix& coo,
+                         const MmHeader& header = {});
+
+void write_matrix_market_file(const std::string& path, const CooMatrix& coo,
+                              const MmHeader& header = {});
 
 }  // namespace wise

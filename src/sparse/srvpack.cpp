@@ -1,10 +1,12 @@
 #include "sparse/srvpack.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
 #include "sparse/transforms.hpp"
+#include "util/error.hpp"
 
 namespace wise {
 
@@ -160,6 +162,81 @@ std::size_t SrvPackMatrix::memory_bytes() const {
              s.col_ids.size() * sizeof(index_t);
   }
   return bytes;
+}
+
+void SrvPackMatrix::validate() const {
+  auto bad = [](const std::string& what) -> void {
+    throw Error(ErrorCategory::kValidation, "SrvPackMatrix: " + what);
+  };
+  if (nrows_ < 0 || ncols_ < 0 || nnz_ < 0) bad("negative dimensions");
+  if (opts_.c < 1 || opts_.c > 64) bad("c out of range");
+  if (segments_.empty()) bad("no segments");
+  if (opts_.cfs) {
+    if (col_order_.size() != static_cast<std::size_t>(ncols_)) {
+      bad("CFS column order has wrong length");
+    }
+    std::vector<char> seen(static_cast<std::size_t>(ncols_), 0);
+    for (index_t c : col_order_) {
+      if (c < 0 || c >= ncols_ || seen[static_cast<std::size_t>(c)]) {
+        bad("CFS column order is not a permutation");
+      }
+      seen[static_cast<std::size_t>(c)] = 1;
+    }
+  } else if (!col_order_.empty()) {
+    bad("column order present without CFS");
+  }
+
+  index_t expect_begin = 0;
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const auto& seg = segments_[s];
+    const std::string where = "segment " + std::to_string(s) + ": ";
+    if (seg.col_begin != expect_begin || seg.col_end < seg.col_begin ||
+        seg.col_end > ncols_) {
+      bad(where + "column window does not tile the matrix");
+    }
+    expect_begin = seg.col_end;
+
+    if (seg.row_order.size() > static_cast<std::size_t>(nrows_)) {
+      bad(where + "more rows than the matrix has");
+    }
+    std::vector<char> seen_row(static_cast<std::size_t>(nrows_), 0);
+    for (index_t r : seg.row_order) {
+      if (r < 0 || r >= nrows_ || seen_row[static_cast<std::size_t>(r)]) {
+        bad(where + "row order entry out of range or duplicated");
+      }
+      seen_row[static_cast<std::size_t>(r)] = 1;
+    }
+
+    const auto expected_chunks = static_cast<std::size_t>(
+        (seg.num_rows() + opts_.c - 1) / opts_.c);
+    if (seg.chunk_offset.size() != expected_chunks + 1 ||
+        seg.chunk_offset.front() != 0) {
+      bad(where + "malformed chunk offsets");
+    }
+    for (std::size_t k = 1; k < seg.chunk_offset.size(); ++k) {
+      if (seg.chunk_offset[k] < seg.chunk_offset[k - 1]) {
+        bad(where + "chunk offsets not monotone");
+      }
+    }
+    const auto slots =
+        static_cast<std::size_t>(seg.chunk_offset.back()) *
+        static_cast<std::size_t>(opts_.c);
+    if (seg.vals.size() != slots || seg.col_ids.size() != slots) {
+      bad(where + "value/column array length mismatch");
+    }
+    // Padding uses the window's first column, so every stored id — real or
+    // padding — must stay inside the window.
+    const index_t lo = seg.col_begin;
+    const index_t hi = seg.col_end > seg.col_begin ? seg.col_end
+                                                   : seg.col_begin + 1;
+    for (index_t c : seg.col_ids) {
+      if (c < lo || c >= hi) bad(where + "column id outside segment window");
+    }
+    for (value_t v : seg.vals) {
+      if (!std::isfinite(v)) bad(where + "non-finite value");
+    }
+  }
+  if (expect_begin != ncols_) bad("segments do not cover all columns");
 }
 
 CooMatrix SrvPackMatrix::to_coo() const {

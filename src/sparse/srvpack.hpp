@@ -102,6 +102,15 @@ class SrvPackMatrix {
   /// Expands back to canonical COO (test support: must round-trip).
   CooMatrix to_coo() const;
 
+  /// Throws wise::Error (kValidation) when the packed layout violates its
+  /// invariants: segments must tile [0, ncols), chunk offsets must be
+  /// monotone from 0 with matching array lengths, row ids must be in-range
+  /// and unique per segment, column ids must stay inside their segment's
+  /// window, values must be finite, and the CFS permutation (when present)
+  /// must be a permutation of the columns. The pipeline validates every
+  /// freshly-converted matrix before running SpMV with it.
+  void validate() const;
+
  private:
   index_t nrows_ = 0;
   index_t ncols_ = 0;

@@ -23,6 +23,10 @@ PreparedMatrix PreparedMatrix::prepare(const CsrMatrix& m,
     Timer t;
     pm.packed_ = SrvPackMatrix::build(m, cfg.srv_options());
     pm.prep_seconds_ = t.seconds();
+    // Outside the timed region: conversion timings stay comparable across
+    // configurations, but a conversion that produced a broken layout is
+    // caught here (wise::Error, kValidation) instead of inside the kernel.
+    pm.packed_->validate();
   }
   return pm;
 }

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace wise {
 
 std::size_t CsvTable::col(const std::string& name) const {
@@ -30,12 +32,15 @@ std::vector<std::string> split_csv_line(const std::string& line) {
 
 CsvTable read_csv(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  if (!in) {
+    throw Error(ErrorCategory::kResource, "cannot open CSV file: " + path,
+                {.file = path});
+  }
 
   CsvTable table;
   std::string line;
   if (!std::getline(in, line)) {
-    throw std::runtime_error("empty CSV file: " + path);
+    throw Error(ErrorCategory::kParse, "empty CSV file", {.file = path});
   }
   table.header = split_csv_line(line);
 
@@ -46,9 +51,10 @@ CsvTable read_csv(const std::string& path) {
     auto fields = split_csv_line(line);
     if (fields.size() != table.header.size()) {
       std::ostringstream msg;
-      msg << path << ":" << lineno << ": expected " << table.header.size()
-          << " fields, got " << fields.size();
-      throw std::runtime_error(msg.str());
+      msg << "expected " << table.header.size() << " fields, got "
+          << fields.size();
+      throw Error(ErrorCategory::kParse, msg.str(),
+                  {.file = path, .line = lineno});
     }
     table.rows.push_back(std::move(fields));
   }
@@ -65,7 +71,10 @@ CsvWriter::CsvWriter(const std::string& path,
   const auto parent = std::filesystem::path(path).parent_path();
   if (!parent.empty()) std::filesystem::create_directories(parent);
   out_.open(path);
-  if (!out_) throw std::runtime_error("cannot create CSV file: " + path);
+  if (!out_) {
+    throw Error(ErrorCategory::kResource, "cannot create CSV file: " + path,
+                {.file = path});
+  }
   write_row(header);
 }
 

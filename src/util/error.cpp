@@ -1,0 +1,56 @@
+#include "util/error.hpp"
+
+namespace wise {
+
+namespace {
+
+std::string render(ErrorCategory category, const std::string& message,
+                   const ErrorContext& ctx) {
+  std::string out = "[";
+  out += error_category_name(category);
+  out += "] ";
+  if (!ctx.file.empty()) {
+    out += ctx.file;
+    if (ctx.line > 0) out += ":" + std::to_string(ctx.line);
+    out += ": ";
+  } else if (ctx.line > 0) {
+    out += "line " + std::to_string(ctx.line) + ": ";
+  }
+  out += message;
+  if (ctx.offset > 0) out += " (at byte offset " + std::to_string(ctx.offset) + ")";
+  if (!ctx.stage.empty()) out += " [stage: " + ctx.stage + "]";
+  return out;
+}
+
+}  // namespace
+
+const char* error_category_name(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kParse: return "parse";
+    case ErrorCategory::kValidation: return "validation";
+    case ErrorCategory::kModelBank: return "model-bank";
+    case ErrorCategory::kConversion: return "conversion";
+    case ErrorCategory::kResource: return "resource";
+  }
+  return "unknown";
+}
+
+int error_exit_code(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kParse: return 3;
+    case ErrorCategory::kValidation: return 4;
+    case ErrorCategory::kModelBank: return 5;
+    case ErrorCategory::kConversion: return 6;
+    case ErrorCategory::kResource: return 7;
+  }
+  return 1;
+}
+
+Error::Error(ErrorCategory category, const std::string& message,
+             ErrorContext context)
+    : std::runtime_error(render(category, message, context)),
+      category_(category),
+      context_(std::move(context)),
+      message_(message) {}
+
+}  // namespace wise

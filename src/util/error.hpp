@@ -1,0 +1,67 @@
+#pragma once
+// Typed error hierarchy for the WISE pipeline.
+//
+// Every data-driven failure in the library — malformed input files, matrix
+// invariant violations, corrupt model banks, failed layout conversions, and
+// exhausted resources — throws a wise::Error carrying a category and
+// structured context (file, line/offset, pipeline stage). Callers can react
+// per category: the pipeline demotes to the CSR baseline (see
+// wise/pipeline.hpp), and the CLI front ends map categories to distinct
+// process exit codes. Programmer errors (API misuse such as shape
+// mismatches on in-memory calls) remain std::invalid_argument /
+// std::logic_error as before.
+//
+// Error derives from std::runtime_error, so existing `catch
+// (const std::runtime_error&)` sites keep working.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace wise {
+
+/// Failure taxonomy. docs/ROBUSTNESS.md documents when each applies.
+enum class ErrorCategory {
+  kParse,       ///< syntactically malformed input (file/stream structure)
+  kValidation,  ///< well-formed input violating a semantic invariant
+  kModelBank,   ///< missing, corrupt, or version-mismatched model bank
+  kConversion,  ///< layout conversion (CSR → SRVPack/BSR) failed
+  kResource,    ///< allocation failure, memory budget, unwritable output
+};
+
+/// Stable lowercase name ("parse", "validation", ...), used in messages and
+/// by the malformed-input corpus tests.
+const char* error_category_name(ErrorCategory category);
+
+/// Process exit code a CLI should return for this category. Distinct,
+/// nonzero, and disjoint from the conventional 1 (generic) and 2 (usage):
+/// parse=3, validation=4, model-bank=5, conversion=6, resource=7.
+int error_exit_code(ErrorCategory category);
+
+/// Structured origin of an error. All fields optional; empty/zero = unknown.
+struct ErrorContext {
+  std::string file;        ///< path of the offending file, if any
+  std::size_t line = 0;    ///< 1-based text line number (0 = n/a)
+  std::size_t offset = 0;  ///< byte offset for binary formats (0 = n/a)
+  std::string stage;       ///< pipeline stage name (see util/fault.hpp)
+};
+
+/// The library's typed exception. what() renders category + context +
+/// message, e.g. "[parse] bad.mtx:17: malformed entry".
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCategory category, const std::string& message,
+        ErrorContext context = {});
+
+  ErrorCategory category() const noexcept { return category_; }
+  const ErrorContext& context() const noexcept { return context_; }
+  /// The bare message without the rendered category/context prefix.
+  const std::string& message() const noexcept { return message_; }
+
+ private:
+  ErrorCategory category_;
+  ErrorContext context_;
+  std::string message_;
+};
+
+}  // namespace wise

@@ -1,0 +1,111 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+
+#include "util/env.hpp"
+
+namespace wise {
+
+namespace {
+
+/// FNV-1a over the stage name: gives each stage an independent PRNG stream
+/// derived from one seed.
+std::uint64_t stage_hash(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector FaultInjector::from_env() {
+  FaultInjector inj(static_cast<std::uint64_t>(env_int("WISE_FAULT_SEED", 0)));
+  const std::string spec = env_string("WISE_FAULT_STAGES", "");
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    double rate = 1.0;
+    const std::size_t colon = item.find(':');
+    if (colon != std::string::npos) {
+      const std::string rate_s = item.substr(colon + 1);
+      char* parse_end = nullptr;
+      rate = std::strtod(rate_s.c_str(), &parse_end);
+      if (parse_end == rate_s.c_str() || *parse_end != '\0') {
+        throw Error(ErrorCategory::kValidation,
+                    "WISE_FAULT_STAGES: bad rate in '" + item + "'");
+      }
+      item.resize(colon);
+    }
+    if (item.empty()) {
+      throw Error(ErrorCategory::kValidation,
+                  "WISE_FAULT_STAGES: empty stage name in '" + spec + "'");
+    }
+    inj.arm(item, rate);
+  }
+  return inj;
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector instance = from_env();
+  return instance;
+}
+
+void FaultInjector::arm(std::string_view stg, double rate) {
+  rate = rate < 0.0 ? 0.0 : (rate > 1.0 ? 1.0 : rate);
+  StageState state;
+  state.rate = rate;
+  state.rng = SplitMix64(seed_ ^ stage_hash(stg));
+  stages_.insert_or_assign(std::string(stg), state);
+}
+
+void FaultInjector::disarm(std::string_view stg) {
+  const auto it = stages_.find(stg);
+  if (it != stages_.end()) stages_.erase(it);
+}
+
+void FaultInjector::disarm_all() { stages_.clear(); }
+
+bool FaultInjector::armed() const {
+  for (const auto& [name, state] : stages_) {
+    if (state.rate > 0.0) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::should_fail(std::string_view stg) {
+  const auto it = stages_.find(stg);
+  if (it == stages_.end()) return false;
+  StageState& state = it->second;
+  if (state.rate <= 0.0) return false;
+  // Draw even when rate == 1 so lowering the rate later continues the same
+  // deterministic stream.
+  const double u =
+      static_cast<double>(state.rng.next() >> 11) * 0x1.0p-53;
+  const bool fail = state.rate >= 1.0 || u < state.rate;
+  if (fail) ++state.trips;
+  return fail;
+}
+
+void FaultInjector::maybe_throw(std::string_view stg, ErrorCategory category) {
+  if (!should_fail(stg)) return;
+  ErrorContext ctx;
+  ctx.stage = std::string(stg);
+  throw Error(category,
+              "injected fault (trip #" +
+                  std::to_string(stages_.find(stg)->second.trips) + ")",
+              std::move(ctx));
+}
+
+std::uint64_t FaultInjector::trip_count(std::string_view stg) const {
+  const auto it = stages_.find(stg);
+  return it == stages_.end() ? 0 : it->second.trips;
+}
+
+}  // namespace wise

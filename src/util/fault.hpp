@@ -1,0 +1,89 @@
+#pragma once
+// Deterministic fault injection for exercising every degradation path.
+//
+// The WISE pipeline promises to degrade to the CSR baseline rather than die
+// when any stage fails. Those failure paths are only trustworthy if tests
+// actually run them, so the library threads a FaultInjector through each
+// named stage: a call to maybe_throw(stage, category) throws a typed
+// wise::Error when that stage is armed. Decisions are driven by the
+// repository's splitmix64 PRNG, so a {seed, rate} pair reproduces the exact
+// same fault sequence on every run.
+//
+// The process-wide injector is configured from the environment:
+//
+//   WISE_FAULT_STAGES  comma-separated stages, each optionally with a rate:
+//                      "conversion" (always fail), "parse:0.25,feature"
+//   WISE_FAULT_SEED    integer seed for the fault PRNG (default 0)
+//
+// With WISE_FAULT_STAGES unset the injector is disarmed and every
+// should_fail() check is a single map lookup on an empty map.
+//
+// Not thread-safe: arm/disarm and should_fail mutate shared state. Tests
+// arm faults before spawning work and disarm after.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace wise {
+
+/// Canonical pipeline stage names used by the library's injection points.
+namespace stage {
+inline constexpr const char* kParse = "parse";
+inline constexpr const char* kFeature = "feature";
+inline constexpr const char* kInference = "inference";
+inline constexpr const char* kConversion = "conversion";
+inline constexpr const char* kModelBank = "model_bank";
+}  // namespace stage
+
+class FaultInjector {
+ public:
+  /// Disarmed injector; should_fail() is always false.
+  FaultInjector() = default;
+  explicit FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+  /// Parses WISE_FAULT_STAGES / WISE_FAULT_SEED. Unknown syntax in the
+  /// stage list throws wise::Error (kValidation).
+  static FaultInjector from_env();
+
+  /// The process-wide injector the library's injection points consult,
+  /// initialized from the environment on first use.
+  static FaultInjector& global();
+
+  /// Arms `stg` so each should_fail(stg) trips with probability `rate`
+  /// (clamped to [0, 1]; 1 = every call). Re-arming resets the stage's
+  /// deterministic PRNG stream.
+  void arm(std::string_view stg, double rate = 1.0);
+  void disarm(std::string_view stg);
+  void disarm_all();
+
+  /// True when at least one stage is armed with a positive rate.
+  bool armed() const;
+
+  /// Draws the stage's next deterministic decision. False for unarmed
+  /// stages. Each call advances the stage's PRNG stream.
+  bool should_fail(std::string_view stg);
+
+  /// should_fail + throw: raises Error(category) describing the injected
+  /// fault, with the stage recorded in the error context.
+  void maybe_throw(std::string_view stg, ErrorCategory category);
+
+  /// Number of faults this injector has fired for `stg`.
+  std::uint64_t trip_count(std::string_view stg) const;
+
+ private:
+  struct StageState {
+    double rate = 0.0;
+    SplitMix64 rng{0};
+    std::uint64_t trips = 0;
+  };
+
+  std::uint64_t seed_ = 0;
+  std::map<std::string, StageState, std::less<>> stages_;
+};
+
+}  // namespace wise

@@ -1,13 +1,56 @@
 #include "wise/model_bank.hpp"
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
 #include "features/extractor.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "wise/speedup_class.hpp"
 
 namespace wise {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw Error(ErrorCategory::kModelBank, "ModelBank::load: " + what,
+              {.file = path, .stage = stage::kModelBank});
+}
+
+/// Loads the legacy (v1, checksum-free) body: strict, any damage throws.
+void load_v1_body(std::istream& in, const std::string& path, std::size_t n,
+                  std::vector<MethodConfig>& configs,
+                  std::vector<DecisionTree>& trees) {
+  for (std::size_t c = 0; c < n; ++c) {
+    std::string name;
+    in >> name;
+    if (!in) fail(path, "truncated at configuration " + std::to_string(c));
+    configs.push_back(parse_method_config(name));
+    trees.push_back(DecisionTree::load(in));
+  }
+}
+
+}  // namespace
 
 void ModelBank::train(const std::vector<MethodConfig>& configs,
                       const std::vector<std::vector<double>>& features,
@@ -27,6 +70,7 @@ void ModelBank::train(const std::vector<MethodConfig>& configs,
   }
 
   configs_ = configs;
+  warnings_.clear();
   trees_.clear();
   trees_.resize(configs.size());
 
@@ -55,35 +99,102 @@ std::vector<int> ModelBank::predict_classes(
 void ModelBank::save(const std::string& dir) const {
   if (!trained()) throw std::logic_error("ModelBank::save: not trained");
   std::filesystem::create_directories(dir);
-  std::ofstream out(std::filesystem::path(dir) / "models.txt");
-  if (!out) throw std::runtime_error("ModelBank::save: cannot write to " + dir);
-  out << "wise-model-bank v1\n" << configs_.size() << '\n';
+  const auto path = (std::filesystem::path(dir) / "models.txt").string();
+  std::ofstream out(path);
+  if (!out) {
+    throw Error(ErrorCategory::kResource,
+                "ModelBank::save: cannot write to " + dir, {.file = path});
+  }
+  out << "wise-model-bank v2\n" << configs_.size() << '\n';
   for (std::size_t c = 0; c < configs_.size(); ++c) {
+    std::ostringstream payload;
+    trees_[c].save(payload);
+    const std::string bytes = payload.str();
     out << configs_[c].name() << '\n';
-    trees_[c].save(out);
+    out << "tree " << bytes.size() << ' ' << hex64(fnv1a(bytes)) << '\n';
+    out << bytes;
+  }
+  if (!out) {
+    throw Error(ErrorCategory::kResource,
+                "ModelBank::save: write failed for " + path, {.file = path});
   }
 }
 
 ModelBank ModelBank::load(const std::string& dir) {
-  std::ifstream in(std::filesystem::path(dir) / "models.txt");
-  if (!in) {
-    throw std::runtime_error("ModelBank::load: cannot open models in " + dir);
-  }
+  FaultInjector::global().maybe_throw(stage::kModelBank,
+                                      ErrorCategory::kModelBank);
+  const auto path = (std::filesystem::path(dir) / "models.txt").string();
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open models in " + dir);
+
   std::string magic, version;
   in >> magic >> version;
-  if (magic != "wise-model-bank" || version != "v1") {
-    throw std::runtime_error("ModelBank::load: bad header");
+  if (magic != "wise-model-bank" ||
+      (version != "v1" && version != "v2")) {
+    fail(path, "bad header");
   }
   std::size_t n = 0;
   in >> n;
+  if (!in || n == 0 || n > 100000) {
+    fail(path, "implausible configuration count");
+  }
+
   ModelBank bank;
   bank.configs_.reserve(n);
   bank.trees_.reserve(n);
+
+  if (version == "v1") {
+    load_v1_body(in, path, n, bank.configs_, bank.trees_);
+    return bank;
+  }
+
+  in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  // Trees are hundreds of bytes; anything near this cap is corruption.
+  constexpr std::size_t kMaxTreeBytes = std::size_t{1} << 30;
   for (std::size_t c = 0; c < n; ++c) {
     std::string name;
-    in >> name;
-    bank.configs_.push_back(parse_method_config(name));
-    bank.trees_.push_back(DecisionTree::load(in));
+    if (!std::getline(in, name)) {
+      fail(path, "truncated at configuration " + std::to_string(c));
+    }
+    std::string tag;
+    std::size_t len = 0;
+    std::string checksum_hex;
+    in >> tag >> len >> checksum_hex;
+    if (!in || tag != "tree" || len == 0 || len > kMaxTreeBytes) {
+      // The length field frames the payload; without it the stream cannot
+      // be resynchronized, so this is fatal rather than skippable.
+      fail(path, "malformed tree record for '" + name + "'");
+    }
+    in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+    std::string payload(len, '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(len));
+    if (static_cast<std::size_t>(in.gcount()) != len) {
+      fail(path, "truncated tree payload for '" + name + "'");
+    }
+
+    std::string why;
+    if (hex64(fnv1a(payload)) != checksum_hex) {
+      why = "checksum mismatch";
+    } else {
+      try {
+        std::istringstream tree_in(payload);
+        DecisionTree tree = DecisionTree::load(tree_in);
+        bank.configs_.push_back(parse_method_config(name));
+        bank.trees_.push_back(std::move(tree));
+        continue;
+      } catch (const std::exception& e) {
+        why = e.what();
+      }
+    }
+    const std::string warning =
+        "skipping model for '" + name + "': " + why;
+    std::fprintf(stderr, "ModelBank::load: %s\n", warning.c_str());
+    bank.warnings_.push_back(warning);
+  }
+
+  if (bank.trees_.empty()) {
+    fail(path, "no usable trees (" + std::to_string(bank.warnings_.size()) +
+                   " skipped)");
   }
   return bank;
 }

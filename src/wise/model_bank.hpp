@@ -5,6 +5,21 @@
 // tree maps a matrix's feature vector to the configuration's speedup class.
 // The bank owns the trees, keyed by MethodConfig::name(), and can be saved
 // to / loaded from a directory so a trained WISE ships with the library.
+//
+// Persistence format (<dir>/models.txt), version 2:
+//
+//   wise-model-bank v2
+//   <#configs>
+//   <config name>
+//   tree <payload bytes> <fnv1a checksum, hex>
+//   <payload: serialized DecisionTree, exactly that many bytes>
+//   ... repeated per configuration ...
+//
+// The per-tree length + checksum let load() detect corruption of any one
+// tree and *skip* it — the remaining configurations stay usable and a
+// warning is recorded (degrade, don't die). Version 1 files (no checksums)
+// still load, strictly. A bank in which no tree survives throws
+// wise::Error (kModelBank).
 
 #include <span>
 #include <string>
@@ -34,13 +49,22 @@ class ModelBank {
   const std::vector<DecisionTree>& trees() const { return trees_; }
   bool trained() const { return !trees_.empty(); }
 
-  /// Persists as <dir>/models.txt (one header + serialized trees).
+  /// Persists as <dir>/models.txt (versioned header + checksummed trees).
   void save(const std::string& dir) const;
+
+  /// Loads a bank saved by save(). Corrupt individual trees are skipped
+  /// with a warning (see warnings()); throws wise::Error (kModelBank) when
+  /// the file is missing, the header is unreadable, or no tree survives.
   static ModelBank load(const std::string& dir);
+
+  /// Human-readable reports of trees skipped by load(); empty when the
+  /// bank loaded cleanly.
+  const std::vector<std::string>& warnings() const { return warnings_; }
 
  private:
   std::vector<MethodConfig> configs_;
   std::vector<DecisionTree> trees_;
+  std::vector<std::string> warnings_;
 };
 
 }  // namespace wise

@@ -1,41 +1,163 @@
 #include "wise/pipeline.hpp"
 
+#include <cmath>
+#include <new>
 #include <stdexcept>
 
 #include <omp.h>
 
+#include "util/env.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 #include "wise/selector.hpp"
 
 namespace wise {
 
+namespace {
+
+/// The configuration the pipeline demotes to when a stage fails: the best
+/// CSR variant the bank knows. With per-config predictions available the
+/// selection heuristic runs restricted to the CSR subset; without them the
+/// deterministic tie-break order picks the cheapest CSR variant. A bank
+/// with no CSR configuration at all falls back to the library default
+/// (CSR, static-contiguous).
+MethodConfig best_csr_config(const ModelBank& bank,
+                             const std::vector<int>* classes,
+                             int* predicted_class) {
+  std::vector<MethodConfig> csr;
+  std::vector<int> csr_classes;
+  const auto& configs = bank.configs();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i].kind != MethodKind::kCsr) continue;
+    csr.push_back(configs[i]);
+    if (classes != nullptr) csr_classes.push_back((*classes)[i]);
+  }
+  if (csr.empty()) return MethodConfig{};  // library default: CSR / StCont
+
+  std::size_t best = 0;
+  if (classes != nullptr) {
+    best = select_best_config(csr, csr_classes);
+    if (predicted_class != nullptr) {
+      *predicted_class = csr_classes[best];
+    }
+  } else {
+    for (std::size_t i = 1; i < csr.size(); ++i) {
+      if (csr[i].selection_rank() < csr[best].selection_rank()) best = i;
+    }
+  }
+  return csr[best];
+}
+
+/// Stamps a demoted choice: CSR config + "<stage>: <why>".
+void demote(WiseChoice& choice, const ModelBank& bank, const char* stg,
+            const std::string& why, const std::vector<int>* classes) {
+  choice.predicted_class = 0;
+  choice.config = best_csr_config(bank, classes, &choice.predicted_class);
+  choice.fallback_reason = std::string(stg) + ": " + why;
+}
+
+}  // namespace
+
 Wise::Wise(ModelBank bank) : bank_(std::move(bank)) {
   if (!bank_.trained()) {
     throw std::invalid_argument("Wise: model bank is not trained");
   }
+  memory_budget_bytes =
+      static_cast<std::size_t>(env_int("WISE_MEMORY_BUDGET", 0));
 }
 
 WiseChoice Wise::choose(const CsrMatrix& m) const {
   WiseChoice choice;
-
-  Timer t;
-  const FeatureVector features = extract_features(m, feature_params);
-  choice.feature_seconds = t.seconds();
   choice.feature_threads = omp_get_max_threads();
 
-  t.reset();
-  const std::vector<int> classes = bank_.predict_classes(features.values);
-  const std::size_t best = select_best_config(bank_.configs(), classes);
-  choice.inference_seconds = t.seconds();
+  FeatureVector features;
+  Timer t;
+  try {
+    FaultInjector::global().maybe_throw(stage::kFeature,
+                                        ErrorCategory::kValidation);
+    features = extract_features(m, feature_params);
+    for (double v : features.values) {
+      if (!std::isfinite(v)) {
+        throw Error(ErrorCategory::kValidation, "non-finite feature value",
+                    {.stage = stage::kFeature});
+      }
+    }
+  } catch (const std::exception& e) {
+    choice.feature_seconds = t.seconds();
+    demote(choice, bank_, stage::kFeature, e.what(), nullptr);
+    return choice;
+  }
+  choice.feature_seconds = t.seconds();
 
-  choice.config = bank_.configs()[best];
-  choice.predicted_class = classes[best];
+  t.reset();
+  std::vector<int> classes;
+  try {
+    FaultInjector::global().maybe_throw(stage::kInference,
+                                        ErrorCategory::kModelBank);
+    classes = bank_.predict_classes(features.values);
+    const std::size_t best = select_best_config(bank_.configs(), classes);
+    choice.config = bank_.configs()[best];
+    choice.predicted_class = classes[best];
+  } catch (const std::exception& e) {
+    choice.inference_seconds = t.seconds();
+    demote(choice, bank_, stage::kInference, e.what(), nullptr);
+    return choice;
+  }
+  choice.inference_seconds = t.seconds();
   return choice;
 }
 
 PreparedMatrix Wise::prepare(const CsrMatrix& m) const {
-  const WiseChoice choice = choose(m);
-  return PreparedMatrix::prepare(m, choice.config);
+  WiseChoice choice;
+  return prepare(m, choice);
+}
+
+PreparedMatrix Wise::prepare(const CsrMatrix& m,
+                             WiseChoice& choice_out) const {
+  try {
+    FaultInjector::global().maybe_throw(stage::kParse,
+                                        ErrorCategory::kValidation);
+    if (validate_input) m.validate();
+    choice_out = choose(m);
+  } catch (const std::exception& e) {
+    // Input validation failed before selection could run; the CSR baseline
+    // executes the matrix as-is.
+    choice_out = WiseChoice{};
+    choice_out.feature_threads = omp_get_max_threads();
+    demote(choice_out, bank_, stage::kParse, e.what(), nullptr);
+  }
+
+  if (choice_out.config.kind != MethodKind::kCsr) {
+    try {
+      FaultInjector::global().maybe_throw(stage::kConversion,
+                                          ErrorCategory::kConversion);
+      if (memory_budget_bytes > 0 && m.memory_bytes() > memory_budget_bytes) {
+        // A converted layout stores at least the CSR nonzeros (plus
+        // padding), so exceeding the budget is knowable before building.
+        throw Error(ErrorCategory::kResource,
+                    "conversion estimate exceeds memory budget of " +
+                        std::to_string(memory_budget_bytes) + " bytes",
+                    {.stage = stage::kConversion});
+      }
+      PreparedMatrix pm = PreparedMatrix::prepare(m, choice_out.config);
+      if (memory_budget_bytes > 0 &&
+          pm.memory_bytes() > memory_budget_bytes) {
+        throw Error(ErrorCategory::kResource,
+                    "converted layout (" + std::to_string(pm.memory_bytes()) +
+                        " bytes) exceeds memory budget of " +
+                        std::to_string(memory_budget_bytes) + " bytes",
+                    {.stage = stage::kConversion});
+      }
+      return pm;
+    } catch (const std::bad_alloc&) {
+      demote(choice_out, bank_, stage::kConversion,
+             "out of memory during layout conversion", nullptr);
+    } catch (const std::exception& e) {
+      demote(choice_out, bank_, stage::kConversion, e.what(), nullptr);
+    }
+  }
+  return PreparedMatrix::prepare(m, choice_out.config);
 }
 
 }  // namespace wise

@@ -8,9 +8,17 @@
 //   auto prepared = predictor.prepare(csr_matrix);   // picks + converts
 //   prepared.run(x, y);                              // fast SpMV
 //
-// The choice is user-transparent: callers never name a format.
+// The choice is user-transparent: callers never name a format — and it is
+// never worse than the CSR baseline. When any stage fails (invalid input,
+// non-finite features, a corrupt model bank, a failed or over-budget layout
+// conversion, std::bad_alloc), choose()/prepare() demote to the best CSR
+// configuration instead of throwing, and record why in
+// WiseChoice::fallback_reason. Failure paths are exercised deterministically
+// via util/fault.hpp (WISE_FAULT_STAGES). See docs/ROBUSTNESS.md.
 
+#include <cstddef>
 #include <span>
+#include <string>
 
 #include "features/extractor.hpp"
 #include "spmv/executor.hpp"
@@ -25,6 +33,13 @@ struct WiseChoice {
   double feature_seconds = 0;    ///< feature-extraction wall time
   double inference_seconds = 0;  ///< tree-inference + selection wall time
   int feature_threads = 1;       ///< OpenMP threads available to the extractor
+
+  /// Empty on the normal path. On degradation: "<stage>: <why>", where
+  /// stage is one of parse, feature, inference, conversion (see
+  /// util/fault.hpp) and config has been demoted to the best CSR variant.
+  std::string fallback_reason;
+
+  bool fell_back() const { return !fallback_reason.empty(); }
 };
 
 class Wise {
@@ -33,15 +48,32 @@ class Wise {
   explicit Wise(ModelBank bank);
 
   /// Runs feature extraction + model inference + the selection heuristic.
+  /// Never throws on data-driven failures: a failing stage demotes the
+  /// choice to the best CSR configuration (see WiseChoice::fallback_reason).
   WiseChoice choose(const CsrMatrix& m) const;
 
   /// choose() + layout conversion. The returned PreparedMatrix references
-  /// `m` when CSR is selected, so `m` must outlive it.
+  /// `m` when CSR is selected, so `m` must outlive it. A failed or
+  /// over-budget conversion falls back to CSR rather than throwing.
   PreparedMatrix prepare(const CsrMatrix& m) const;
+
+  /// Same, reporting the (possibly demoted) choice through `choice_out`.
+  PreparedMatrix prepare(const CsrMatrix& m, WiseChoice& choice_out) const;
 
   const ModelBank& bank() const { return bank_; }
 
   FeatureParams feature_params;  ///< tiling resolution override, if any
+
+  /// Re-validate the input matrix at the top of prepare() (O(nnz) scan).
+  /// On by default; hot loops that prepare many trusted matrices can turn
+  /// it off.
+  bool validate_input = true;
+
+  /// Upper bound in bytes for a converted (non-CSR) layout; conversions
+  /// whose estimated or actual footprint exceeds it are demoted to CSR
+  /// with a kResource fallback. 0 = unlimited. Initialized from the
+  /// WISE_MEMORY_BUDGET environment variable (bytes, default 0).
+  std::size_t memory_budget_bytes = 0;
 
  private:
   ModelBank bank_;

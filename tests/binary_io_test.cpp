@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "sparse/binary_io.hpp"
 #include "test_util.hpp"
+#include "util/error.hpp"
 
 namespace wise {
 namespace {
@@ -74,6 +77,87 @@ TEST(BinaryIo, DetectsPayloadCorruption) {
 TEST(BinaryIo, RejectsMissingFile) {
   EXPECT_THROW(read_csr_binary_file("/nonexistent/file.csrb"),
                std::runtime_error);
+}
+
+TEST(BinaryIo, TruncationErrorsAreTypedWithOffset) {
+  const CsrMatrix m = random_csr(30, 30, 3.0, 7);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_binary(buf, m);
+  const std::string full = buf.str();
+
+  // Cut inside the header: the reader hits a genuine short read before the
+  // seekable-stream payload-size pre-check can run.
+  std::stringstream cut(full.substr(0, 20), std::ios::in | std::ios::binary);
+  try {
+    read_csr_binary(cut);
+    FAIL() << "expected wise::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kParse);
+    EXPECT_GT(e.context().offset, 0u);
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+
+  // A cut in the payload of a seekable stream is caught up front by the
+  // header-vs-stream size comparison instead.
+  std::stringstream half(full.substr(0, full.size() / 2),
+                         std::ios::in | std::ios::binary);
+  try {
+    read_csr_binary(half);
+    FAIL() << "expected wise::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kValidation);
+    EXPECT_NE(std::string(e.what()).find("payload size mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BinaryIo, ChecksumMismatchIsValidationError) {
+  const CsrMatrix m = random_csr(40, 40, 3.0, 8);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_binary(buf, m);
+  std::string bytes = buf.str();
+  bytes[bytes.size() / 2] ^= 0x5a;
+  std::stringstream corrupted(bytes, std::ios::in | std::ios::binary);
+  try {
+    read_csr_binary(corrupted);
+    FAIL() << "expected wise::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kValidation);
+  }
+}
+
+TEST(BinaryIo, DetectsHeaderPayloadSizeMismatch) {
+  // A header promising far more nonzeros than the stream holds must be
+  // rejected *before* the reader allocates for them.
+  const CsrMatrix m = random_csr(20, 20, 2.0, 9);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_binary(buf, m);
+  std::string bytes = buf.str();
+  // Header layout: 8-byte magic, then nrows/ncols (int64 each), then nnz.
+  std::int64_t huge_nnz = 300;  // > 20*20 fails the bound check; pick less
+  std::memcpy(&bytes[8 + 16], &huge_nnz, sizeof huge_nnz);
+  std::stringstream lying(bytes, std::ios::in | std::ios::binary);
+  try {
+    read_csr_binary(lying);
+    FAIL() << "expected wise::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kValidation);
+    EXPECT_NE(std::string(e.what()).find("payload"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BinaryIo, HeaderNnzOverflowIsRejected) {
+  const CsrMatrix m = random_csr(4, 4, 2.0, 10);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_binary(buf, m);
+  std::string bytes = buf.str();
+  std::int64_t absurd = 999;  // > 4*4 = rows*cols bound
+  std::memcpy(&bytes[8 + 16], &absurd, sizeof absurd);
+  std::stringstream lying(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_csr_binary(lying), Error);
 }
 
 }  // namespace

@@ -2,12 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/mmio.hpp"
 #include "test_util.hpp"
+#include "util/error.hpp"
 
 namespace wise {
 namespace {
@@ -42,10 +44,21 @@ TEST(Coo, CanonicalizeKeepsExactZeroSums) {
 TEST(Coo, ValidateRejectsOutOfRange) {
   CooMatrix coo(2, 2);
   coo.add(2, 0, 1.0);
-  EXPECT_THROW(coo.validate(), std::invalid_argument);
+  EXPECT_THROW(coo.validate(), Error);
   CooMatrix coo2(2, 2);
   coo2.add(0, -1, 1.0);
-  EXPECT_THROW(coo2.validate(), std::invalid_argument);
+  EXPECT_THROW(coo2.validate(), Error);
+}
+
+TEST(Coo, ValidateRejectsNonFiniteValues) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, std::numeric_limits<value_t>::quiet_NaN());
+  try {
+    coo.validate();
+    FAIL() << "expected wise::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kValidation);
+  }
 }
 
 TEST(Coo, IsCanonicalDetectsUnsortedAndDuplicates) {
@@ -111,15 +124,18 @@ TEST(Csr, ColCountsMatchTransposeRowCounts) {
 
 TEST(Csr, ValidateCatchesCorruptMatrices) {
   // Non-monotone row_ptr.
-  EXPECT_THROW(CsrMatrix(2, 2, {0, 2, 1}, {0, 1}, {1.0, 1.0}),
-               std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 2, 1}, {0, 1}, {1.0, 1.0}), Error);
   // Column out of range.
-  EXPECT_THROW(CsrMatrix(1, 2, {0, 1}, {5}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(1, 2, {0, 1}, {5}, {1.0}), Error);
   // Unsorted columns within a row.
-  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {2, 1}, {1.0, 1.0}),
-               std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {2, 1}, {1.0, 1.0}), Error);
   // Length mismatch.
-  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {0, 1}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {0, 1}, {1.0}), Error);
+  // Non-finite value.
+  EXPECT_THROW(
+      CsrMatrix(1, 2, {0, 1}, {0},
+                {std::numeric_limits<value_t>::infinity()}),
+      Error);
 }
 
 TEST(Csr, EmptyMatrixIsValid) {
