@@ -1,0 +1,229 @@
+// perf_smoke — fixed deterministic benchmark suite emitting BENCH_<sha>.json.
+//
+// Runs in a couple of seconds and covers the three costs WISE's value
+// proposition hangs on (paper Figs 2-13): feature-extraction time, the
+// per-configuration SpMV kernels of the 29-config registry, and the full
+// choose→prepare pipeline including model inference. Timings are recorded
+// twice: as explicit min/mean/max benchmark rows, and as the embedded
+// wise-metrics snapshot collected by the library's own instrumentation —
+// so the report also proves the observability layer sees every stage.
+//
+//   perf_smoke [--quick] [--out-dir DIR]
+//
+//   --quick     shrink matrix sizes/iterations (used by the ctest
+//               bench-smoke label so `ctest` stays fast)
+//   --out-dir   directory for BENCH_<sha>.json (default ".")
+//
+// The git sha in the file name comes from WISE_GIT_SHA, then GITHUB_SHA,
+// then "local". The process exits nonzero if the written report fails to
+// re-parse or is missing benchmarks/metrics — the CI perf-smoke job relies
+// on that self-check plus its own validation pass. Timings themselves are
+// informational (runner noise must not fail CI); only report *shape* gates.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/measure.hpp"
+#include "exp/spec.hpp"
+#include "exp/train.hpp"
+#include "features/extractor.hpp"
+#include "gen/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/sink.hpp"
+#include "spmv/executor.hpp"
+#include "spmv/method.hpp"
+#include "util/aligned.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+#include "wise/pipeline.hpp"
+
+using namespace wise;
+
+namespace {
+
+struct SuiteMatrix {
+  std::string name;
+  CsrMatrix m;
+};
+
+obs::JsonValue matrix_params(const CsrMatrix& m) {
+  obs::JsonValue p = obs::JsonValue::object();
+  p.set("nrows", static_cast<std::int64_t>(m.nrows()));
+  p.set("ncols", static_cast<std::int64_t>(m.ncols()));
+  p.set("nnz", static_cast<std::int64_t>(m.nnz()));
+  return p;
+}
+
+/// The fixed suite: two RMAT classes spanning the skew axis plus one RGG
+/// for the locality axis. Seeds are pinned so every run and every machine
+/// benches byte-identical matrices.
+std::vector<SuiteMatrix> build_suite(bool quick) {
+  const index_t n = quick ? 2048 : 8192;
+  const double deg = 8.0;
+  std::vector<SuiteMatrix> suite;
+  suite.push_back({"rmat-hs", CsrMatrix::from_coo(generate_rmat(
+                                  rmat_class_params(RmatClass::kHighSkew, n, deg), 42))});
+  suite.push_back({"rmat-ls", CsrMatrix::from_coo(generate_rmat(
+                                  rmat_class_params(RmatClass::kLowSkew, n, deg), 42))});
+  suite.push_back({"rgg", CsrMatrix::from_coo(generate_rgg(n, deg, 42))});
+  return suite;
+}
+
+/// Tiny training corpus for the pipeline stage: distinct from the suite
+/// matrices (different n, seeds) so choose() predicts on unseen inputs.
+std::vector<MatrixSpec> training_corpus(bool quick) {
+  const index_t n = quick ? 512 : 1024;
+  std::vector<MatrixSpec> specs;
+  std::uint64_t seed = 7000;
+  const auto classes =
+      quick ? std::vector<RmatClass>{RmatClass::kHighSkew, RmatClass::kLowLoc}
+            : std::vector<RmatClass>{RmatClass::kHighSkew, RmatClass::kMedSkew,
+                                     RmatClass::kLowSkew, RmatClass::kLowLoc,
+                                     RmatClass::kMedLoc, RmatClass::kHighLoc};
+  for (const RmatClass cls : classes) {
+    auto s = rmat_spec(cls, n, 8.0, seed++);
+    s.id = "smoke-" + s.id;
+    specs.push_back(std::move(s));
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto s = rgg_spec(n, 8.0, seed++);
+    s.id = "smoke-" + s.id;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+/// Times `passes` invocations of `fn`, returning per-pass seconds / iters.
+template <typename Fn>
+obs::TimingSummary time_passes(int passes, int iters, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(passes));
+  for (int p = 0; p < passes; ++p) {
+    Timer t;
+    for (int i = 0; i < iters; ++i) fn();
+    samples.push_back(t.seconds() / iters);
+  }
+  return obs::TimingSummary::from_samples(samples, iters);
+}
+
+int usage() {
+  std::fprintf(stderr, "usage: perf_smoke [--quick] [--out-dir DIR]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  // The suite's purpose is producing metrics, so the registry is enabled
+  // unconditionally; WISE_METRICS only picks an *additional* output sink.
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.set_enabled(true);
+  metrics.reset();
+
+  obs::BenchReport report("perf_smoke", obs::bench_git_sha());
+  const int passes = quick ? 3 : 5;
+
+  // --- Stage 1: feature extraction over the seeded suite ------------------
+  std::printf("[perf_smoke] feature extraction (%s mode)...\n",
+              quick ? "quick" : "full");
+  std::vector<SuiteMatrix> suite = build_suite(quick);
+  for (const auto& s : suite) {
+    const auto timing = time_passes(passes, 1, [&] {
+      FeatureVector fv = extract_features(s.m);
+      do_not_optimize(fv.values.data());
+    });
+    report.add("features", "extract/" + s.name, timing, matrix_params(s.m));
+  }
+
+  // --- Stage 2: the 29-configuration SpMV registry ------------------------
+  std::printf("[perf_smoke] spmv registry (29 configurations)...\n");
+  {
+    const CsrMatrix& m = suite[1].m;  // rmat-ls: no config degenerates
+    aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()));
+    aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()));
+    Xoshiro256 rng(0x5eedf00d);
+    for (auto& v : x) v = static_cast<value_t>(rng.next_double());
+
+    const int iters = quick ? 10 : 50;
+    for (const MethodConfig& cfg : all_method_configs()) {
+      PreparedMatrix pm = PreparedMatrix::prepare(m, cfg);
+      pm.run(x, y);  // warm-up
+      const auto timing = time_passes(3, iters, [&] { pm.run(x, y); });
+      obs::JsonValue params = matrix_params(m);
+      params.set("prep_seconds", pm.prep_seconds());
+      report.add("spmv", "run/" + cfg.name(), timing, std::move(params));
+    }
+  }
+
+  // --- Stage 3: full pipeline choose/prepare ------------------------------
+  std::printf("[perf_smoke] pipeline choose (training smoke bank)...\n");
+  {
+    std::vector<MatrixRecord> records;
+    for (const MatrixSpec& spec : training_corpus(quick)) {
+      records.push_back(measure_matrix(spec, {.iters = 2, .repeats = 1}));
+    }
+    const Wise predictor(train_model_bank(records));
+    for (const auto& s : suite) {
+      const auto timing = time_passes(passes, 1, [&] {
+        WiseChoice c = predictor.choose(s.m);
+        do_not_optimize(c.predicted_class);
+      });
+      WiseChoice choice;
+      PreparedMatrix pm = predictor.prepare(s.m, choice);
+      obs::JsonValue params = matrix_params(s.m);
+      params.set("selected", choice.config.name());
+      params.set("fell_back", choice.fell_back());
+      params.set("prep_seconds", pm.prep_seconds());
+      report.add("pipeline", "choose/" + s.name, timing, std::move(params));
+    }
+  }
+
+  // --- Emit ----------------------------------------------------------------
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  report.set_metrics(snap);
+  const std::string path = report.write(out_dir);
+  std::printf("[perf_smoke] wrote %s (%zu benchmarks, %zu timers)\n",
+              path.c_str(), report.size(), snap.timers.size());
+  std::printf("%s", obs::render_metrics_table(snap).c_str());
+  obs::emit_metrics_from_env();
+
+  // Self-check: the artifact must re-parse and be non-empty, else CI has
+  // nothing to gate on.
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = obs::JsonValue::parse(buf.str());
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "[perf_smoke] FAIL: %s is not valid JSON\n",
+                 path.c_str());
+    return 1;
+  }
+  const obs::JsonValue* benches = doc->find("benchmarks");
+  const obs::JsonValue* mt = doc->find("metrics");
+  const obs::JsonValue* timers = mt != nullptr ? mt->find("timers") : nullptr;
+  if (benches == nullptr || benches->size() == 0 || timers == nullptr ||
+      timers->size() == 0) {
+    std::fprintf(stderr,
+                 "[perf_smoke] FAIL: report is missing benchmarks or metrics\n");
+    return 1;
+  }
+  std::printf("[perf_smoke] OK\n");
+  return 0;
+}

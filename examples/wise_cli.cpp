@@ -9,17 +9,27 @@
 //   wise_cli generate <class> <rows> <deg> <out.mtx>
 //                                             emit an RMAT/RGG matrix
 //                                             (class: HS MS LS LL ML HL rgg)
+//
+// Observability: --verbose (any command) prints the per-stage metrics table
+// at exit — after a fallback it shows which stage timings led there. The
+// WISE_METRICS env var (off|table|json[:file]|csv:file) additionally routes
+// the same metrics to a machine-readable sink; see docs/OBSERVABILITY.md.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "example_common.hpp"
 #include "exp/measure.hpp"
 #include "features/extractor.hpp"
 #include "gen/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "sparse/mmio.hpp"
+#include "spmv/executor.hpp"
 #include "spmv/method.hpp"
+#include "util/timer.hpp"
 #include "wise/model_bank.hpp"
 #include "wise/pipeline.hpp"
 #include "wise/speedup_class.hpp"
@@ -30,12 +40,15 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: wise_cli analyze|bench|predict|convert|generate ...\n"
+               "usage: wise_cli [--verbose] analyze|bench|predict|convert|"
+               "generate ...\n"
                "  analyze  <matrix.mtx>\n"
                "  bench    <matrix.mtx>\n"
                "  predict  <matrix.mtx> <model-dir>\n"
                "  convert  <in.mtx> <out.mtx>\n"
-               "  generate <HS|MS|LS|LL|ML|HL|rgg> <rows> <degree> <out.mtx>\n");
+               "  generate <HS|MS|LS|LL|ML|HL|rgg> <rows> <degree> <out.mtx>\n"
+               "  --verbose     print the per-stage metrics table at exit\n"
+               "  WISE_METRICS  off|table|json[:file]|csv:file metrics sink\n");
   return 2;
 }
 
@@ -75,7 +88,8 @@ int cmd_bench(const std::string& path) {
 int cmd_predict(const std::string& path, const std::string& model_dir) {
   const CsrMatrix m = load(path);
   const Wise predictor(ModelBank::load(model_dir));
-  const WiseChoice choice = predictor.choose(m);
+  WiseChoice choice;
+  PreparedMatrix pm = predictor.prepare(m, choice);
   std::printf("selected: %s\n", choice.config.name().c_str());
   if (choice.fell_back()) {
     std::printf("fallback: %s\n", choice.fallback_reason.c_str());
@@ -86,8 +100,17 @@ int cmd_predict(const std::string& path, const std::string& model_dir) {
               choice.predicted_class == 0
                   ? 1.05
                   : class_upper_rel(choice.predicted_class));
-  std::printf("decision cost: %.2f ms\n",
-              (choice.feature_seconds + choice.inference_seconds) * 1e3);
+  std::printf("decision cost: %.2f ms, conversion: %.2f ms\n",
+              (choice.feature_seconds + choice.inference_seconds) * 1e3,
+              pm.prep_seconds() * 1e3);
+  // A few SpMV iterations so the selected kernel's cost shows up in the
+  // metrics (spmv.run.<config>) next to the decision-stage spans.
+  std::vector<value_t> x(static_cast<std::size_t>(m.ncols()), 1.0);
+  std::vector<value_t> y(static_cast<std::size_t>(m.nrows()));
+  Timer t;
+  for (int i = 0; i < 5; ++i) pm.run(x, y);
+  std::printf("spmv: %.3f us/iter over 5 iterations\n",
+              t.seconds() / 5 * 1e6);
   return 0;
 }
 
@@ -125,17 +148,42 @@ int cmd_generate(const std::string& cls, index_t rows, double degree,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  return examples::run_guarded([&]() -> int {
-    if (cmd == "analyze" && argc == 3) return cmd_analyze(argv[2]);
-    if (cmd == "bench" && argc == 3) return cmd_bench(argv[2]);
-    if (cmd == "predict" && argc == 4) return cmd_predict(argv[2], argv[3]);
-    if (cmd == "convert" && argc == 4) return cmd_convert(argv[2], argv[3]);
-    if (cmd == "generate" && argc == 6) {
-      return cmd_generate(argv[2], static_cast<index_t>(std::stoll(argv[3])),
-                          std::stod(argv[4]), argv[5]);
+  bool verbose = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0 ||
+        std::strcmp(argv[i], "-v") == 0) {
+      verbose = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.empty()) return usage();
+
+  // WISE_METRICS arms the registry for machine-readable output; --verbose
+  // arms it for the human-readable table regardless of the environment.
+  obs::configure_metrics_from_env();
+  if (verbose) obs::MetricsRegistry::global().set_enabled(true);
+
+  const std::string cmd = args[0];
+  const std::size_t n = args.size();
+  const int rc = examples::run_guarded([&]() -> int {
+    if (cmd == "analyze" && n == 2) return cmd_analyze(args[1]);
+    if (cmd == "bench" && n == 2) return cmd_bench(args[1]);
+    if (cmd == "predict" && n == 3) return cmd_predict(args[1], args[2]);
+    if (cmd == "convert" && n == 3) return cmd_convert(args[1], args[2]);
+    if (cmd == "generate" && n == 5) {
+      return cmd_generate(args[1], static_cast<index_t>(std::stoll(args[2])),
+                          std::stod(args[3]), args[4]);
     }
     return usage();
   });
+
+  if (verbose) {
+    const auto snap = obs::MetricsRegistry::global().snapshot();
+    std::printf("\n-- per-stage metrics --\n%s",
+                obs::render_metrics_table(snap).c_str());
+  }
+  obs::emit_metrics_from_env();
+  return rc;
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "features/extractor.hpp"
+#include "obs/metrics.hpp"
 #include "spmv/csr_kernels.hpp"
 #include "spmv/executor.hpp"
 #include "util/prng.hpp"
@@ -41,6 +42,7 @@ MatrixRecord measure_matrix(const MatrixSpec& spec,
 MatrixRecord measure_matrix(const CsrMatrix& m, const std::string& id,
                             const std::string& family,
                             const MeasureOptions& opts) {
+  obs::MetricsRegistry::global().add("exp.measure.matrices");
   MatrixRecord rec;
   rec.id = id;
   rec.family = family;
@@ -49,7 +51,10 @@ MatrixRecord measure_matrix(const CsrMatrix& m, const std::string& id,
   rec.nnz = m.nnz();
 
   Timer t;
-  rec.features = extract_features(m, opts.feature_params).values;
+  {
+    obs::ScopedTimer span("exp.measure.features");
+    rec.features = extract_features(m, opts.feature_params).values;
+  }
   rec.feature_seconds = t.seconds();
 
   aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()));
@@ -73,6 +78,7 @@ MatrixRecord measure_matrix(const CsrMatrix& m, const std::string& id,
 
   // MKL stand-in baseline.
   {
+    obs::ScopedTimer span("exp.measure.baseline");
     double best = std::numeric_limits<double>::infinity();
     for (int r = 0; r < opts.repeats; ++r) {
       Timer timer;
@@ -82,6 +88,7 @@ MatrixRecord measure_matrix(const CsrMatrix& m, const std::string& id,
     rec.mkl_seconds = best;
   }
 
+  obs::ScopedTimer span("exp.measure.configs");
   const auto configs = all_method_configs();
   rec.config_seconds.resize(configs.size());
   rec.config_prep_seconds.resize(configs.size());

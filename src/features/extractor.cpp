@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace wise {
 
 namespace {
@@ -118,7 +120,12 @@ FeatureVector extract_features(const CsrMatrix& m,
                                const FeatureParams& params) {
   // Fused path: one parallel sweep produces tiles, blocks, presence sums,
   // and the column histogram; rows come from the row_ptr difference.
-  const TilingResult tiling = analyze_tiling(m, params.tile_grid);
+  obs::ScopedTimer total("features.extract");
+  const TilingResult tiling = [&] {
+    obs::ScopedTimer span("features.extract.tiling");
+    return analyze_tiling(m, params.tile_grid);
+  }();
+  obs::ScopedTimer span("features.extract.stats");
   const DistStats row_stats = row_dist_stats(m);
   const DistStats col_stats = compute_dist_stats(tiling.col_counts);
   return assemble_features(m, row_stats, col_stats, tiling);

@@ -1,0 +1,475 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace wise::obs {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+void append_codepoint_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run() {
+    skip_ws();
+    JsonValue v;
+    if (!parse_value(v, 0)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return false;
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (true) {
+      if (eof()) return false;
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) return false;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            if (!consume('\\') || !consume('u')) return false;
+            std::uint32_t lo;
+            if (!parse_hex4(lo) || lo < 0xDC00 || lo > 0xDFFF) return false;
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return false;  // lone low surrogate
+          }
+          append_codepoint_utf8(out, cp);
+          break;
+        }
+        default: return false;
+      }
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    bool integral = true;
+    if (!eof() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      if (token[0] == '-') {
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          out = JsonValue(static_cast<std::int64_t>(v));
+          return true;
+        }
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          out = JsonValue(static_cast<std::uint64_t>(v));
+          return true;
+        }
+      }
+      // fall through to double on overflow
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return false;
+    out = JsonValue(d);
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth || eof()) return false;
+    switch (peek()) {
+      case '{': {
+        ++pos_;
+        out = JsonValue::object();
+        skip_ws();
+        if (consume('}')) return true;
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (!consume(':')) return false;
+          skip_ws();
+          JsonValue v;
+          if (!parse_value(v, depth + 1)) return false;
+          out.set(std::move(key), std::move(v));
+          skip_ws();
+          if (consume(',')) continue;
+          return consume('}');
+        }
+      }
+      case '[': {
+        ++pos_;
+        out = JsonValue::array();
+        skip_ws();
+        if (consume(']')) return true;
+        while (true) {
+          skip_ws();
+          JsonValue v;
+          if (!parse_value(v, depth + 1)) return false;
+          out.push_back(std::move(v));
+          skip_ws();
+          if (consume(',')) continue;
+          return consume(']');
+        }
+      }
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!consume_literal("true")) return false;
+        out = JsonValue(true);
+        return true;
+      case 'f':
+        if (!consume_literal("false")) return false;
+        out = JsonValue(false);
+        return true;
+      case 'n':
+        if (!consume_literal("null")) return false;
+        out = JsonValue();
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+const char* type_name(JsonValue::Type t) {
+  switch (t) {
+    case JsonValue::Type::kNull: return "null";
+    case JsonValue::Type::kBool: return "bool";
+    case JsonValue::Type::kInt:
+    case JsonValue::Type::kUint:
+    case JsonValue::Type::kDouble: return "number";
+    case JsonValue::Type::kString: return "string";
+    case JsonValue::Type::kArray: return "array";
+    case JsonValue::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+bool same_shape_rec(const JsonValue& golden, const JsonValue& actual,
+                    const std::string& path, std::string* mismatch) {
+  // All numeric representations are one JSON type.
+  const bool both_numbers = golden.is_number() && actual.is_number();
+  if (!both_numbers && golden.type() != actual.type()) {
+    if (mismatch != nullptr) {
+      *mismatch = path + ": expected " + type_name(golden.type()) + ", got " +
+                  type_name(actual.type());
+    }
+    return false;
+  }
+  if (golden.is_object()) {
+    if (golden.size() != actual.size()) {
+      if (mismatch != nullptr) {
+        *mismatch = path + ": expected " + std::to_string(golden.size()) +
+                    " keys, got " + std::to_string(actual.size());
+      }
+      return false;
+    }
+    for (std::size_t i = 0; i < golden.members().size(); ++i) {
+      const auto& [gk, gv] = golden.members()[i];
+      const auto& [ak, av] = actual.members()[i];
+      if (gk != ak) {
+        if (mismatch != nullptr) {
+          *mismatch = path + ": expected key '" + gk + "', got '" + ak + "'";
+        }
+        return false;
+      }
+      if (!same_shape_rec(gv, av, path + "." + gk, mismatch)) return false;
+    }
+    return true;
+  }
+  if (golden.is_array()) {
+    if (golden.size() == 0) return true;  // any length/shape accepted
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      if (!same_shape_rec(golden.at(0), actual.at(i),
+                          path + "[" + std::to_string(i) + "]", mismatch)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return true;  // scalar values are not compared
+}
+
+}  // namespace
+
+JsonValue& JsonValue::push_back(JsonValue v) {
+  if (type_ != Type::kArray) {
+    throw std::logic_error("JsonValue::push_back on non-array");
+  }
+  array_.push_back(std::move(v));
+  return array_.back();
+}
+
+JsonValue& JsonValue::set(std::string key, JsonValue v) {
+  if (type_ != Type::kObject) {
+    throw std::logic_error("JsonValue::set on non-object");
+  }
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+  return object_.back().second;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t JsonValue::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  if (type_ != Type::kArray) {
+    throw std::logic_error("JsonValue::at on non-array");
+  }
+  return array_.at(i);
+}
+
+std::int64_t JsonValue::as_int() const {
+  switch (type_) {
+    case Type::kInt: return int_;
+    case Type::kUint: return static_cast<std::int64_t>(uint_);
+    case Type::kDouble: return static_cast<std::int64_t>(double_);
+    default: return 0;
+  }
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  switch (type_) {
+    case Type::kInt: return static_cast<std::uint64_t>(int_);
+    case Type::kUint: return uint_;
+    case Type::kDouble: return static_cast<std::uint64_t>(double_);
+    default: return 0;
+  }
+}
+
+double JsonValue::as_double() const {
+  switch (type_) {
+    case Type::kInt: return static_cast<double>(int_);
+    case Type::kUint: return static_cast<double>(uint_);
+    case Type::kDouble: return double_;
+    default: return 0;
+  }
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent) *
+                            static_cast<std::size_t>(depth + 1),
+                        ' ');
+  const std::string close_pad(
+      static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(int_); break;
+    case Type::kUint: out += std::to_string(uint_); break;
+    case Type::kDouble: {
+      if (!std::isfinite(double_)) {
+        out += "null";
+        break;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", double_);
+      out += buf;
+      break;
+    }
+    case Type::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        out += pad;
+        array_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < array_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        out += pad;
+        out += '"';
+        out += json_escape(object_[i].first);
+        out += "\": ";
+        object_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < object_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+bool json_same_shape(const JsonValue& golden, const JsonValue& actual,
+                     std::string* mismatch) {
+  return same_shape_rec(golden, actual, "$", mismatch);
+}
+
+}  // namespace wise::obs

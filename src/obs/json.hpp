@@ -1,0 +1,99 @@
+#pragma once
+// Minimal JSON document model for the observability layer.
+//
+// The repository deliberately carries no third-party JSON dependency; the
+// metrics sinks need (a) a writer with *stable key order* so BENCH_*.json
+// files diff cleanly across runs, and (b) a strict parser so tests and the
+// CI perf-smoke gate can validate emitted reports without python. Objects
+// preserve insertion order (the schema defines the order); duplicate keys
+// overwrite. Numbers keep their integer-ness: values written as int64 or
+// uint64 render without a decimal point and round-trip exactly.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wise::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  JsonValue(std::int64_t v) : type_(Type::kInt), int_(v) {}
+  JsonValue(std::uint64_t v) : type_(Type::kUint), uint_(v) {}
+  JsonValue(int v) : JsonValue(static_cast<std::int64_t>(v)) {}
+  JsonValue(double v) : type_(Type::kDouble), double_(v) {}
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}
+
+  static JsonValue array() { return JsonValue(Type::kArray); }
+  static JsonValue object() { return JsonValue(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kUint || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+
+  /// Appends to an array. Throws std::logic_error on non-arrays.
+  JsonValue& push_back(JsonValue v);
+
+  /// Sets an object member, preserving first-insertion order. Throws
+  /// std::logic_error on non-objects.
+  JsonValue& set(std::string key, JsonValue v);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  std::size_t size() const;  ///< elements (array) or members (object)
+  const JsonValue& at(std::size_t i) const;  ///< array element
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  double as_double() const;  ///< any numeric type, widened
+  const std::string& as_string() const { return string_; }
+
+  /// Serializes with 2-space indentation and "\n" line ends; object keys in
+  /// insertion order. Non-finite doubles render as null (JSON has no inf).
+  std::string dump(int indent = 2) const;
+
+  /// Strict recursive-descent parse of a complete JSON document (trailing
+  /// non-whitespace rejected). Returns nullopt on any syntax error.
+  static std::optional<JsonValue> parse(std::string_view text);
+
+ private:
+  explicit JsonValue(Type t) : type_(t) {}
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Escapes `s` for inclusion in a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// True when `a` and `b` have the same *shape*: equal types, equal object
+/// key sets (order-sensitive), and for arrays every element matching the
+/// shape of the golden's first element (an empty golden array matches any).
+/// Scalar values are ignored. Used by the BENCH_*.json golden-file test.
+bool json_same_shape(const JsonValue& golden, const JsonValue& actual,
+                     std::string* mismatch = nullptr);
+
+}  // namespace wise::obs

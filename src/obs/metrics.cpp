@@ -1,0 +1,246 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wise::obs {
+
+namespace {
+
+/// Bounded per-thread sample reservoir size. When full, every other sample
+/// is dropped and the keep-stride doubles, so the reservoir stays an
+/// evenly spaced, deterministic subsample of the full stream.
+constexpr std::size_t kReservoirCap = 512;
+
+/// Nearest-rank percentile of an already-sorted sample vector.
+double percentile(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const std::size_t n = sorted.size();
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return static_cast<double>(sorted[rank - 1]);
+}
+
+}  // namespace
+
+const MetricsSnapshot::Timer* MetricsSnapshot::find_timer(
+    std::string_view name) const {
+  for (const auto& t : timers) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::Counter* MetricsSnapshot::find_counter(
+    std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+struct MetricsRegistry::ThreadSlab {
+  struct TimerAccum {
+    std::uint64_t count = 0;
+    std::uint64_t total = 0;
+    std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max = 0;
+    std::uint64_t seq = 0;     ///< samples seen, for stride decimation
+    std::uint64_t stride = 1;  ///< keep every stride-th sample
+    std::vector<std::uint64_t> samples;
+
+    void record(std::uint64_t ns) {
+      ++count;
+      total += ns;
+      min = std::min(min, ns);
+      max = std::max(max, ns);
+      if (seq % stride == 0) {
+        samples.push_back(ns);
+        if (samples.size() >= kReservoirCap) {
+          // Halve: keep every other retained sample, double the stride.
+          std::size_t w = 0;
+          for (std::size_t r = 0; r < samples.size(); r += 2) {
+            samples[w++] = samples[r];
+          }
+          samples.resize(w);
+          stride *= 2;
+        }
+      }
+      ++seq;
+    }
+
+    void clear() {
+      count = total = max = seq = 0;
+      min = std::numeric_limits<std::uint64_t>::max();
+      stride = 1;
+      samples.clear();
+    }
+  };
+
+  std::mutex m;  ///< uncontended on the hot path (owning thread only)
+  std::vector<std::uint64_t> counters;  ///< indexed by MetricId
+  std::vector<TimerAccum> timers;       ///< indexed by MetricId
+};
+
+MetricsRegistry::MetricsRegistry() {
+  static std::atomic<std::uint64_t> next_serial{1};
+  serial_ = next_serial.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: OpenMP workers may record during static teardown.
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+MetricsRegistry::ThreadSlab& MetricsRegistry::slab() {
+  // One-entry thread-local cache keyed by the registry's unique serial.
+  // A miss (first use on this thread, or a different registry instance)
+  // registers a fresh slab; the registry owns it, so nothing needs to
+  // happen at thread exit and late-exiting OpenMP workers stay safe.
+  thread_local std::uint64_t cached_serial = 0;
+  thread_local ThreadSlab* cached_slab = nullptr;
+  if (cached_serial != serial_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slabs_.push_back(std::make_unique<ThreadSlab>());
+    cached_slab = slabs_.back().get();
+    cached_serial = serial_;
+  }
+  return *cached_slab;
+}
+
+MetricId MetricsRegistry::intern(std::string_view name, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    if (names_[it->second].kind != kind) {
+      throw std::logic_error("MetricsRegistry: metric '" + std::string(name) +
+                             "' re-interned with a different kind");
+    }
+    return it->second;
+  }
+  const MetricId id = static_cast<MetricId>(names_.size());
+  names_.push_back({std::string(name), kind});
+  gauges_.emplace_back(0.0, false);
+  index_.emplace(std::string(name), id);
+  return id;
+}
+
+void MetricsRegistry::add(MetricId id, std::uint64_t delta) {
+  if (!enabled() || id == kInvalidMetric) return;
+  ThreadSlab& s = slab();
+  std::lock_guard<std::mutex> lock(s.m);
+  if (s.counters.size() <= id) s.counters.resize(id + 1, 0);
+  s.counters[id] += delta;
+}
+
+void MetricsRegistry::record_ns(MetricId id, std::uint64_t ns) {
+  if (!enabled() || id == kInvalidMetric) return;
+  ThreadSlab& s = slab();
+  std::lock_guard<std::mutex> lock(s.m);
+  if (s.timers.size() <= id) s.timers.resize(id + 1);
+  s.timers[id].record(ns);
+}
+
+void MetricsRegistry::set_gauge(MetricId id, double value) {
+  if (!enabled() || id == kInvalidMetric) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < gauges_.size()) gauges_[id] = {value, true};
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  if (!enabled()) return;
+  add(counter_id(name), delta);
+}
+
+void MetricsRegistry::record_ns(std::string_view name, std::uint64_t ns) {
+  if (!enabled()) return;
+  record_ns(timer_id(name), ns);
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  if (!enabled()) return;
+  set_gauge(gauge_id(name), value);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = names_.size();
+
+  std::vector<std::uint64_t> counters(n, 0);
+  std::vector<ThreadSlab::TimerAccum> timers(n);
+  std::vector<std::vector<std::uint64_t>> samples(n);
+
+  for (const auto& slab_ptr : slabs_) {
+    ThreadSlab& s = *slab_ptr;
+    std::lock_guard<std::mutex> slab_lock(s.m);
+    for (std::size_t i = 0; i < s.counters.size(); ++i) {
+      counters[i] += s.counters[i];
+    }
+    for (std::size_t i = 0; i < s.timers.size(); ++i) {
+      const auto& t = s.timers[i];
+      if (t.count == 0) continue;
+      auto& dst = timers[i];
+      dst.count += t.count;
+      dst.total += t.total;
+      dst.min = std::min(dst.min, t.min);
+      dst.max = std::max(dst.max, t.max);
+      samples[i].insert(samples[i].end(), t.samples.begin(), t.samples.end());
+    }
+  }
+
+  MetricsSnapshot snap;
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (names_[i].kind) {
+      case MetricKind::kCounter:
+        if (counters[i] != 0) {
+          snap.counters.push_back({names_[i].name, counters[i]});
+        }
+        break;
+      case MetricKind::kGauge:
+        if (gauges_[i].second) {
+          snap.gauges.push_back({names_[i].name, gauges_[i].first});
+        }
+        break;
+      case MetricKind::kTimer: {
+        const auto& t = timers[i];
+        if (t.count == 0) break;
+        TimerStats st;
+        st.count = t.count;
+        st.total_ns = t.total;
+        st.min_ns = t.min;
+        st.max_ns = t.max;
+        st.mean_ns = static_cast<double>(t.total) / static_cast<double>(t.count);
+        std::sort(samples[i].begin(), samples[i].end());
+        st.p50_ns = percentile(samples[i], 0.50);
+        st.p95_ns = percentile(samples[i], 0.95);
+        snap.timers.push_back({names_[i].name, st});
+        break;
+      }
+    }
+  }
+
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.timers.begin(), snap.timers.end(), by_name);
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& slab_ptr : slabs_) {
+    ThreadSlab& s = *slab_ptr;
+    std::lock_guard<std::mutex> slab_lock(s.m);
+    std::fill(s.counters.begin(), s.counters.end(), 0);
+    for (auto& t : s.timers) t.clear();
+  }
+  for (auto& g : gauges_) g = {0.0, false};
+}
+
+}  // namespace wise::obs

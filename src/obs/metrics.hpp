@@ -1,0 +1,200 @@
+#pragma once
+// Low-overhead metrics registry: counters, gauges, and nanosecond timers
+// with per-stage scoped (RAII) spans.
+//
+// Design goals, in priority order:
+//
+//  1. Zero cost when disabled. Every hot-path entry point first reads one
+//     relaxed atomic flag; with WISE_METRICS unset (or "off") no clock is
+//     read, no string is interned, and no allocation happens.
+//  2. Contention-free when enabled inside OpenMP regions. Samples
+//     accumulate into per-thread slabs (one uncontended mutex each, taken
+//     only by the owning thread on the hot path) and are merged on
+//     snapshot(), so parallel instrumented loops never share a cache line.
+//  3. Stable, machine-consumable output. snapshot() returns rows sorted by
+//     metric name; the sinks in obs/sink.hpp render them as an ASCII
+//     table, schema-versioned JSON, or CSV appends (see
+//     docs/OBSERVABILITY.md for the catalog of metric names).
+//
+// Typical use:
+//
+//   void Wise::choose(...) {
+//     obs::ScopedTimer t("wise.choose.feature");   // no-op when disabled
+//     ...
+//   }
+//
+// Hot kernels that cannot afford a by-name lookup resolve a MetricId once
+// (obs::MetricsRegistry::global().timer_id("spmv.run.CSR/Dyn")) and record
+// through it.
+//
+// Threading contract: record/add/set calls are safe from any thread at any
+// time. snapshot() and reset() are safe concurrently with recording, but a
+// snapshot taken while instrumented work is in flight sees a consistent
+// prefix of each thread's samples, not a global cut.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wise::obs {
+
+using MetricId = std::uint32_t;
+inline constexpr MetricId kInvalidMetric = 0xffffffffu;
+
+enum class MetricKind { kCounter, kGauge, kTimer };
+
+/// Merged view of one timer: exact count/total/min/max plus percentiles
+/// estimated from a bounded, deterministically decimated sample reservoir.
+struct TimerStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+  double mean_ns = 0;
+  double p50_ns = 0;
+  double p95_ns = 0;
+};
+
+/// Point-in-time merged view of the registry, rows sorted by name.
+struct MetricsSnapshot {
+  struct Counter {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct Gauge {
+    std::string name;
+    double value = 0;
+  };
+  struct Timer {
+    std::string name;
+    TimerStats stats;
+  };
+
+  std::vector<Counter> counters;
+  std::vector<Gauge> gauges;
+  std::vector<Timer> timers;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && timers.empty();
+  }
+  /// Pointer into `timers` for `name`, or nullptr.
+  const Timer* find_timer(std::string_view name) const;
+  const Counter* find_counter(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every library instrumentation point uses.
+  /// Never destroyed (leaked on purpose) so OpenMP worker threads can
+  /// record until the very end of the process without teardown races.
+  static MetricsRegistry& global();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Interns `name` and returns its stable id. Idempotent; a name keeps its
+  /// id for the registry's lifetime (reset() clears values, not names).
+  /// Interning the same name with two different kinds throws
+  /// std::logic_error — metric names are namespaced by convention
+  /// ("<subsystem>.<stage>[.<detail>]"), not by kind.
+  MetricId intern(std::string_view name, MetricKind kind);
+  MetricId timer_id(std::string_view name) {
+    return intern(name, MetricKind::kTimer);
+  }
+  MetricId counter_id(std::string_view name) {
+    return intern(name, MetricKind::kCounter);
+  }
+  MetricId gauge_id(std::string_view name) {
+    return intern(name, MetricKind::kGauge);
+  }
+
+  /// Hot-path record entry points. All are no-ops when disabled and ignore
+  /// kInvalidMetric, so callers can cache ids unconditionally.
+  void add(MetricId id, std::uint64_t delta = 1);
+  void record_ns(MetricId id, std::uint64_t ns);
+  void set_gauge(MetricId id, double value);
+
+  /// By-name convenience (one interning lookup per call). No-ops — with no
+  /// allocation — when disabled.
+  void add(std::string_view name, std::uint64_t delta = 1);
+  void record_ns(std::string_view name, std::uint64_t ns);
+  void set_gauge(std::string_view name, double value);
+
+  /// Merges every thread's slab into a sorted snapshot. Metrics that never
+  /// recorded a value are omitted.
+  MetricsSnapshot snapshot();
+
+  /// Zeroes all recorded values (interned names keep their ids).
+  void reset();
+
+ private:
+  struct ThreadSlab;
+  ThreadSlab& slab();
+
+  std::atomic<bool> enabled_{false};
+
+  std::mutex mutex_;  ///< guards names_, ids_, slabs_, gauges_
+  struct MetricInfo {
+    std::string name;
+    MetricKind kind;
+  };
+  std::vector<MetricInfo> names_;
+  std::unordered_map<std::string, MetricId> index_;
+  std::vector<std::pair<double, bool>> gauges_;  ///< value, has-been-set
+  std::vector<std::unique_ptr<ThreadSlab>> slabs_;
+  std::uint64_t serial_;  ///< unique per registry instance, for the TL cache
+};
+
+/// RAII span: records wall-clock nanoseconds into a timer metric on
+/// destruction. When the registry is disabled at construction the object
+/// does nothing at all — no clock read, no interning, no allocation.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name)
+      : ScopedTimer(name, MetricsRegistry::global()) {}
+  ScopedTimer(const char* name, MetricsRegistry& reg) {
+    if (reg.enabled()) arm(reg.timer_id(name), reg);
+  }
+  /// For pre-interned hot paths.
+  ScopedTimer(MetricId id, MetricsRegistry& reg) {
+    if (reg.enabled() && id != kInvalidMetric) arm(id, reg);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (reg_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    reg_->record_ns(id_, static_cast<std::uint64_t>(ns));
+  }
+
+ private:
+  void arm(MetricId id, MetricsRegistry& reg) {
+    id_ = id;
+    reg_ = &reg;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  MetricsRegistry* reg_ = nullptr;
+  MetricId id_ = kInvalidMetric;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace wise::obs

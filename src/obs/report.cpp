@@ -1,0 +1,108 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include <omp.h>
+
+#include "obs/sink.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace wise::obs {
+
+TimingSummary TimingSummary::from_samples(
+    const std::vector<double>& pass_seconds, int iters_per_pass) {
+  TimingSummary s;
+  s.iters = iters_per_pass;
+  if (pass_seconds.empty()) return s;
+  s.min_seconds = std::numeric_limits<double>::infinity();
+  s.max_seconds = 0;
+  double sum = 0;
+  for (const double v : pass_seconds) {
+    s.min_seconds = std::min(s.min_seconds, v);
+    s.max_seconds = std::max(s.max_seconds, v);
+    sum += v;
+  }
+  s.mean_seconds = sum / static_cast<double>(pass_seconds.size());
+  return s;
+}
+
+std::string bench_git_sha() {
+  std::string sha = env_string("WISE_GIT_SHA", "");
+  if (sha.empty()) sha = env_string("GITHUB_SHA", "");
+  if (sha.empty()) sha = "local";
+  if (sha.size() > 12) sha.resize(12);
+  for (char& c : sha) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '-';
+  }
+  return sha;
+}
+
+BenchReport::BenchReport(std::string suite, std::string git_sha)
+    : suite_(std::move(suite)), git_sha_(std::move(git_sha)) {
+  if (git_sha_.empty()) git_sha_ = bench_git_sha();
+}
+
+void BenchReport::add(const std::string& group, const std::string& name,
+                      const TimingSummary& timing, JsonValue params) {
+  if (!params.is_object()) {
+    throw std::invalid_argument("BenchReport::add: params must be an object");
+  }
+  JsonValue row = JsonValue::object();
+  row.set("group", group);
+  row.set("name", name);
+  row.set("iters", static_cast<std::int64_t>(timing.iters));
+  row.set("params", std::move(params));
+  JsonValue seconds = JsonValue::object();
+  seconds.set("min", timing.min_seconds);
+  seconds.set("mean", timing.mean_seconds);
+  seconds.set("max", timing.max_seconds);
+  row.set("seconds", std::move(seconds));
+  benchmarks_.push_back(std::move(row));
+}
+
+void BenchReport::set_metrics(const MetricsSnapshot& snap) {
+  metrics_ = metrics_to_json(snap);
+  has_metrics_ = true;
+}
+
+JsonValue BenchReport::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "wise-bench-report");
+  doc.set("version", kBenchReportSchemaVersion);
+  doc.set("suite", suite_);
+  doc.set("git_sha", git_sha_);
+  doc.set("omp_max_threads", static_cast<std::int64_t>(omp_get_max_threads()));
+  JsonValue rows = JsonValue::array();
+  for (const auto& b : benchmarks_) rows.push_back(b);
+  doc.set("benchmarks", std::move(rows));
+  doc.set("metrics", has_metrics_ ? metrics_ : JsonValue::object());
+  return doc;
+}
+
+std::string BenchReport::file_name() const {
+  return "BENCH_" + git_sha_ + ".json";
+}
+
+std::string BenchReport::write(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  const std::string path =
+      (std::filesystem::path(dir) / file_name()).string();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw Error(ErrorCategory::kResource, "cannot open for writing",
+                {.file = path});
+  }
+  out << to_json().dump() << "\n";
+  if (!out.flush()) {
+    throw Error(ErrorCategory::kResource, "write failed", {.file = path});
+  }
+  return path;
+}
+
+}  // namespace wise::obs

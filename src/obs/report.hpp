@@ -1,0 +1,84 @@
+#pragma once
+// BENCH_*.json report builder — the artifact the CI perf-smoke job uploads.
+//
+// A report is a schema-versioned JSON document ("wise-bench-report" v1)
+// holding one row per benchmark plus an embedded wise-metrics snapshot, so
+// a single file answers both "how fast was each suite entry" and "where did
+// the pipeline spend its time". Key order is fixed by the builder (object
+// insertion order), making reports byte-diffable across commits:
+//
+//   {
+//     "schema": "wise-bench-report", "version": 1,
+//     "suite": "perf_smoke", "git_sha": "<sha or 'local'>",
+//     "omp_max_threads": N,
+//     "benchmarks": [
+//       { "group": "...", "name": "...", "iters": N,
+//         "params": { ... },                       // caller-defined
+//         "seconds": {"min":..,"mean":..,"max":..} }
+//     ],
+//     "metrics": { <wise-metrics document, see obs/sink.hpp> }
+//   }
+//
+// The file name is BENCH_<git_sha>.json; the sha comes from WISE_GIT_SHA,
+// then GITHUB_SHA, then "local" (first 12 characters, path-safe).
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace wise::obs {
+
+inline constexpr int kBenchReportSchemaVersion = 1;
+
+/// Aggregate of repeated timing passes of one benchmark.
+struct TimingSummary {
+  int iters = 0;  ///< inner iterations per timed pass
+  double min_seconds = 0;
+  double mean_seconds = 0;
+  double max_seconds = 0;
+
+  /// Min/mean/max over per-iteration seconds of each pass.
+  static TimingSummary from_samples(const std::vector<double>& pass_seconds,
+                                    int iters_per_pass);
+};
+
+/// Resolves the commit label for report file names: WISE_GIT_SHA, else
+/// GITHUB_SHA, else "local"; truncated to 12 chars, non-alphanumerics
+/// replaced with '-'.
+std::string bench_git_sha();
+
+class BenchReport {
+ public:
+  BenchReport(std::string suite, std::string git_sha);
+
+  /// Appends one benchmark row. `params` must be a JSON object (defaults to
+  /// empty); rows keep insertion order.
+  void add(const std::string& group, const std::string& name,
+           const TimingSummary& timing, JsonValue params = JsonValue::object());
+
+  /// Embeds a metrics snapshot (replacing any previous one).
+  void set_metrics(const MetricsSnapshot& snap);
+
+  std::size_t size() const { return benchmarks_.size(); }
+  const std::string& git_sha() const { return git_sha_; }
+
+  JsonValue to_json() const;
+
+  /// "BENCH_<git_sha>.json".
+  std::string file_name() const;
+
+  /// Writes to_json() under `dir` (created if missing) as file_name().
+  /// Returns the full path written.
+  std::string write(const std::string& dir) const;
+
+ private:
+  std::string suite_;
+  std::string git_sha_;
+  std::vector<JsonValue> benchmarks_;
+  JsonValue metrics_ = JsonValue::object();
+  bool has_metrics_ = false;
+};
+
+}  // namespace wise::obs

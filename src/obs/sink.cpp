@@ -1,0 +1,233 @@
+#include "obs/sink.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/ascii_plot.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace wise::obs {
+
+namespace {
+
+std::string us(double ns) { return fmt(ns / 1e3, 3); }
+
+void write_text_file(const std::string& path, const std::string& text) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw Error(ErrorCategory::kResource, "cannot open for writing",
+                {.file = path});
+  }
+  out << text;
+  if (!out.flush()) {
+    throw Error(ErrorCategory::kResource, "write failed", {.file = path});
+  }
+}
+
+}  // namespace
+
+std::string render_metrics_table(const MetricsSnapshot& snap) {
+  if (snap.empty()) return "(no metrics recorded)\n";
+  std::string out;
+  if (!snap.timers.empty()) {
+    std::vector<std::string> rows;
+    std::vector<std::vector<std::string>> cells;
+    for (const auto& t : snap.timers) {
+      rows.push_back(t.name);
+      cells.push_back({std::to_string(t.stats.count),
+                       fmt(static_cast<double>(t.stats.total_ns) / 1e6, 3),
+                       us(static_cast<double>(t.stats.min_ns)),
+                       us(t.stats.mean_ns), us(t.stats.p50_ns),
+                       us(t.stats.p95_ns),
+                       us(static_cast<double>(t.stats.max_ns))});
+    }
+    out += render_table({"count", "total ms", "min us", "mean us", "p50 us",
+                         "p95 us", "max us"},
+                        rows, cells, "timer");
+  }
+  if (!snap.counters.empty()) {
+    std::vector<std::string> rows;
+    std::vector<std::vector<std::string>> cells;
+    for (const auto& c : snap.counters) {
+      rows.push_back(c.name);
+      cells.push_back({std::to_string(c.value)});
+    }
+    if (!out.empty()) out += "\n";
+    out += render_table({"value"}, rows, cells, "counter");
+  }
+  if (!snap.gauges.empty()) {
+    std::vector<std::string> rows;
+    std::vector<std::vector<std::string>> cells;
+    for (const auto& g : snap.gauges) {
+      rows.push_back(g.name);
+      cells.push_back({fmt(g.value, 6)});
+    }
+    if (!out.empty()) out += "\n";
+    out += render_table({"value"}, rows, cells, "gauge");
+  }
+  return out;
+}
+
+JsonValue metrics_to_json(const MetricsSnapshot& snap) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "wise-metrics");
+  doc.set("version", kMetricsSchemaVersion);
+
+  JsonValue counters = JsonValue::array();
+  for (const auto& c : snap.counters) {
+    JsonValue row = JsonValue::object();
+    row.set("name", c.name);
+    row.set("value", c.value);
+    counters.push_back(std::move(row));
+  }
+  doc.set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::array();
+  for (const auto& g : snap.gauges) {
+    JsonValue row = JsonValue::object();
+    row.set("name", g.name);
+    row.set("value", g.value);
+    gauges.push_back(std::move(row));
+  }
+  doc.set("gauges", std::move(gauges));
+
+  JsonValue timers = JsonValue::array();
+  for (const auto& t : snap.timers) {
+    JsonValue row = JsonValue::object();
+    row.set("name", t.name);
+    row.set("count", t.stats.count);
+    row.set("total_ns", t.stats.total_ns);
+    row.set("min_ns", t.stats.min_ns);
+    row.set("mean_ns", t.stats.mean_ns);
+    row.set("p50_ns", t.stats.p50_ns);
+    row.set("p95_ns", t.stats.p95_ns);
+    row.set("max_ns", t.stats.max_ns);
+    timers.push_back(std::move(row));
+  }
+  doc.set("timers", std::move(timers));
+  return doc;
+}
+
+void TableSink::write(const MetricsSnapshot& snap) {
+  const std::string text = render_metrics_table(snap);
+  std::fputs(text.c_str(), out_);
+}
+
+void JsonSink::write(const MetricsSnapshot& snap) {
+  const std::string text = metrics_to_json(snap).dump() + "\n";
+  if (!path_.empty()) {
+    write_text_file(path_, text);
+  } else {
+    std::fputs(text.c_str(), out_);
+  }
+}
+
+CsvSink::CsvSink(std::string path, std::string run_label)
+    : path_(std::move(path)), run_label_(std::move(run_label)) {
+  if (path_.empty()) {
+    throw std::invalid_argument("CsvSink: csv mode requires a file path");
+  }
+}
+
+void CsvSink::write(const MetricsSnapshot& snap) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path_).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  const bool fresh = !std::filesystem::exists(path_) ||
+                     std::filesystem::file_size(path_) == 0;
+  std::ofstream out(path_, std::ios::app);
+  if (!out) {
+    throw Error(ErrorCategory::kResource, "cannot open for append",
+                {.file = path_});
+  }
+  if (fresh) {
+    out << "run,name,kind,count,total_ns,min_ns,mean_ns,p50_ns,p95_ns,"
+           "max_ns,value\n";
+  }
+  for (const auto& t : snap.timers) {
+    out << run_label_ << ',' << t.name << ",timer," << t.stats.count << ','
+        << t.stats.total_ns << ',' << t.stats.min_ns << ','
+        << fmt(t.stats.mean_ns, 6) << ',' << fmt(t.stats.p50_ns, 6) << ','
+        << fmt(t.stats.p95_ns, 6) << ',' << t.stats.max_ns << ",\n";
+  }
+  for (const auto& c : snap.counters) {
+    out << run_label_ << ',' << c.name << ",counter,,,,,,,," << c.value
+        << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    out << run_label_ << ',' << g.name << ",gauge,,,,,,,," << fmt(g.value, 6)
+        << "\n";
+  }
+  if (!out.flush()) {
+    throw Error(ErrorCategory::kResource, "append failed", {.file = path_});
+  }
+}
+
+MetricsConfig parse_metrics_config(const std::string& value) {
+  MetricsConfig cfg;
+  std::string mode = value;
+  const std::size_t colon = value.find(':');
+  if (colon != std::string::npos) {
+    mode = value.substr(0, colon);
+    cfg.path = value.substr(colon + 1);
+  }
+  if (mode == "table") {
+    cfg.mode = MetricsConfig::Mode::kTable;
+  } else if (mode == "json") {
+    cfg.mode = MetricsConfig::Mode::kJson;
+  } else if (mode == "csv") {
+    cfg.mode = MetricsConfig::Mode::kCsv;
+  } else {
+    cfg.mode = MetricsConfig::Mode::kOff;  // "off", "", unknown
+    cfg.path.clear();
+  }
+  return cfg;
+}
+
+MetricsConfig metrics_config_from_env() {
+  return parse_metrics_config(env_string("WISE_METRICS", "off"));
+}
+
+MetricsConfig configure_metrics_from_env() {
+  const MetricsConfig cfg = metrics_config_from_env();
+  MetricsRegistry::global().set_enabled(cfg.mode != MetricsConfig::Mode::kOff);
+  return cfg;
+}
+
+bool emit_metrics_from_env(std::FILE* table_out) {
+  const MetricsConfig cfg = metrics_config_from_env();
+  if (cfg.mode == MetricsConfig::Mode::kOff) return false;
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  if (snap.empty()) return false;
+  switch (cfg.mode) {
+    case MetricsConfig::Mode::kTable: {
+      TableSink sink(table_out);
+      sink.write(snap);
+      break;
+    }
+    case MetricsConfig::Mode::kJson: {
+      if (cfg.path.empty()) {
+        JsonSink sink(table_out);
+        sink.write(snap);
+      } else {
+        JsonSink sink(cfg.path);
+        sink.write(snap);
+      }
+      break;
+    }
+    case MetricsConfig::Mode::kCsv: {
+      CsvSink sink(cfg.path, env_string("WISE_GIT_SHA", "local"));
+      sink.write(snap);
+      break;
+    }
+    case MetricsConfig::Mode::kOff:
+      return false;
+  }
+  return true;
+}
+
+}  // namespace wise::obs

@@ -1,0 +1,112 @@
+#pragma once
+// Rendering backends for MetricsSnapshot, plus the WISE_METRICS env toggle.
+//
+// Three sinks cover the three consumers:
+//   TableSink — pretty ASCII table for humans (reuses util/ascii_plot);
+//   JsonSink  — schema-versioned JSON with stable key order, for CI and
+//               cross-run diffing;
+//   CsvSink   — one appended row per metric per flush, for long-running
+//               processes that want a time series in a spreadsheet.
+//
+// Selection is driven by the WISE_METRICS environment variable:
+//
+//   WISE_METRICS=off           (default) registry disabled, zero cost
+//   WISE_METRICS=table         enabled; emit an ASCII table to stdout
+//   WISE_METRICS=json          enabled; emit JSON to stdout
+//   WISE_METRICS=json:FILE     enabled; write JSON to FILE
+//   WISE_METRICS=csv:FILE      enabled; append CSV rows to FILE
+//
+// CLI front ends call configure_metrics_from_env() once at startup and
+// emit_metrics_from_env() once before exit. See docs/OBSERVABILITY.md.
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace wise::obs {
+
+/// Version of the "wise-metrics" JSON schema emitted by metrics_to_json.
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// Renders the snapshot as aligned ASCII tables (timers in microseconds).
+/// Empty snapshot renders as "(no metrics recorded)".
+std::string render_metrics_table(const MetricsSnapshot& snap);
+
+/// Schema-versioned JSON document with stable (sorted-by-name) row order:
+/// { "schema": "wise-metrics", "version": 1,
+///   "counters": [{"name","value"}...],
+///   "gauges":   [{"name","value"}...],
+///   "timers":   [{"name","count","total_ns","min_ns","mean_ns",
+///                 "p50_ns","p95_ns","max_ns"}...] }
+JsonValue metrics_to_json(const MetricsSnapshot& snap);
+
+/// Abstract snapshot consumer.
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void write(const MetricsSnapshot& snap) = 0;
+};
+
+/// ASCII table to a stdio stream (not owned).
+class TableSink : public MetricsSink {
+ public:
+  explicit TableSink(std::FILE* out = stdout) : out_(out) {}
+  void write(const MetricsSnapshot& snap) override;
+
+ private:
+  std::FILE* out_;
+};
+
+/// JSON document to a file (path non-empty) or a stdio stream.
+class JsonSink : public MetricsSink {
+ public:
+  explicit JsonSink(std::string path) : path_(std::move(path)) {}
+  explicit JsonSink(std::FILE* out) : out_(out) {}
+  void write(const MetricsSnapshot& snap) override;
+
+ private:
+  std::string path_;
+  std::FILE* out_ = nullptr;
+};
+
+/// Appends one row per metric per write() to `path`, creating the file
+/// (with a header) when absent. Columns:
+///   run,name,kind,count,total_ns,min_ns,mean_ns,p50_ns,p95_ns,max_ns,value
+/// `run` is a caller-chosen label (e.g. a git SHA) so successive flushes
+/// from a long experiment stay distinguishable.
+class CsvSink : public MetricsSink {
+ public:
+  explicit CsvSink(std::string path, std::string run_label = "");
+  void write(const MetricsSnapshot& snap) override;
+
+ private:
+  std::string path_;
+  std::string run_label_;
+};
+
+/// Parsed WISE_METRICS value.
+struct MetricsConfig {
+  enum class Mode { kOff, kTable, kJson, kCsv };
+  Mode mode = Mode::kOff;
+  std::string path;  ///< empty = stdout (table/json) — csv requires a path
+};
+
+/// Parses a WISE_METRICS-style string ("off", "table", "json", "json:f",
+/// "csv:f"). Unknown modes fall back to kOff.
+MetricsConfig parse_metrics_config(const std::string& value);
+
+/// Reads WISE_METRICS from the environment.
+MetricsConfig metrics_config_from_env();
+
+/// Enables/disables the global registry per WISE_METRICS. Returns the
+/// parsed config so callers can branch on the mode.
+MetricsConfig configure_metrics_from_env();
+
+/// Snapshots the global registry and emits it through the sink WISE_METRICS
+/// selects. Returns false (emitting nothing) when metrics are off or the
+/// snapshot is empty. `table_out` overrides the stream used for table mode.
+bool emit_metrics_from_env(std::FILE* table_out = stdout);
+
+}  // namespace wise::obs

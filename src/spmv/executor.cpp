@@ -11,15 +11,18 @@ namespace wise {
 
 PreparedMatrix PreparedMatrix::prepare(const CsrMatrix& m,
                                        const MethodConfig& cfg) {
+  auto& metrics = obs::MetricsRegistry::global();
   PreparedMatrix pm;
   pm.cfg_ = cfg;
   pm.csr_ = &m;
   if (cfg.kind == MethodKind::kBsr) {
+    obs::ScopedTimer span("spmv.prepare.bsr");
     Timer t;
     pm.bsr_ = std::make_shared<const BsrMatrix>(
         BsrMatrix::from_csr(m, cfg.c));
     pm.prep_seconds_ = t.seconds();
   } else if (cfg.kind != MethodKind::kCsr) {
+    obs::ScopedTimer span("spmv.prepare.srvpack");
     Timer t;
     pm.packed_ = SrvPackMatrix::build(m, cfg.srv_options());
     pm.prep_seconds_ = t.seconds();
@@ -28,10 +31,17 @@ PreparedMatrix PreparedMatrix::prepare(const CsrMatrix& m,
     // caught here (wise::Error, kValidation) instead of inside the kernel.
     pm.packed_->validate();
   }
+  if (metrics.enabled()) {
+    pm.run_timer_ = metrics.timer_id("spmv.run." + cfg.name());
+    metrics.add("spmv.prepare.count");
+    metrics.set_gauge("spmv.prepare.memory_bytes",
+                      static_cast<double>(pm.memory_bytes()));
+  }
   return pm;
 }
 
 void PreparedMatrix::run(std::span<const value_t> x, std::span<value_t> y) {
+  obs::ScopedTimer span(run_timer_, obs::MetricsRegistry::global());
   if (cfg_.kind == MethodKind::kCsr) {
     spmv_csr(*csr_, x, y, cfg_.sched);
   } else if (cfg_.kind == MethodKind::kBsr) {

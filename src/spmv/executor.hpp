@@ -7,6 +7,7 @@
 #include <optional>
 #include <span>
 
+#include "obs/metrics.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/srvpack.hpp"
 #include "spmv/bsr_fwd.hpp"
@@ -50,6 +51,11 @@ class PreparedMatrix {
   std::shared_ptr<const BsrMatrix> bsr_;  ///< set for the BSR extension
   SrvWorkspace ws_;
   double prep_seconds_ = 0.0;
+  /// Per-configuration kernel timer ("spmv.run.<config name>"), interned
+  /// once at prepare() when metrics are enabled so run() never touches a
+  /// string. Stays kInvalidMetric — and run() stays untimed — when metrics
+  /// were disabled at prepare() time.
+  obs::MetricId run_timer_ = obs::kInvalidMetric;
 };
 
 /// Times `iters` SpMV runs of a prepared matrix and returns the average

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "features/extractor.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "wise/speedup_class.hpp"
@@ -74,8 +75,10 @@ void ModelBank::train(const std::vector<MethodConfig>& configs,
   trees_.clear();
   trees_.resize(configs.size());
 
+  obs::ScopedTimer total("ml.train.bank");
   const auto& names = feature_names();
   for (std::size_t c = 0; c < configs.size(); ++c) {
+    obs::ScopedTimer span("ml.train.tree");
     Dataset ds(names, kNumSpeedupClasses);
     for (std::size_t i = 0; i < features.size(); ++i) {
       ds.add(features[i], classify_relative_time(rel_times[i][c]));

@@ -6,6 +6,7 @@
 
 #include <omp.h>
 
+#include "obs/metrics.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -55,6 +56,7 @@ void demote(WiseChoice& choice, const ModelBank& bank, const char* stg,
   choice.predicted_class = 0;
   choice.config = best_csr_config(bank, classes, &choice.predicted_class);
   choice.fallback_reason = std::string(stg) + ": " + why;
+  obs::MetricsRegistry::global().add("wise.fallback.count");
 }
 
 }  // namespace
@@ -70,10 +72,15 @@ Wise::Wise(ModelBank bank) : bank_(std::move(bank)) {
 WiseChoice Wise::choose(const CsrMatrix& m) const {
   WiseChoice choice;
   choice.feature_threads = omp_get_max_threads();
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add("wise.choose.count");
+  metrics.set_gauge("wise.feature.threads",
+                    static_cast<double>(choice.feature_threads));
 
   FeatureVector features;
   Timer t;
   try {
+    obs::ScopedTimer span("wise.choose.feature");
     FaultInjector::global().maybe_throw(stage::kFeature,
                                         ErrorCategory::kValidation);
     features = extract_features(m, feature_params);
@@ -93,6 +100,7 @@ WiseChoice Wise::choose(const CsrMatrix& m) const {
   t.reset();
   std::vector<int> classes;
   try {
+    obs::ScopedTimer span("wise.choose.inference");
     FaultInjector::global().maybe_throw(stage::kInference,
                                         ErrorCategory::kModelBank);
     classes = bank_.predict_classes(features.values);
@@ -118,7 +126,10 @@ PreparedMatrix Wise::prepare(const CsrMatrix& m,
   try {
     FaultInjector::global().maybe_throw(stage::kParse,
                                         ErrorCategory::kValidation);
-    if (validate_input) m.validate();
+    if (validate_input) {
+      obs::ScopedTimer span("wise.prepare.validate");
+      m.validate();
+    }
     choice_out = choose(m);
   } catch (const std::exception& e) {
     // Input validation failed before selection could run; the CSR baseline
@@ -130,6 +141,7 @@ PreparedMatrix Wise::prepare(const CsrMatrix& m,
 
   if (choice_out.config.kind != MethodKind::kCsr) {
     try {
+      obs::ScopedTimer span("wise.prepare.conversion");
       FaultInjector::global().maybe_throw(stage::kConversion,
                                           ErrorCategory::kConversion);
       if (memory_budget_bytes > 0 && m.memory_bytes() > memory_budget_bytes) {

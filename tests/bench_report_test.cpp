@@ -1,0 +1,167 @@
+// Tests for the BENCH_*.json report builder: timing summaries, git-sha
+// resolution, document key order, and the golden-file shape check used to
+// pin the "wise-bench-report" v1 schema.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+using namespace wise;
+using obs::BenchReport;
+using obs::JsonValue;
+using obs::TimingSummary;
+
+namespace {
+
+/// Restores an environment variable on scope exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TimingSummary sample_timing() {
+  return TimingSummary::from_samples({0.003, 0.001, 0.002}, 10);
+}
+
+/// A report shaped like the one perf_smoke emits (matrix-style params).
+BenchReport sample_report() {
+  BenchReport report("perf_smoke", "testsha");
+  JsonValue params = JsonValue::object();
+  params.set("nrows", 64);
+  params.set("ncols", 64);
+  params.set("nnz", 512);
+  report.add("features", "extract/rmat-hs", sample_timing(), params);
+  report.add("features", "extract/rgg", sample_timing(), std::move(params));
+
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.add("test.counter", 2);
+  reg.set_gauge("test.gauge", 4.5);
+  reg.record_ns("test.timer", 1000);
+  report.set_metrics(reg.snapshot());
+  return report;
+}
+
+TEST(TimingSummary, FromSamplesTakesMinMeanMax) {
+  const TimingSummary t = sample_timing();
+  EXPECT_EQ(t.iters, 10);
+  EXPECT_DOUBLE_EQ(t.min_seconds, 0.001);
+  EXPECT_DOUBLE_EQ(t.mean_seconds, 0.002);
+  EXPECT_DOUBLE_EQ(t.max_seconds, 0.003);
+}
+
+TEST(BenchGitSha, PrefersWiseGitShaAndSanitizes) {
+  ScopedEnv wise_sha("WISE_GIT_SHA", "abc123def4567890deadbeef");
+  ScopedEnv gh_sha("GITHUB_SHA", "should-not-win");
+  EXPECT_EQ(obs::bench_git_sha(), "abc123def456");  // truncated to 12
+}
+
+TEST(BenchGitSha, FallsBackToGithubShaThenLocal) {
+  {
+    ScopedEnv wise_sha("WISE_GIT_SHA", nullptr);
+    ScopedEnv gh_sha("GITHUB_SHA", "fedcba987654");
+    EXPECT_EQ(obs::bench_git_sha(), "fedcba987654");
+  }
+  {
+    ScopedEnv wise_sha("WISE_GIT_SHA", nullptr);
+    ScopedEnv gh_sha("GITHUB_SHA", nullptr);
+    EXPECT_EQ(obs::bench_git_sha(), "local");
+  }
+}
+
+TEST(BenchGitSha, ReplacesPathHostileCharacters) {
+  ScopedEnv wise_sha("WISE_GIT_SHA", "a/b..c!d");
+  const std::string sha = obs::bench_git_sha();
+  EXPECT_EQ(sha.find_first_of("/\\.!"), std::string::npos) << sha;
+}
+
+TEST(BenchReport, DocumentKeysInSchemaOrder) {
+  const JsonValue doc = sample_report().to_json();
+  ASSERT_TRUE(doc.is_object());
+  const char* expected[] = {"schema",  "version",    "suite",  "git_sha",
+                            "omp_max_threads", "benchmarks", "metrics"};
+  ASSERT_EQ(doc.size(), std::size(expected));
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(doc.members()[i].first, expected[i]) << "key " << i;
+  }
+  EXPECT_EQ(doc.find("schema")->as_string(), "wise-bench-report");
+  EXPECT_EQ(doc.find("version")->as_int(), obs::kBenchReportSchemaVersion);
+  EXPECT_EQ(doc.find("benchmarks")->size(), 2u);
+}
+
+TEST(BenchReport, RejectsNonObjectParams) {
+  BenchReport report("s", "sha");
+  EXPECT_THROW(report.add("g", "n", sample_timing(), JsonValue(1)),
+               std::invalid_argument);
+}
+
+TEST(BenchReport, WritesParsableFileNamedAfterSha) {
+  const BenchReport report = sample_report();
+  EXPECT_EQ(report.file_name(), "BENCH_testsha.json");
+
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "wise-bench-report-test")
+          .string();
+  const std::string path = report.write(dir);
+  EXPECT_EQ(std::filesystem::path(path).filename().string(),
+            "BENCH_testsha.json");
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = JsonValue::parse(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("git_sha")->as_string(), "testsha");
+  std::filesystem::remove_all(dir);
+}
+
+// The golden file pins the report schema: any key added, removed, renamed,
+// or reordered in wise-bench-report v1 fails here until the golden (and the
+// schema version) is updated deliberately.
+TEST(BenchReport, MatchesGoldenShape) {
+  const std::string golden_path =
+      std::string(WISE_TEST_DATA_DIR) + "/golden/bench_report_shape.json";
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto golden = JsonValue::parse(buf.str());
+  ASSERT_TRUE(golden.has_value()) << "golden file is not valid JSON";
+
+  const JsonValue actual = sample_report().to_json();
+  std::string mismatch;
+  EXPECT_TRUE(obs::json_same_shape(*golden, actual, &mismatch)) << mismatch;
+}
+
+}  // namespace

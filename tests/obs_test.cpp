@@ -1,0 +1,335 @@
+// Tests for the observability layer: the metrics registry (thread-merged
+// counters/timers, disabled-mode zero-allocation contract), the JSON
+// document model, and the WISE_METRICS config parsing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+
+using namespace wise;
+using obs::JsonValue;
+using obs::MetricsRegistry;
+using obs::ScopedTimer;
+
+// ---------------------------------------------------------------------------
+// Global allocation counter for the zero-allocation contract. Replacing
+// operator new program-wide is safe here: the counter is only *read* inside
+// one single-threaded test region, everywhere else it just ticks.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulateAndMerge) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.add("test.counter");
+  reg.add("test.counter", 4);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "test.counter");
+  EXPECT_EQ(snap.counters[0].value, 5u);
+}
+
+TEST(MetricsRegistry, DisabledRecordsNothing) {
+  MetricsRegistry reg;
+  ASSERT_FALSE(reg.enabled());
+  reg.add("test.counter");
+  reg.record_ns("test.timer", 100);
+  reg.set_gauge("test.gauge", 1.0);
+  { ScopedTimer t("test.span", reg); }
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(MetricsRegistry, DisabledModeDoesNotAllocate) {
+  MetricsRegistry reg;
+  // Pre-intern so the id paths are exercised too; interning itself may
+  // allocate (it is a one-time setup cost, not a hot-path cost).
+  const obs::MetricId cid = reg.counter_id("test.alloc.counter");
+  const obs::MetricId tid = reg.timer_id("test.alloc.timer");
+  reg.set_enabled(false);
+
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    reg.add("test.alloc.counter");
+    reg.record_ns("test.alloc.timer", 42);
+    reg.set_gauge("test.alloc.gauge", 1.0);
+    reg.add(cid);
+    reg.record_ns(tid, 42);
+    ScopedTimer span("test.alloc.span", reg);
+  }
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "disabled-mode metric calls must not touch the heap";
+}
+
+TEST(MetricsRegistry, TimerStatsAreExactForCountTotalMinMax) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::MetricId id = reg.timer_id("test.timer");
+  std::uint64_t total = 0;
+  for (std::uint64_t ns = 1; ns <= 1000; ++ns) {
+    reg.record_ns(id, ns);
+    total += ns;
+  }
+  const auto snap = reg.snapshot();
+  const auto* t = snap.find_timer("test.timer");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->stats.count, 1000u);
+  EXPECT_EQ(t->stats.total_ns, total);
+  EXPECT_EQ(t->stats.min_ns, 1u);
+  EXPECT_EQ(t->stats.max_ns, 1000u);
+  EXPECT_DOUBLE_EQ(t->stats.mean_ns, static_cast<double>(total) / 1000.0);
+  // Percentiles come from the decimated reservoir: approximate, but must
+  // land near the true quantiles of the uniform 1..1000 stream.
+  EXPECT_NEAR(t->stats.p50_ns, 500.0, 50.0);
+  EXPECT_NEAR(t->stats.p95_ns, 950.0, 50.0);
+}
+
+TEST(MetricsRegistry, ReservoirBoundedUnderManySamples) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::MetricId id = reg.timer_id("test.timer");
+  for (int i = 0; i < 20000; ++i) reg.record_ns(id, 7);
+  const auto snap = reg.snapshot();
+  const auto* t = snap.find_timer("test.timer");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->stats.count, 20000u);
+  EXPECT_EQ(t->stats.total_ns, 140000u);
+  EXPECT_DOUBLE_EQ(t->stats.p50_ns, 7.0);
+  EXPECT_DOUBLE_EQ(t->stats.p95_ns, 7.0);
+}
+
+TEST(MetricsRegistry, MergesAcrossThreads) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::MetricId counter = reg.counter_id("test.mt.counter");
+  const obs::MetricId timer = reg.timer_id("test.mt.timer");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, counter, timer] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.add(counter);
+        reg.record_ns(timer, 3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto snap = reg.snapshot();
+  const auto* c = snap.find_counter("test.mt.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto* t = snap.find_timer("test.mt.timer");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->stats.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(t->stats.total_ns,
+            static_cast<std::uint64_t>(kThreads) * kPerThread * 3);
+}
+
+TEST(MetricsRegistry, GaugeKeepsLastValue) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.set_gauge("test.gauge", 1.5);
+  reg.set_gauge("test.gauge", 8.0);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 8.0);
+}
+
+TEST(MetricsRegistry, InternKindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter_id("test.name");
+  EXPECT_THROW(reg.timer_id("test.name"), std::logic_error);
+}
+
+TEST(MetricsRegistry, ResetClearsValuesButKeepsIds) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::MetricId id = reg.counter_id("test.counter");
+  reg.add(id, 3);
+  reg.reset();
+  EXPECT_TRUE(reg.snapshot().empty());
+  EXPECT_EQ(reg.counter_id("test.counter"), id);
+  reg.add(id);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.find_counter("test.counter")->value, 1u);
+}
+
+TEST(MetricsRegistry, SnapshotRowsSortedByName) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.add("zz.last");
+  reg.add("aa.first");
+  reg.add("mm.middle");
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "aa.first");
+  EXPECT_EQ(snap.counters[1].name, "mm.middle");
+  EXPECT_EQ(snap.counters[2].name, "zz.last");
+}
+
+TEST(ScopedTimer, RecordsOnDestruction) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  { ScopedTimer span("test.span", reg); }
+  const auto snap = reg.snapshot();
+  const auto* t = snap.find_timer("test.span");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->stats.count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// JSON schema round-trip: registry -> metrics_to_json -> dump -> parse.
+
+TEST(MetricsJson, SchemaRoundTrips) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.add("test.counter", 7);
+  reg.set_gauge("test.gauge", 2.25);
+  reg.record_ns("test.timer", 100);
+  reg.record_ns("test.timer", 300);
+
+  const JsonValue doc = obs::metrics_to_json(reg.snapshot());
+  const auto parsed = JsonValue::parse(doc.dump());
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->find("schema")->as_string(), "wise-metrics");
+  EXPECT_EQ(parsed->find("version")->as_int(), obs::kMetricsSchemaVersion);
+
+  const JsonValue* counters = parsed->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->size(), 1u);
+  EXPECT_EQ(counters->at(0).find("name")->as_string(), "test.counter");
+  EXPECT_EQ(counters->at(0).find("value")->as_uint(), 7u);
+
+  const JsonValue* gauges = parsed->find("gauges");
+  ASSERT_EQ(gauges->size(), 1u);
+  EXPECT_DOUBLE_EQ(gauges->at(0).find("value")->as_double(), 2.25);
+
+  const JsonValue* timers = parsed->find("timers");
+  ASSERT_EQ(timers->size(), 1u);
+  const JsonValue& row = timers->at(0);
+  EXPECT_EQ(row.find("count")->as_uint(), 2u);
+  EXPECT_EQ(row.find("total_ns")->as_uint(), 400u);
+  EXPECT_EQ(row.find("min_ns")->as_uint(), 100u);
+  EXPECT_EQ(row.find("max_ns")->as_uint(), 300u);
+  EXPECT_DOUBLE_EQ(row.find("mean_ns")->as_double(), 200.0);
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue model and parser.
+
+TEST(Json, WriterStableKeyOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("z", 1);
+  obj.set("a", 2);
+  obj.set("z", 3);  // overwrite keeps first-insertion position
+  EXPECT_EQ(obj.dump(0), "{\"z\": 3,\"a\": 2}");
+}
+
+TEST(Json, ParserPreservesIntegerness) {
+  const auto doc = JsonValue::parse("[1, -2, 18446744073709551615, 2.5]");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->at(0).as_int(), 1);
+  EXPECT_EQ(doc->at(1).as_int(), -2);
+  EXPECT_EQ(doc->at(2).as_uint(), 18446744073709551615ull);
+  EXPECT_EQ(doc->at(3).type(), JsonValue::Type::kDouble);
+  EXPECT_DOUBLE_EQ(doc->at(3).as_double(), 2.5);
+}
+
+TEST(Json, ParserHandlesEscapesAndSurrogatePairs) {
+  const auto doc =
+      JsonValue::parse(R"({"s": "a\"b\\c\né 😀"})");
+  ASSERT_TRUE(doc.has_value());
+  const std::string& s = doc->find("s")->as_string();
+  EXPECT_EQ(s, "a\"b\\c\n\xc3\xa9 \xf0\x9f\x98\x80");
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+  EXPECT_FALSE(JsonValue::parse("{} trailing").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\": }").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1 2]").has_value());
+}
+
+TEST(Json, DumpParseFixpoint) {
+  const std::string text =
+      R"({"a": [1, 2.5, true, null], "b": {"c": "x"}, "d": -7})";
+  const auto once = JsonValue::parse(text);
+  ASSERT_TRUE(once.has_value());
+  const auto twice = JsonValue::parse(once->dump());
+  ASSERT_TRUE(twice.has_value());
+  EXPECT_EQ(once->dump(), twice->dump());
+}
+
+TEST(Json, SameShapeAcceptsMatchingAndRejectsDivergent) {
+  const auto golden =
+      JsonValue::parse(R"({"a": 1, "rows": [{"n": "x", "v": 0}]})");
+  const auto ok = JsonValue::parse(
+      R"({"a": 99.5, "rows": [{"n": "y", "v": 3}, {"n": "z", "v": 4}]})");
+  ASSERT_TRUE(golden.has_value() && ok.has_value());
+  EXPECT_TRUE(obs::json_same_shape(*golden, *ok));
+
+  std::string why;
+  const auto missing = JsonValue::parse(R"({"a": 1, "rows": []})");
+  EXPECT_TRUE(obs::json_same_shape(*golden, *missing, &why)) << why;
+
+  const auto wrong_key = JsonValue::parse(
+      R"({"a": 1, "rows": [{"n": "x", "wrong": 0}]})");
+  EXPECT_FALSE(obs::json_same_shape(*golden, *wrong_key, &why));
+  EXPECT_NE(why.find("rows[0]"), std::string::npos) << why;
+
+  const auto wrong_type = JsonValue::parse(R"({"a": "str", "rows": []})");
+  EXPECT_FALSE(obs::json_same_shape(*golden, *wrong_type));
+}
+
+// ---------------------------------------------------------------------------
+// WISE_METRICS parsing.
+
+TEST(MetricsConfig, ParsesAllModes) {
+  using Mode = obs::MetricsConfig::Mode;
+  EXPECT_EQ(obs::parse_metrics_config("off").mode, Mode::kOff);
+  EXPECT_EQ(obs::parse_metrics_config("").mode, Mode::kOff);
+  EXPECT_EQ(obs::parse_metrics_config("bogus").mode, Mode::kOff);
+
+  EXPECT_EQ(obs::parse_metrics_config("table").mode, Mode::kTable);
+  EXPECT_TRUE(obs::parse_metrics_config("table").path.empty());
+
+  EXPECT_EQ(obs::parse_metrics_config("json").mode, Mode::kJson);
+  const auto json_file = obs::parse_metrics_config("json:/tmp/m.json");
+  EXPECT_EQ(json_file.mode, Mode::kJson);
+  EXPECT_EQ(json_file.path, "/tmp/m.json");
+
+  const auto csv = obs::parse_metrics_config("csv:/tmp/m.csv");
+  EXPECT_EQ(csv.mode, Mode::kCsv);
+  EXPECT_EQ(csv.path, "/tmp/m.csv");
+}
+
+}  // namespace
