@@ -23,8 +23,10 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/measure.hpp"
@@ -35,6 +37,7 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/sink.hpp"
+#include "serve/server.hpp"
 #include "spmv/executor.hpp"
 #include "spmv/method.hpp"
 #include "util/aligned.hpp"
@@ -174,25 +177,131 @@ int main(int argc, char** argv) {
 
   // --- Stage 3: full pipeline choose/prepare ------------------------------
   std::printf("[perf_smoke] pipeline choose (training smoke bank)...\n");
+  std::shared_ptr<const Wise> predictor;
   {
     std::vector<MatrixRecord> records;
     for (const MatrixSpec& spec : training_corpus(quick)) {
       records.push_back(measure_matrix(spec, {.iters = 2, .repeats = 1}));
     }
-    const Wise predictor(train_model_bank(records));
+    predictor = std::make_shared<const Wise>(train_model_bank(records));
     for (const auto& s : suite) {
       const auto timing = time_passes(passes, 1, [&] {
-        WiseChoice c = predictor.choose(s.m);
+        WiseChoice c = predictor->choose(s.m);
         do_not_optimize(c.predicted_class);
       });
       WiseChoice choice;
-      PreparedMatrix pm = predictor.prepare(s.m, choice);
+      PreparedMatrix pm = predictor->prepare(s.m, choice);
       obs::JsonValue params = matrix_params(s.m);
       params.set("selected", choice.config.name());
       params.set("fell_back", choice.fell_back());
       params.set("prep_seconds", pm.prep_seconds());
       report.add("pipeline", "choose/" + s.name, timing, std::move(params));
     }
+  }
+
+  // --- Stage 4: serving layer (serve.throughput scenario) -----------------
+  std::printf("[perf_smoke] serve throughput (repeated-matrix workload)...\n");
+  {
+    serve::ServerOptions opts;
+    opts.workers = 4;
+    opts.queue_capacity = 0;
+    serve::Server server(predictor, opts);
+
+    std::vector<std::shared_ptr<const CsrMatrix>> shared;
+    std::vector<serve::Fingerprint> fingerprints;
+    shared.reserve(suite.size());
+    for (auto& s : suite) {  // stage 4 is last: the suite can be consumed
+      shared.push_back(std::make_shared<const CsrMatrix>(std::move(s.m)));
+      // Steady-state clients fingerprint at load time, once per matrix.
+      fingerprints.push_back(serve::fingerprint_matrix(*shared.back()));
+    }
+    const auto make_req = [&](std::size_t i) {
+      serve::Request req;
+      req.kind = serve::RequestKind::kRun;
+      req.matrix = shared[i];
+      req.fingerprint = fingerprints[i];
+      req.id = suite[i].name;
+      req.iters = 1;
+      return req;
+    };
+
+    // Cold pass: the first request per matrix pays fingerprint + choose +
+    // layout conversion. Everything after hits the prepared cache and pays
+    // only fingerprint + one locked SpMV — the gap is the serving layer's
+    // whole value proposition, so both sides go into the report.
+    std::vector<double> cold_samples;
+    for (std::size_t i = 0; i < shared.size(); ++i) {
+      const serve::Response rsp = server.call(make_req(i));
+      if (!rsp.ok) {
+        std::fprintf(stderr, "[perf_smoke] FAIL: cold serve request: %s\n",
+                     rsp.error.c_str());
+        return 1;
+      }
+      cold_samples.push_back(rsp.service_seconds);
+    }
+
+    const int clients = 4;
+    const int requests_per_client = quick ? 25 : 100;
+    std::vector<std::vector<double>> warm_per_client(
+        static_cast<std::size_t>(clients));
+    Timer wall;
+    {
+      std::vector<std::thread> threads;
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          auto& samples = warm_per_client[static_cast<std::size_t>(c)];
+          samples.reserve(static_cast<std::size_t>(requests_per_client));
+          for (int r = 0; r < requests_per_client; ++r) {
+            const std::size_t i =
+                static_cast<std::size_t>(c + r) % shared.size();
+            const serve::Response rsp = server.call(make_req(i));
+            if (rsp.ok) samples.push_back(rsp.service_seconds);
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    const double wall_seconds = wall.seconds();
+
+    std::vector<double> warm_samples;
+    for (const auto& per_client : warm_per_client) {
+      warm_samples.insert(warm_samples.end(), per_client.begin(),
+                          per_client.end());
+    }
+    const std::size_t total = warm_samples.size();
+    if (total != static_cast<std::size_t>(clients * requests_per_client)) {
+      std::fprintf(stderr, "[perf_smoke] FAIL: %zu of %d warm requests ok\n",
+                   total, clients * requests_per_client);
+      return 1;
+    }
+    double cold_mean = 0, warm_mean = 0;
+    for (const double s : cold_samples) cold_mean += s;
+    cold_mean /= static_cast<double>(cold_samples.size());
+    for (const double s : warm_samples) warm_mean += s;
+    warm_mean /= static_cast<double>(total);
+
+    const serve::CacheStats cs = server.cache_stats();
+    const double hit_ratio =
+        static_cast<double>(cs.prepared_hits) /
+        static_cast<double>(cs.prepared_hits + cs.prepared_misses);
+    const serve::ServerStats st = server.stats();
+
+    obs::JsonValue params = obs::JsonValue::object();
+    params.set("clients", static_cast<std::int64_t>(clients));
+    params.set("requests", static_cast<std::int64_t>(st.completed));
+    params.set("requests_per_sec",
+               static_cast<double>(total) / wall_seconds);
+    params.set("cache_hit_ratio", hit_ratio);
+    params.set("warm_vs_cold_speedup", cold_mean / warm_mean);
+    report.add("serve", "throughput/warm",
+               obs::TimingSummary::from_samples(warm_samples, 1), params);
+    report.add("serve", "throughput/cold",
+               obs::TimingSummary::from_samples(cold_samples, 1),
+               std::move(params));
+    std::printf(
+        "[perf_smoke] serve: %.0f req/s, hit ratio %.3f, warm vs cold %.1fx\n",
+        static_cast<double>(total) / wall_seconds, hit_ratio,
+        cold_mean / warm_mean);
   }
 
   // --- Emit ----------------------------------------------------------------

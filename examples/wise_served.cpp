@@ -1,0 +1,367 @@
+// wise_served — long-lived WISE prediction daemon over the serving layer
+// (src/serve/). Speaks a line-oriented request/response protocol on stdin
+// (default) or a unix-domain socket, so any language with "open a socket,
+// write a line" can use WISE without linking C++:
+//
+//   wise_served [--models DIR] [--socket PATH] [--verbose]
+//
+//   PREDICT <matrix.mtx>         selection only (feature + inference)
+//   PREPARE <matrix.mtx>         selection + layout conversion (cached)
+//   RUN <matrix.mtx> <iters>     PREPARE + <iters> SpMV iterations
+//   STATS                        one-line JSON: server/cache counters plus
+//                                the obs metrics snapshot for the batch of
+//                                requests since the previous STATS
+//   QUIT                         graceful drain-and-exit (EOF works too)
+//
+// Responses are single lines:
+//   OK id=<path> config=<name> class=<n> cached=<none|choice|prepared>
+//      queue_us=<..> service_us=<..> [spmv_us=<..> checksum=<..>]
+//      [fallback=<reason>]
+//   ERR <category> <message>
+//
+// Concurrency: every request goes through the shared serve::Server (worker
+// pool + fingerprint caches). In socket mode each client connection gets a
+// reader thread, so N clients exercise the pool concurrently; per
+// connection, responses come back in request order. Parsed matrices are
+// memoized by path in a small LRU so repeated requests for the same file
+// measure the serve cache, not the Matrix Market parser.
+//
+// Configuration: all WISE_SERVE_* knobs (see docs/SERVING.md) plus
+// WISE_METRICS for the metrics sink at exit.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "example_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "serve/server.hpp"
+#include "sparse/mmio.hpp"
+#include "util/lru.hpp"
+#include "wise/model_bank.hpp"
+
+using namespace wise;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wise_served [--models DIR] [--socket PATH] "
+               "[--verbose]\n"
+               "  protocol (one request per line):\n"
+               "    PREDICT <matrix.mtx>\n"
+               "    PREPARE <matrix.mtx>\n"
+               "    RUN <matrix.mtx> <iters>\n"
+               "    STATS\n"
+               "    QUIT\n"
+               "  knobs: WISE_SERVE_WORKERS, WISE_SERVE_QUEUE, "
+               "WISE_SERVE_OVERFLOW,\n"
+               "         WISE_SERVE_CACHE_BYTES, WISE_SERVE_CHOICE_ENTRIES,\n"
+               "         WISE_SERVE_HASH_VALUES, WISE_SERVE_DEADLINE_MS "
+               "(docs/SERVING.md)\n");
+  return 2;
+}
+
+/// Path-keyed memo of parsed matrices, shared by every connection. The
+/// fingerprint is computed once at parse time and reused by every request
+/// against the same file, so steady-state requests skip the O(nnz) hash.
+class MatrixLoader {
+ public:
+  struct Loaded {
+    std::shared_ptr<const CsrMatrix> matrix;
+    serve::Fingerprint fingerprint;
+  };
+
+  explicit MatrixLoader(bool hash_values) : hash_values_(hash_values) {}
+
+  Loaded load(const std::string& path) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (auto* hit = cache_.get(path)) return *hit;
+    }
+    Loaded loaded;
+    loaded.matrix = std::make_shared<const CsrMatrix>(
+        CsrMatrix::from_coo(read_matrix_market_file(path)));
+    loaded.fingerprint = serve::fingerprint_matrix(*loaded.matrix, hash_values_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.put(path, loaded, 1);
+    return loaded;
+  }
+
+ private:
+  const bool hash_values_;
+  std::mutex mutex_;
+  LruMap<std::string, Loaded> cache_{32};
+};
+
+std::string stats_line(serve::Server& server) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("schema", "wise-serve-stats");
+  doc.set("version", 1);
+  const serve::ServerStats st = server.stats();
+  obs::JsonValue sv = obs::JsonValue::object();
+  sv.set("accepted", st.accepted);
+  sv.set("completed", st.completed);
+  sv.set("rejected", st.rejected);
+  sv.set("expired", st.expired);
+  sv.set("failed", st.failed);
+  sv.set("degraded", st.degraded);
+  sv.set("queue_depth", static_cast<std::uint64_t>(server.queue_depth()));
+  doc.set("server", std::move(sv));
+  const serve::CacheStats cs = server.cache_stats();
+  obs::JsonValue cv = obs::JsonValue::object();
+  cv.set("choice_hits", cs.choice_hits);
+  cv.set("choice_misses", cs.choice_misses);
+  cv.set("prepared_hits", cs.prepared_hits);
+  cv.set("prepared_misses", cs.prepared_misses);
+  cv.set("evictions", cs.evictions);
+  cv.set("prepared_bytes", static_cast<std::uint64_t>(cs.prepared_bytes));
+  cv.set("prepared_entries", static_cast<std::uint64_t>(cs.prepared_entries));
+  doc.set("cache", std::move(cv));
+  // Per-batch metrics: snapshot-then-reset, so each STATS line covers the
+  // requests since the previous one.
+  auto& metrics = obs::MetricsRegistry::global();
+  doc.set("metrics", obs::metrics_to_json(metrics.snapshot()));
+  metrics.reset();
+  return doc.dump(0);
+}
+
+std::string render_response(const serve::Response& rsp, bool with_spmv) {
+  if (!rsp.ok) {
+    return std::string("ERR ") + error_category_name(rsp.category) + " " +
+           rsp.error;
+  }
+  std::ostringstream out;
+  out << "OK id=" << rsp.id << " config=" << rsp.config_name
+      << " class=" << rsp.choice.predicted_class << " cached="
+      << (rsp.prepared_cache_hit ? "prepared"
+                                 : (rsp.choice_cache_hit ? "choice" : "none"))
+      << " fingerprint=" << rsp.fingerprint.hex()
+      << " queue_us=" << rsp.queue_seconds * 1e6
+      << " service_us=" << rsp.service_seconds * 1e6;
+  if (with_spmv) {
+    out << " spmv_us=" << rsp.spmv_seconds * 1e6
+        << " checksum=" << rsp.checksum;
+  }
+  if (rsp.choice.fell_back()) {
+    out << " fallback=\"" << rsp.choice.fallback_reason << '"';
+  }
+  return out.str();
+}
+
+/// Executes one protocol line. Returns false when the connection should
+/// close (QUIT). Never throws: failures render as ERR lines.
+bool handle_line(const std::string& line, serve::Server& server,
+                 MatrixLoader& loader, std::string& reply) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty()) {
+    reply.clear();
+    return true;
+  }
+  if (cmd == "QUIT") {
+    reply = "OK bye";
+    return false;
+  }
+  if (cmd == "STATS") {
+    reply = stats_line(server);
+    return true;
+  }
+
+  serve::Request req;
+  if (cmd == "PREDICT") {
+    req.kind = serve::RequestKind::kPredict;
+  } else if (cmd == "PREPARE") {
+    req.kind = serve::RequestKind::kPrepare;
+  } else if (cmd == "RUN") {
+    req.kind = serve::RequestKind::kRun;
+  } else {
+    reply = "ERR validation unknown command '" + cmd + "'";
+    return true;
+  }
+  std::string path;
+  in >> path;
+  if (path.empty()) {
+    reply = "ERR validation " + cmd + " needs a matrix path";
+    return true;
+  }
+  if (req.kind == serve::RequestKind::kRun) {
+    req.iters = 10;
+    in >> req.iters;
+  }
+  req.id = path;
+  try {
+    MatrixLoader::Loaded loaded = loader.load(path);
+    req.matrix = std::move(loaded.matrix);
+    req.fingerprint = loaded.fingerprint;
+  } catch (const Error& e) {
+    reply = std::string("ERR ") + error_category_name(e.category()) + " " +
+            e.what();
+    return true;
+  } catch (const std::exception& e) {
+    reply = std::string("ERR parse ") + e.what();
+    return true;
+  }
+  const serve::Response rsp = server.call(std::move(req));
+  reply = render_response(rsp, rsp.ok && cmd == "RUN");
+  return true;
+}
+
+/// Reads protocol lines from `in_fd`, writes replies to `out_fd`.
+void serve_stream(int in_fd, int out_fd, serve::Server& server,
+                  MatrixLoader& loader) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !g_stop.load()) {
+    const ssize_t n = ::read(in_fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && open;
+         start = nl + 1, nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      std::string reply;
+      open = handle_line(line, server, loader, reply);
+      if (!reply.empty()) {
+        reply.push_back('\n');
+        std::size_t off = 0;
+        while (off < reply.size()) {
+          const ssize_t w =
+              ::write(out_fd, reply.data() + off, reply.size() - off);
+          if (w <= 0) {
+            open = false;
+            break;
+          }
+          off += static_cast<std::size_t>(w);
+        }
+      }
+    }
+    buffer.erase(0, start);
+  }
+}
+
+int serve_socket(const std::string& path, serve::Server& server,
+                 MatrixLoader& loader) {
+  ::unlink(path.c_str());
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
+    ::close(listen_fd);
+    return 2;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd, 64) < 0) {
+    std::perror("bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  std::fprintf(stderr, "[wise_served] listening on %s\n", path.c_str());
+
+  std::vector<std::thread> clients;
+  while (!g_stop.load()) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (g_stop.load()) break;
+      continue;
+    }
+    clients.emplace_back([fd, &server, &loader] {
+      serve_stream(fd, fd, server, loader);
+      ::close(fd);
+    });
+  }
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  for (auto& t : clients) {
+    if (t.joinable()) t.join();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_dir;
+  std::string socket_path;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--models") == 0 && i + 1 < argc) {
+      model_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--verbose") == 0 ||
+               std::strcmp(argv[i], "-v") == 0) {
+      verbose = true;
+    } else {
+      return usage();
+    }
+  }
+
+  obs::configure_metrics_from_env();
+  // The serve metrics (and STATS batches) need the registry on.
+  obs::MetricsRegistry::global().set_enabled(true);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  return examples::run_guarded([&]() -> int {
+    auto predictor = std::make_shared<const Wise>(
+        model_dir.empty() ? examples::make_mini_wise()
+                          : Wise(ModelBank::load(model_dir)));
+    const auto options = serve::ServerOptions::from_env();
+    serve::Server server(predictor, options);
+    std::fprintf(stderr,
+                 "[wise_served] %d workers, queue %zu (%s), cache budget %zu "
+                 "bytes\n",
+                 server.options().workers, server.options().queue_capacity,
+                 server.options().overflow == serve::OverflowPolicy::kBlock
+                     ? "block"
+                     : "reject",
+                 server.options().cache_bytes);
+
+    MatrixLoader loader(options.fingerprint_values);
+    int rc = 0;
+    if (!socket_path.empty()) {
+      rc = serve_socket(socket_path, server, loader);
+    } else {
+      serve_stream(STDIN_FILENO, STDOUT_FILENO, server, loader);
+    }
+    server.shutdown(true);
+
+    if (verbose) {
+      const auto snap = obs::MetricsRegistry::global().snapshot();
+      std::fprintf(stderr, "\n-- serve metrics --\n%s",
+                   obs::render_metrics_table(snap).c_str());
+    }
+    obs::emit_metrics_from_env();
+    return rc;
+  });
+}

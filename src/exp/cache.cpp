@@ -1,9 +1,12 @@
 #include "exp/cache.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <system_error>
 #include <unordered_map>
 
 #include "features/extractor.hpp"
@@ -105,30 +108,50 @@ void MeasurementCache::load() {
 }
 
 void MeasurementCache::append(const MatrixRecord& rec) {
-  const bool fresh = !std::filesystem::exists(path_);
-  if (fresh) {
-    ensure_dir(std::filesystem::path(path_).parent_path().string());
-    std::ofstream out(path_);
+  // Crash-safe persistence: the cache file is always replaced whole, via a
+  // uniquely-named temp file in the same directory followed by an atomic
+  // rename. A killed run can leave at most a stale *.tmp behind — never a
+  // truncated or half-written measurements.csv — and a concurrent run
+  // renaming over ours loses (at most) our newest records, not the file's
+  // integrity: readers only ever observe complete, parseable snapshots.
+  if (!loaded_) load();
+  ensure_dir(std::filesystem::path(path_).parent_path().string());
+  const std::string tmp =
+      path_ + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::trunc);
     if (!out) {
-      throw Error(ErrorCategory::kResource, "cannot create cache: " + path_,
-                  {.file = path_});
+      throw Error(ErrorCategory::kResource, "cannot create cache: " + tmp,
+                  {.file = tmp});
     }
-    const auto header = measurement_csv_header();
-    for (std::size_t i = 0; i < header.size(); ++i) {
-      out << (i ? "," : "") << header[i];
+    const auto write_row = [&out](const std::vector<std::string>& fields) {
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        out << (i ? "," : "") << fields[i];
+      }
+      out << '\n';
+    };
+    write_row(measurement_csv_header());
+    for (const MatrixRecord& existing : records_) {
+      write_row(measurement_csv_row(existing));
     }
-    out << '\n';
+    write_row(measurement_csv_row(rec));
+    out.flush();
+    if (!out) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw Error(ErrorCategory::kResource, "cache write failed: " + tmp,
+                  {.file = tmp});
+    }
   }
-  std::ofstream out(path_, std::ios::app);
-  if (!out) {
-    throw Error(ErrorCategory::kResource, "cannot append to cache: " + path_,
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw Error(ErrorCategory::kResource,
+                "cannot publish cache (rename " + tmp + "): " + ec.message(),
                 {.file = path_});
   }
-  const auto row = measurement_csv_row(rec);
-  for (std::size_t i = 0; i < row.size(); ++i) {
-    out << (i ? "," : "") << row[i];
-  }
-  out << '\n';
 }
 
 std::vector<MatrixRecord> MeasurementCache::get_or_measure(

@@ -6,6 +6,11 @@
 // corpus). Records are persisted to a CSV keyed by spec id; each bench
 // computes only what is missing. Delete the file (or set WISE_REFRESH=1)
 // to force remeasurement.
+//
+// Persistence is crash-safe: every update writes a complete snapshot to a
+// uniquely-named temp file and atomically renames it over the cache, so a
+// killed or concurrent run can never leave a truncated entry behind —
+// readers always see a whole, parseable file.
 
 #include <string>
 #include <vector>

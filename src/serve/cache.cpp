@@ -1,0 +1,115 @@
+#include "serve/cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace wise::serve {
+
+namespace {
+
+void gauge_update(std::size_t bytes, std::size_t entries) {
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.set_gauge("serve.cache.bytes", static_cast<double>(bytes));
+  metrics.set_gauge("serve.cache.entries", static_cast<double>(entries));
+}
+
+}  // namespace
+
+ChoiceCache::ChoiceCache(std::size_t max_entries) : map_(max_entries) {}
+
+std::optional<WiseChoice> ChoiceCache::get(const Fingerprint& fp) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const WiseChoice* hit = map_.get(fp)) {
+    ++hits_;
+    obs::MetricsRegistry::global().add("serve.cache.choice.hit");
+    return *hit;
+  }
+  ++misses_;
+  obs::MetricsRegistry::global().add("serve.cache.choice.miss");
+  return std::nullopt;
+}
+
+void ChoiceCache::put(const Fingerprint& fp, const WiseChoice& choice) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.put(fp, choice, 1);  // count-bounded: every choice costs 1
+}
+
+std::uint64_t ChoiceCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ChoiceCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t ChoiceCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+std::size_t prepared_entry_bytes(const CsrMatrix& m, const PreparedMatrix& pm) {
+  std::size_t bytes = m.memory_bytes();
+  if (pm.config().kind != MethodKind::kCsr) bytes += pm.memory_bytes();
+  return bytes;
+}
+
+PreparedCache::PreparedCache(std::size_t budget_bytes) : map_(budget_bytes) {}
+
+std::shared_ptr<PreparedEntry> PreparedCache::get(const Fingerprint& fp) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& metrics = obs::MetricsRegistry::global();
+  if (auto* hit = map_.get(fp)) {
+    ++hits_;
+    metrics.add("serve.cache.hit");
+    return *hit;
+  }
+  ++misses_;
+  metrics.add("serve.cache.miss");
+  return nullptr;
+}
+
+void PreparedCache::put(const Fingerprint& fp,
+                        std::shared_ptr<PreparedEntry> entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t cost = entry->bytes;
+  const auto evicted = map_.put(fp, std::move(entry), cost);
+  if (!evicted.empty()) {
+    evictions_ += evicted.size();
+    obs::MetricsRegistry::global().add("serve.cache.evict.count",
+                                       evicted.size());
+  }
+  gauge_update(map_.total_cost(), map_.size());
+}
+
+std::uint64_t PreparedCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t PreparedCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t PreparedCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::size_t PreparedCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.total_cost();
+}
+
+std::size_t PreparedCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+std::size_t PreparedCache::budget() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.budget();
+}
+
+}  // namespace wise::serve

@@ -1,0 +1,114 @@
+#pragma once
+// The serving layer's two-tier result cache, keyed by matrix fingerprint.
+//
+// Tier 1 (ChoiceCache) memoizes WiseChoice — the output of feature
+// extraction + model inference. Entries are tiny, so the tier is bounded by
+// entry count. Tier 2 (PreparedCache) memoizes fully converted layouts
+// (PreparedMatrix plus the owned source CsrMatrix); entries can be large,
+// so the tier is bounded by a byte budget and eviction is accounted with
+// each entry's actual footprint (matrix bytes + converted-layout bytes).
+//
+// Both tiers are thread-safe (one mutex each around an LruMap) and record
+// obs counters:
+//   serve.cache.hit / serve.cache.miss          prepared tier (the
+//                                               expensive one — the
+//                                               acceptance metric)
+//   serve.cache.choice.hit / .choice.miss       choice tier
+//   serve.cache.evict.count                     prepared-tier evictions
+//   serve.cache.bytes / serve.cache.entries     prepared-tier gauges
+//
+// Prepared entries are handed out as shared_ptr, so an entry evicted while
+// a worker is mid-SpMV stays alive until that worker drops it. Each entry
+// carries its own run mutex because PreparedMatrix::run reuses a scratch
+// workspace and is not safe for concurrent calls on one object.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "serve/fingerprint.hpp"
+#include "spmv/executor.hpp"
+#include "util/lru.hpp"
+#include "wise/pipeline.hpp"
+
+namespace wise::serve {
+
+/// Point-in-time cache counters (monotonic except bytes/entries).
+struct CacheStats {
+  std::uint64_t choice_hits = 0;
+  std::uint64_t choice_misses = 0;
+  std::uint64_t prepared_hits = 0;
+  std::uint64_t prepared_misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t prepared_bytes = 0;
+  std::size_t prepared_entries = 0;
+  std::size_t choice_entries = 0;
+};
+
+/// Tier 1: fingerprint → WiseChoice, bounded by entry count.
+class ChoiceCache {
+ public:
+  explicit ChoiceCache(std::size_t max_entries);
+
+  std::optional<WiseChoice> get(const Fingerprint& fp);
+  void put(const Fingerprint& fp, const WiseChoice& choice);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  LruMap<Fingerprint, WiseChoice, FingerprintHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// One cached prepared matrix: the owned source CSR (PreparedMatrix
+/// references it for CSR configs), the converted layout, the choice that
+/// produced it, and the footprint it was charged at insertion.
+struct PreparedEntry {
+  std::shared_ptr<const CsrMatrix> matrix;
+  PreparedMatrix prepared;
+  WiseChoice choice;
+  std::size_t bytes = 0;
+  /// PreparedMatrix::run reuses a scratch buffer; concurrent RUNs of the
+  /// same cached entry serialize on this.
+  std::mutex run_mutex;
+};
+
+/// Actual footprint an entry is charged: the owned CSR plus, for converted
+/// (non-CSR) layouts, the converted representation. CSR entries are not
+/// double-counted (their PreparedMatrix references the same arrays).
+std::size_t prepared_entry_bytes(const CsrMatrix& m, const PreparedMatrix& pm);
+
+/// Tier 2: fingerprint → shared PreparedEntry, bounded by a byte budget.
+class PreparedCache {
+ public:
+  /// `budget_bytes` caps the summed entry footprints (0 = unbounded).
+  explicit PreparedCache(std::size_t budget_bytes);
+
+  std::shared_ptr<PreparedEntry> get(const Fingerprint& fp);
+
+  /// Inserts and applies the LRU byte budget. The entry's footprint must
+  /// already be set (prepared_entry_bytes). Evicted entries only die once
+  /// every outstanding shared_ptr drops.
+  void put(const Fingerprint& fp, std::shared_ptr<PreparedEntry> entry);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  std::size_t bytes() const;
+  std::size_t size() const;
+  std::size_t budget() const;
+
+ private:
+  mutable std::mutex mutex_;
+  LruMap<Fingerprint, std::shared_ptr<PreparedEntry>, FingerprintHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace wise::serve

@@ -1,0 +1,50 @@
+#include "serve/fingerprint.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace wise::serve {
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string Fingerprint::hex() const {
+  char buf[64];
+  if (has_values) {
+    std::snprintf(buf, sizeof buf, "s:%016llx/v:%016llx",
+                  static_cast<unsigned long long>(structure),
+                  static_cast<unsigned long long>(values));
+  } else {
+    std::snprintf(buf, sizeof buf, "s:%016llx",
+                  static_cast<unsigned long long>(structure));
+  }
+  return buf;
+}
+
+Fingerprint fingerprint_matrix(const CsrMatrix& m, bool include_values) {
+  obs::ScopedTimer span("serve.fingerprint");
+  Fingerprint fp;
+  const std::int64_t dims[2] = {m.nrows(), m.ncols()};
+  std::uint64_t h = fnv1a(dims, sizeof dims);
+  const auto row_ptr = m.row_ptr();
+  h = fnv1a(row_ptr.data(), row_ptr.size_bytes(), h);
+  const auto col_idx = m.col_idx();
+  h = fnv1a(col_idx.data(), col_idx.size_bytes(), h);
+  fp.structure = h;
+  if (include_values) {
+    const auto vals = m.vals();
+    fp.values = fnv1a(vals.data(), vals.size_bytes());
+    fp.has_values = true;
+  }
+  return fp;
+}
+
+}  // namespace wise::serve

@@ -1,0 +1,304 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/aligned.hpp"
+#include "util/env.hpp"
+#include "util/fault.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+namespace wise::serve {
+
+namespace {
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+Response error_response(const Request& req, ErrorCategory category,
+                        std::string message) {
+  Response rsp;
+  rsp.id = req.id;
+  rsp.ok = false;
+  rsp.category = category;
+  rsp.error = std::move(message);
+  return rsp;
+}
+
+std::uint64_t record_since(const char* name,
+                           std::chrono::steady_clock::time_point start) {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  obs::MetricsRegistry::global().record_ns(name,
+                                           static_cast<std::uint64_t>(ns));
+  return static_cast<std::uint64_t>(ns);
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::from_env() {
+  ServerOptions o;
+  o.workers = static_cast<int>(env_int("WISE_SERVE_WORKERS", o.workers));
+  o.queue_capacity = static_cast<std::size_t>(
+      env_int("WISE_SERVE_QUEUE", static_cast<std::int64_t>(o.queue_capacity)));
+  const std::string overflow = env_string("WISE_SERVE_OVERFLOW", "block");
+  if (overflow == "reject") {
+    o.overflow = OverflowPolicy::kReject;
+  } else if (overflow != "block") {
+    throw Error(ErrorCategory::kValidation,
+                "WISE_SERVE_OVERFLOW: expected 'block' or 'reject', got '" +
+                    overflow + "'");
+  }
+  o.cache_bytes = static_cast<std::size_t>(env_int(
+      "WISE_SERVE_CACHE_BYTES", static_cast<std::int64_t>(o.cache_bytes)));
+  o.choice_entries = static_cast<std::size_t>(env_int(
+      "WISE_SERVE_CHOICE_ENTRIES", static_cast<std::int64_t>(o.choice_entries)));
+  o.fingerprint_values = env_flag("WISE_SERVE_HASH_VALUES", false);
+  o.default_deadline =
+      std::chrono::milliseconds(env_int("WISE_SERVE_DEADLINE_MS", 0));
+  return o;
+}
+
+Server::Server(std::shared_ptr<const Wise> predictor, ServerOptions options)
+    : wise_(std::move(predictor)),
+      options_(options),
+      choice_cache_(options.choice_entries),
+      prepared_cache_(options.cache_bytes) {
+  if (!wise_) {
+    throw std::invalid_argument("serve::Server: null predictor");
+  }
+  pool_ = std::make_unique<ThreadPool>(options_.workers,
+                                       options_.queue_capacity);
+  obs::MetricsRegistry::global().set_gauge(
+      "serve.workers", static_cast<double>(pool_->thread_count()));
+}
+
+Server::~Server() { shutdown(true); }
+
+std::future<Response> Server::submit(Request req) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add("serve.request.count");
+
+  if (!accepting_.load(std::memory_order_acquire)) {
+    promise->set_value(error_response(req, ErrorCategory::kResource,
+                                      "server is shutting down"));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.rejected;
+    return future;
+  }
+
+  const auto enqueued = std::chrono::steady_clock::now();
+  const auto deadline_ms =
+      req.deadline.count() > 0 ? req.deadline : options_.default_deadline;
+  const auto deadline =
+      deadline_ms.count() > 0 ? enqueued + deadline_ms : kNoDeadline;
+
+  const std::string id = req.id;
+  auto task = [this, promise, request = std::move(req), enqueued, deadline] {
+    promise->set_value(process(request, enqueued, deadline));
+  };
+
+  const bool queued = options_.overflow == OverflowPolicy::kBlock
+                          ? pool_->submit(task)
+                          : pool_->try_submit(task);
+  if (!queued) {
+    metrics.add("serve.request.reject.count");
+    // The rejected task was never enqueued but still owns a promise
+    // reference; complete the request through our copy.
+    Request rejected;
+    rejected.id = id;
+    promise->set_value(
+        error_response(rejected, ErrorCategory::kResource,
+                       options_.overflow == OverflowPolicy::kReject
+                           ? "request queue is full"
+                           : "server is shutting down"));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.rejected;
+    return future;
+  }
+  metrics.set_gauge("serve.queue.depth",
+                    static_cast<double>(pool_->queue_depth()));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.accepted;
+  }
+  return future;
+}
+
+Response Server::call(Request req) { return submit(std::move(req)).get(); }
+
+void Server::shutdown(bool drain) {
+  accepting_.store(false, std::memory_order_release);
+  if (!drain) cancelled_.store(true, std::memory_order_release);
+  pool_->drain_and_stop();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+CacheStats Server::cache_stats() const {
+  CacheStats cs;
+  cs.choice_hits = choice_cache_.hits();
+  cs.choice_misses = choice_cache_.misses();
+  cs.choice_entries = choice_cache_.size();
+  cs.prepared_hits = prepared_cache_.hits();
+  cs.prepared_misses = prepared_cache_.misses();
+  cs.prepared_entries = prepared_cache_.size();
+  cs.prepared_bytes = prepared_cache_.bytes();
+  cs.evictions = prepared_cache_.evictions();
+  return cs;
+}
+
+MethodConfig Server::cheapest_csr_config() const {
+  const auto& configs = wise_->bank().configs();
+  const MethodConfig* best = nullptr;
+  for (const MethodConfig& cfg : configs) {
+    if (cfg.kind != MethodKind::kCsr) continue;
+    if (best == nullptr || cfg.selection_rank() < best->selection_rank()) {
+      best = &cfg;
+    }
+  }
+  return best != nullptr ? *best : MethodConfig{};
+}
+
+std::shared_ptr<PreparedEntry> Server::prepare_entry(const Request& req,
+                                                     const Fingerprint& fp,
+                                                     WiseChoice& choice) {
+  PreparedMatrix pm = wise_->prepare(*req.matrix, choice);
+  if (options_.cache_bytes > 0 && choice.config.kind != MethodKind::kCsr &&
+      prepared_entry_bytes(*req.matrix, pm) > options_.cache_bytes) {
+    // A layout that alone overflows the prepared-cache budget would evict
+    // the whole working set and still not be cacheable: serve it (and cache
+    // it) as the cheapest CSR variant instead.
+    choice.config = cheapest_csr_config();
+    choice.predicted_class = 0;
+    choice.fallback_reason =
+        "serve: converted layout exceeds WISE_SERVE_CACHE_BYTES budget of " +
+        std::to_string(options_.cache_bytes) + " bytes";
+    pm = PreparedMatrix::prepare(*req.matrix, choice.config);
+    obs::MetricsRegistry::global().add("serve.degraded.count");
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.degraded;
+  }
+
+  auto entry = std::make_shared<PreparedEntry>();
+  entry->matrix = req.matrix;
+  entry->choice = choice;
+  entry->bytes = prepared_entry_bytes(*req.matrix, pm);
+  entry->prepared = std::move(pm);
+  choice_cache_.put(fp, choice);
+  prepared_cache_.put(fp, entry);
+  return entry;
+}
+
+Response Server::run_prepared(const Request& req, Response rsp,
+                              const std::shared_ptr<PreparedEntry>& entry) {
+  const CsrMatrix& m = *entry->matrix;
+  // The input vector is a pure function of the fingerprint, so a RUN served
+  // cold and a RUN served from cache compute bit-identical answers — the
+  // property the determinism stress test asserts.
+  aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()));
+  aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()));
+  Xoshiro256 rng(0x517e5eedull ^ rsp.fingerprint.structure);
+  for (auto& v : x) v = static_cast<value_t>(rng.next_double());
+
+  const int iters = std::max(1, req.iters);
+  {
+    // PreparedMatrix::run reuses a scratch workspace; concurrent RUNs of
+    // one cached entry serialize here.
+    std::lock_guard<std::mutex> lock(entry->run_mutex);
+    Timer t;
+    for (int i = 0; i < iters; ++i) entry->prepared.run(x, y);
+    rsp.spmv_seconds = t.seconds() / iters;
+  }
+  double sum = 0;
+  for (const value_t v : y) sum += static_cast<double>(v);
+  rsp.checksum = sum;
+  return rsp;
+}
+
+Response Server::process(const Request& req,
+                         std::chrono::steady_clock::time_point enqueued,
+                         std::chrono::steady_clock::time_point deadline) {
+  auto& metrics = obs::MetricsRegistry::global();
+  const std::uint64_t wait_ns = record_since("serve.queue.wait", enqueued);
+
+  Response rsp;
+  const auto finish = [&](Response r) {
+    r.queue_seconds = static_cast<double>(wait_ns) * 1e-9;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.completed;
+    if (!r.ok) ++stats_.failed;
+    return r;
+  };
+
+  if (cancelled_.load(std::memory_order_acquire)) {
+    return finish(error_response(req, ErrorCategory::kResource,
+                                 "server shut down before the request ran"));
+  }
+  if (deadline != kNoDeadline && std::chrono::steady_clock::now() > deadline) {
+    metrics.add("serve.deadline.expired.count");
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.expired;
+    }
+    return finish(error_response(req, ErrorCategory::kResource,
+                                 "deadline expired while queued"));
+  }
+
+  Timer service;
+  try {
+    obs::ScopedTimer span("serve.request.service");
+    FaultInjector::global().maybe_throw(stage::kServe,
+                                        ErrorCategory::kResource);
+    if (!req.matrix) {
+      throw Error(ErrorCategory::kValidation, "request carries no matrix",
+                  {.stage = stage::kServe});
+    }
+    rsp.id = req.id;
+    rsp.fingerprint =
+        req.fingerprint.has_value()
+            ? *req.fingerprint
+            : fingerprint_matrix(*req.matrix, options_.fingerprint_values);
+
+    if (req.kind == RequestKind::kPredict) {
+      if (auto cached = choice_cache_.get(rsp.fingerprint)) {
+        rsp.choice = *cached;
+        rsp.choice_cache_hit = true;
+      } else {
+        rsp.choice = wise_->choose(*req.matrix);
+        choice_cache_.put(rsp.fingerprint, rsp.choice);
+      }
+    } else {
+      std::shared_ptr<PreparedEntry> entry =
+          prepared_cache_.get(rsp.fingerprint);
+      if (entry != nullptr) {
+        rsp.prepared_cache_hit = true;
+        rsp.choice = entry->choice;
+      } else {
+        entry = prepare_entry(req, rsp.fingerprint, rsp.choice);
+      }
+      if (req.kind == RequestKind::kRun) {
+        rsp = run_prepared(req, std::move(rsp), entry);
+      }
+    }
+    rsp.config_name = rsp.choice.config.name();
+    rsp.ok = true;
+  } catch (const Error& e) {
+    rsp = error_response(req, e.category(), e.what());
+  } catch (const std::exception& e) {
+    rsp = error_response(req, ErrorCategory::kResource, e.what());
+  }
+  rsp.service_seconds = service.seconds();
+  return finish(std::move(rsp));
+}
+
+}  // namespace wise::serve

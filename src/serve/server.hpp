@@ -1,0 +1,174 @@
+#pragma once
+// Concurrent prediction server — the long-lived, multi-tenant front half of
+// the WISE pipeline (ROADMAP: "serves heavy traffic").
+//
+// A Server owns a fixed worker pool (util/thread_pool.hpp), a bounded
+// request queue with an explicit backpressure policy, and the two-tier
+// fingerprint cache (serve/cache.hpp). One shared, const wise::Wise does
+// all prediction; Wise::choose/prepare are const-thread-safe (see
+// wise/pipeline.hpp), so N workers share one ModelBank with no locking.
+//
+// Request lifecycle:
+//   submit() fingerprints nothing and copies nothing — it enqueues the
+//   request (shared_ptr to the matrix) and returns a std::future<Response>.
+//   When the queue is full the overflow policy decides: kBlock parks the
+//   caller until a slot frees; kReject completes the future immediately
+//   with a kResource error. A worker that dequeues an expired request (its
+//   deadline passed while queued) completes it with a kResource error
+//   without doing the work — deadlines are admission control, not
+//   preemption. shutdown(drain=true) stops intake and completes every
+//   queued request; shutdown(drain=false) stops intake and completes queued
+//   requests with a "shutting down" error (the work is skipped, the future
+//   is still fulfilled — promises are never broken).
+//
+// Degradation: when a converted layout alone would overflow the prepared
+// cache's byte budget, the server re-prepares with the bank's cheapest CSR
+// configuration instead (fallback_reason "serve: ..."), mirroring the
+// pipeline's degrade-don't-die contract. The "serve" fault-injection stage
+// (WISE_FAULT_STAGES=serve) makes the overload error path deterministic in
+// tests.
+//
+// Metrics (see docs/SERVING.md): serve.request.count/.reject/.expired,
+// serve.degraded.count, serve.queue.wait + serve.request.service timers,
+// serve.queue.depth gauge, and the serve.cache.* family from cache.hpp.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "serve/cache.hpp"
+#include "serve/fingerprint.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "wise/pipeline.hpp"
+
+namespace wise::serve {
+
+enum class RequestKind {
+  kPredict,  ///< choose() only: selection + predicted class
+  kPrepare,  ///< choose() + layout conversion, result cached
+  kRun,      ///< kPrepare + `iters` SpMV iterations on a seeded vector
+};
+
+enum class OverflowPolicy {
+  kBlock,   ///< submit() blocks until the queue has room
+  kReject,  ///< submit() completes the future with a kResource error
+};
+
+struct ServerOptions {
+  int workers = 4;
+  std::size_t queue_capacity = 64;  ///< 0 = unbounded
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  std::size_t cache_bytes = 256u << 20;  ///< prepared-tier budget; 0 = unbounded
+  std::size_t choice_entries = 1024;     ///< choice-tier entry cap
+  bool fingerprint_values = false;  ///< hash values too (RUN-heavy loads)
+  std::chrono::milliseconds default_deadline{0};  ///< 0 = none
+
+  /// Reads WISE_SERVE_WORKERS, WISE_SERVE_QUEUE, WISE_SERVE_OVERFLOW
+  /// (block|reject), WISE_SERVE_CACHE_BYTES, WISE_SERVE_CHOICE_ENTRIES,
+  /// WISE_SERVE_HASH_VALUES, WISE_SERVE_DEADLINE_MS over these defaults.
+  static ServerOptions from_env();
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kPredict;
+  std::shared_ptr<const CsrMatrix> matrix;
+  std::string id;  ///< caller tag (e.g. file path), echoed in the response
+  int iters = 1;   ///< SpMV iterations for kRun
+  /// Per-request deadline override; 0 uses ServerOptions::default_deadline.
+  std::chrono::milliseconds deadline{0};
+  /// Precomputed cache key, trusted verbatim. The hash is an O(nnz) pass,
+  /// so callers that load a matrix once and send many requests against it
+  /// (the daemon's loader, steady-state clients) compute it at load time;
+  /// leave unset and the worker hashes per request.
+  std::optional<Fingerprint> fingerprint;
+};
+
+struct Response {
+  bool ok = false;
+  std::string id;
+  std::string error;  ///< empty when ok
+  ErrorCategory category = ErrorCategory::kValidation;  ///< valid when !ok
+
+  WiseChoice choice;        ///< selection outcome (kPredict/kPrepare/kRun)
+  std::string config_name;  ///< choice.config.name()
+  Fingerprint fingerprint;
+  bool choice_cache_hit = false;
+  bool prepared_cache_hit = false;
+
+  double queue_seconds = 0;    ///< time spent waiting for a worker
+  double service_seconds = 0;  ///< worker time (fingerprint → done)
+  double spmv_seconds = 0;     ///< kRun: mean seconds per iteration
+  double checksum = 0;         ///< kRun: sum of the final y (determinism)
+};
+
+/// Monotonic server counters (separate from the obs registry so STATS works
+/// even with metrics disabled).
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;  ///< queue-full rejections
+  std::uint64_t expired = 0;   ///< deadline passed while queued
+  std::uint64_t failed = 0;    ///< completed with !ok (incl. expired)
+  std::uint64_t degraded = 0;  ///< serve-level CSR demotions
+};
+
+class Server {
+ public:
+  /// `predictor` is shared with the caller and must stay alive while the
+  /// server runs; it is used strictly through const methods.
+  explicit Server(std::shared_ptr<const Wise> predictor,
+                  ServerOptions options = {});
+
+  /// Drains and stops (shutdown(true)).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues `req` (see class comment for backpressure/deadline rules).
+  /// The returned future is always eventually completed with a Response —
+  /// rejections and shutdowns produce !ok responses, never exceptions.
+  std::future<Response> submit(Request req);
+
+  /// submit() + wait.
+  Response call(Request req);
+
+  /// Stops intake; with `drain` runs every queued request to completion,
+  /// without it completes queued requests with a shutdown error. Idempotent.
+  void shutdown(bool drain = true);
+
+  ServerStats stats() const;
+  CacheStats cache_stats() const;
+  const ServerOptions& options() const { return options_; }
+  std::size_t queue_depth() const { return pool_->queue_depth(); }
+
+ private:
+  Response process(const Request& req,
+                   std::chrono::steady_clock::time_point enqueued,
+                   std::chrono::steady_clock::time_point deadline);
+  Response run_prepared(const Request& req, Response rsp,
+                        const std::shared_ptr<PreparedEntry>& entry);
+  std::shared_ptr<PreparedEntry> prepare_entry(const Request& req,
+                                               const Fingerprint& fp,
+                                               WiseChoice& choice);
+  MethodConfig cheapest_csr_config() const;
+
+  std::shared_ptr<const Wise> wise_;
+  ServerOptions options_;
+  ChoiceCache choice_cache_;
+  PreparedCache prepared_cache_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace wise::serve

@@ -62,48 +62,59 @@ void FaultInjector::arm(std::string_view stg, double rate) {
   StageState state;
   state.rate = rate;
   state.rng = SplitMix64(seed_ ^ stage_hash(stg));
+  std::lock_guard<std::mutex> lock(mutex_);
   stages_.insert_or_assign(std::string(stg), state);
 }
 
 void FaultInjector::disarm(std::string_view stg) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = stages_.find(stg);
   if (it != stages_.end()) stages_.erase(it);
 }
 
-void FaultInjector::disarm_all() { stages_.clear(); }
+void FaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stages_.clear();
+}
 
 bool FaultInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, state] : stages_) {
     if (state.rate > 0.0) return true;
   }
   return false;
 }
 
-bool FaultInjector::should_fail(std::string_view stg) {
+std::uint64_t FaultInjector::next_trip(std::string_view stg) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = stages_.find(stg);
-  if (it == stages_.end()) return false;
+  if (it == stages_.end()) return 0;
   StageState& state = it->second;
-  if (state.rate <= 0.0) return false;
+  if (state.rate <= 0.0) return 0;
   // Draw even when rate == 1 so lowering the rate later continues the same
   // deterministic stream.
   const double u =
       static_cast<double>(state.rng.next() >> 11) * 0x1.0p-53;
   const bool fail = state.rate >= 1.0 || u < state.rate;
-  if (fail) ++state.trips;
-  return fail;
+  if (!fail) return 0;
+  return ++state.trips;
+}
+
+bool FaultInjector::should_fail(std::string_view stg) {
+  return next_trip(stg) != 0;
 }
 
 void FaultInjector::maybe_throw(std::string_view stg, ErrorCategory category) {
-  if (!should_fail(stg)) return;
+  const std::uint64_t trip = next_trip(stg);
+  if (trip == 0) return;
   ErrorContext ctx;
   ctx.stage = std::string(stg);
-  throw Error(category,
-              "injected fault (trip #" +
-                  std::to_string(stages_.find(stg)->second.trips) + ")",
+  throw Error(category, "injected fault (trip #" + std::to_string(trip) + ")",
               std::move(ctx));
 }
 
 std::uint64_t FaultInjector::trip_count(std::string_view stg) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = stages_.find(stg);
   return it == stages_.end() ? 0 : it->second.trips;
 }

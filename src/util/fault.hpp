@@ -18,11 +18,17 @@
 // With WISE_FAULT_STAGES unset the injector is disarmed and every
 // should_fail() check is a single map lookup on an empty map.
 //
-// Not thread-safe: arm/disarm and should_fail mutate shared state. Tests
-// arm faults before spawning work and disarm after.
+// Thread-safe: every member serializes on an internal mutex, so the serve
+// layer's worker threads can consult the global injector concurrently (and
+// tests can arm/disarm around multi-threaded sections). The deterministic
+// per-stage streams are preserved, but when several threads draw from one
+// stage concurrently the *assignment* of draws to threads follows the
+// scheduler — tests that need exact fault placement keep the armed section
+// single-threaded or use rate 1.0.
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -38,6 +44,7 @@ inline constexpr const char* kFeature = "feature";
 inline constexpr const char* kInference = "inference";
 inline constexpr const char* kConversion = "conversion";
 inline constexpr const char* kModelBank = "model_bank";
+inline constexpr const char* kServe = "serve";
 }  // namespace stage
 
 class FaultInjector {
@@ -45,6 +52,16 @@ class FaultInjector {
   /// Disarmed injector; should_fail() is always false.
   FaultInjector() = default;
   explicit FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+  /// Movable (fresh mutex) so from_env() can build-and-return; moving an
+  /// injector other threads are using is a caller bug.
+  FaultInjector(FaultInjector&& other) noexcept
+      : seed_(other.seed_), stages_(std::move(other.stages_)) {}
+  FaultInjector& operator=(FaultInjector&& other) noexcept {
+    seed_ = other.seed_;
+    stages_ = std::move(other.stages_);
+    return *this;
+  }
 
   /// Parses WISE_FAULT_STAGES / WISE_FAULT_SEED. Unknown syntax in the
   /// stage list throws wise::Error (kValidation).
@@ -82,6 +99,11 @@ class FaultInjector {
     std::uint64_t trips = 0;
   };
 
+  /// Draws the next decision for `stg` under the lock; returns the trip
+  /// number when the fault fires, 0 otherwise.
+  std::uint64_t next_trip(std::string_view stg);
+
+  mutable std::mutex mutex_;
   std::uint64_t seed_ = 0;
   std::map<std::string, StageState, std::less<>> stages_;
 };

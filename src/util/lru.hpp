@@ -1,0 +1,113 @@
+#pragma once
+// Cost-budgeted LRU map — the replacement policy behind the serving layer's
+// caches (serve/cache.hpp).
+//
+// A classic list + hash-index LRU: entries live in a doubly-linked list in
+// recency order (front = most recent) and the index maps keys to list
+// iterators, so get/put/erase are O(1). Each entry carries a caller-chosen
+// cost (bytes, or 1 for count-bounded caches); put() evicts from the tail
+// until total cost fits the budget, returning the evicted values so the
+// caller can observe (and count) exactly what was dropped. Eviction order
+// is strictly least-recently-used, making it deterministic for tests.
+//
+// Not thread-safe: callers wrap it in their own lock (the serve caches
+// hold one mutex around a whole LruMap).
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace wise {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruMap {
+ public:
+  /// `budget` caps the sum of entry costs; 0 means unbounded.
+  explicit LruMap(std::size_t budget = 0) : budget_(budget) {}
+
+  /// Value for `key`, moved to most-recently-used; nullptr when absent. The
+  /// pointer stays valid until the entry is evicted or erased.
+  Value* get(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->value;
+  }
+
+  /// Like get() but without touching recency.
+  const Value* peek(const Key& key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->value;
+  }
+
+  /// Inserts (or replaces) `key`, marks it most-recently-used, then evicts
+  /// least-recently-used entries until the budget holds. Returns the
+  /// evicted values (never the just-inserted one: an entry whose cost alone
+  /// exceeds the budget stays resident until the next insertion displaces
+  /// it, so a put() is never a silent no-op).
+  std::vector<Value> put(const Key& key, Value value, std::size_t cost) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      total_cost_ -= it->second->cost;
+      order_.erase(it->second);
+      index_.erase(it);
+    }
+    order_.push_front(Entry{key, std::move(value), cost});
+    index_.emplace(key, order_.begin());
+    total_cost_ += cost;
+
+    std::vector<Value> evicted;
+    while (budget_ > 0 && total_cost_ > budget_ && order_.size() > 1) {
+      Entry& tail = order_.back();
+      total_cost_ -= tail.cost;
+      index_.erase(tail.key);
+      evicted.push_back(std::move(tail.value));
+      order_.pop_back();
+    }
+    return evicted;
+  }
+
+  bool erase(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    total_cost_ -= it->second->cost;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+    total_cost_ = 0;
+  }
+
+  std::size_t size() const { return order_.size(); }
+  bool empty() const { return order_.empty(); }
+  std::size_t total_cost() const { return total_cost_; }
+  std::size_t budget() const { return budget_; }
+
+  /// Keys in recency order (most recent first); for tests and STATS dumps.
+  std::vector<Key> keys_by_recency() const {
+    std::vector<Key> keys;
+    keys.reserve(order_.size());
+    for (const Entry& e : order_) keys.push_back(e.key);
+    return keys;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    std::size_t cost;
+  };
+
+  std::size_t budget_;
+  std::size_t total_cost_ = 0;
+  std::list<Entry> order_;
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index_;
+};
+
+}  // namespace wise

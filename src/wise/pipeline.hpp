@@ -15,6 +15,20 @@
 // configuration instead of throwing, and record why in
 // WiseChoice::fallback_reason. Failure paths are exercised deterministically
 // via util/fault.hpp (WISE_FAULT_STAGES). See docs/ROBUSTNESS.md.
+//
+// Thread-safety contract (relied on by serve/server.hpp): choose() and
+// prepare() are const and safe to call concurrently from any number of
+// threads against one shared Wise/ModelBank. Audited guarantees:
+//  * ModelBank::predict_classes and DecisionTree::predict walk immutable
+//    node arrays — no lazy initialization, no caching, no mutable members.
+//  * extract_features uses only locals and its own OpenMP region; its one
+//    static (the feature-name table) has thread-safe magic-static init.
+//  * The global MetricsRegistry and FaultInjector the stages consult are
+//    internally synchronized.
+// The mutable knobs below (feature_params, validate_input,
+// memory_budget_bytes) are configuration: set them before sharing the
+// object across threads. The PreparedMatrix a prepare() returns is NOT
+// concurrency-safe (see executor.hpp) — each caller runs its own.
 
 #include <cstddef>
 #include <span>

@@ -1,0 +1,436 @@
+// Tests for the concurrent prediction server (serve/server.hpp): cache
+// hit/miss semantics, determinism under concurrency, backpressure,
+// deadlines, graceful shutdown, serve-level degradation, and the
+// const-thread-safety contract of the shared Wise pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "spmv/method.hpp"
+#include "test_util.hpp"
+#include "util/fault.hpp"
+#include "util/prng.hpp"
+#include "wise/model_bank.hpp"
+
+namespace wise::serve {
+namespace {
+
+using wise::testing::random_csr;
+
+/// Bank over the full 29-config registry where `winner` always predicts the
+/// best class and everything else is neutral. Labels are constant per
+/// configuration, so each tree is a single leaf and predicts the same class
+/// for any real feature vector — making the server's selection fully
+/// deterministic in these tests.
+ModelBank make_constant_bank(std::size_t winner) {
+  const auto configs = all_method_configs();
+  std::vector<std::vector<double>> features;
+  std::vector<std::vector<double>> rel_times;
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 12; ++i) {
+    std::vector<double> f(feature_count());
+    for (auto& v : f) v = rng.next_double() * 100.0;
+    features.push_back(std::move(f));
+    std::vector<double> rel(configs.size(), 1.0);
+    rel[winner] = 0.5;  // class 6: predicted fastest
+    rel_times.push_back(std::move(rel));
+  }
+  ModelBank bank;
+  bank.train(configs, features, rel_times, {.max_depth = 3});
+  return bank;
+}
+
+std::size_t first_config_of_kind(MethodKind kind) {
+  const auto configs = all_method_configs();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i].kind == kind) return i;
+  }
+  ADD_FAILURE() << "registry lacks the requested method kind";
+  return 0;
+}
+
+std::shared_ptr<const Wise> make_predictor(MethodKind winner_kind) {
+  return std::make_shared<const Wise>(
+      make_constant_bank(first_config_of_kind(winner_kind)));
+}
+
+std::shared_ptr<const CsrMatrix> shared_matrix(index_t n, std::uint64_t seed) {
+  return std::make_shared<const CsrMatrix>(random_csr(n, n, 6.0, seed));
+}
+
+Request run_request(std::shared_ptr<const CsrMatrix> m, std::string id,
+                    int iters = 2) {
+  Request req;
+  req.kind = RequestKind::kRun;
+  req.matrix = std::move(m);
+  req.id = std::move(id);
+  req.iters = iters;
+  return req;
+}
+
+// ------------------------------------------------------ basic round trips ----
+
+TEST(Server, PredictPrepareRunRoundTrip) {
+  Server server(make_predictor(MethodKind::kSellpack), {.workers = 2});
+  const auto m = shared_matrix(96, 1);
+
+  Request predict;
+  predict.kind = RequestKind::kPredict;
+  predict.matrix = m;
+  predict.id = "m1";
+  const Response p = server.call(predict);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.id, "m1");
+  EXPECT_EQ(p.choice.config.kind, MethodKind::kSellpack);
+  EXPECT_FALSE(p.choice_cache_hit);
+
+  const Response r = server.call(run_request(m, "m1"));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.config_name, p.config_name);
+  EXPECT_NE(r.checksum, 0.0);
+  EXPECT_GT(r.spmv_seconds, 0.0);
+}
+
+TEST(Server, WarmRequestsHitThePreparedCache) {
+  Server server(make_predictor(MethodKind::kSellpack), {.workers = 2});
+  const auto m = shared_matrix(96, 2);
+
+  const Response cold = server.call(run_request(m, "cold"));
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.prepared_cache_hit);
+
+  const Response warm = server.call(run_request(m, "warm"));
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_TRUE(warm.prepared_cache_hit);
+  // Warm responses are bit-identical to cold ones: same fingerprint-seeded
+  // input vector, same prepared layout, deterministic kernels.
+  EXPECT_EQ(warm.checksum, cold.checksum);
+  EXPECT_EQ(warm.config_name, cold.config_name);
+  EXPECT_EQ(warm.fingerprint, cold.fingerprint);
+
+  const CacheStats cs = server.cache_stats();
+  EXPECT_EQ(cs.prepared_hits, 1u);
+  EXPECT_EQ(cs.prepared_misses, 1u);
+  EXPECT_EQ(cs.prepared_entries, 1u);
+  EXPECT_GT(cs.prepared_bytes, 0u);
+}
+
+TEST(Server, PrecomputedFingerprintMatchesTheWorkerSideHash) {
+  Server server(make_predictor(MethodKind::kSellpack), {.workers = 2});
+  const auto m = shared_matrix(96, 3);
+
+  const Response cold = server.call(run_request(m, "cold"));  // worker hashes
+  ASSERT_TRUE(cold.ok) << cold.error;
+
+  Request warm_req = run_request(m, "warm");
+  warm_req.fingerprint = fingerprint_matrix(*m);  // client-side hash
+  const Response warm = server.call(std::move(warm_req));
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_TRUE(warm.prepared_cache_hit)
+      << "a load-time fingerprint must key the same cache entry";
+  EXPECT_EQ(warm.fingerprint, cold.fingerprint);
+  EXPECT_EQ(warm.checksum, cold.checksum);
+}
+
+// --------------------------------------------------- concurrency + caches ----
+
+TEST(Server, ConcurrentStressIsBitIdenticalToColdPath) {
+  Server server(make_predictor(MethodKind::kSellpack),
+                {.workers = 8, .queue_capacity = 0});
+  constexpr int kMatrices = 6;
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 10;
+
+  std::vector<std::shared_ptr<const CsrMatrix>> matrices;
+  std::vector<double> cold_checksums;
+  for (int i = 0; i < kMatrices; ++i) {
+    matrices.push_back(shared_matrix(64 + 8 * i, 100 + i));
+    const Response cold =
+        server.call(run_request(matrices.back(), "cold-" + std::to_string(i)));
+    ASSERT_TRUE(cold.ok) << cold.error;
+    cold_checksums.push_back(cold.checksum);
+  }
+
+  std::vector<std::thread> clients;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        const int mi = (t + round) % kMatrices;
+        const Response rsp = server.call(
+            run_request(matrices[static_cast<std::size_t>(mi)],
+                        "t" + std::to_string(t)));
+        if (!rsp.ok) {
+          ++failures[static_cast<std::size_t>(t)];
+        } else if (rsp.checksum !=
+                   cold_checksums[static_cast<std::size_t>(mi)]) {
+          ++mismatches[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(t)], 0);
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0)
+        << "thread " << t << " saw a cache-hit response differing from cold";
+  }
+
+  const CacheStats cs = server.cache_stats();
+  // Every stress request after the cold pass can hit (matrices were all
+  // prepared); allow a few races where two workers miss concurrently.
+  EXPECT_GE(cs.prepared_hits,
+            static_cast<std::uint64_t>(kThreads * kRoundsPerThread - kMatrices));
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.accepted, st.completed);
+  EXPECT_EQ(st.failed, 0u);
+}
+
+TEST(Server, ByteBudgetEvictsDeterministically) {
+  // Budget sized to hold exactly one prepared entry: A, B, A again must be
+  // miss, miss+evict, miss+evict.
+  const auto predictor = make_predictor(MethodKind::kSellpack);
+  const auto a = shared_matrix(96, 31);
+  const auto b = shared_matrix(96, 32);
+  WiseChoice choice;
+  const PreparedMatrix pm = predictor->prepare(*a, choice);
+  const std::size_t entry_bytes = prepared_entry_bytes(*a, pm);
+
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.cache_bytes = entry_bytes + entry_bytes / 2;
+  Server server(predictor, opts);
+
+  ASSERT_TRUE(server.call(run_request(a, "a")).ok);
+  ASSERT_TRUE(server.call(run_request(b, "b")).ok);  // evicts a
+  const Response again = server.call(run_request(a, "a-again"));
+  ASSERT_TRUE(again.ok);
+  EXPECT_FALSE(again.prepared_cache_hit);
+  const CacheStats cs = server.cache_stats();
+  EXPECT_EQ(cs.prepared_misses, 3u);
+  EXPECT_EQ(cs.prepared_hits, 0u);
+  EXPECT_EQ(cs.evictions, 2u);
+  EXPECT_EQ(cs.prepared_entries, 1u);
+}
+
+// ----------------------------------------------- backpressure + deadlines ----
+
+/// Parks the single worker on a long RUN, returning once it has started
+/// (queue drained, nothing completed yet).
+std::future<Response> park_worker(Server& server,
+                                  const std::shared_ptr<const CsrMatrix>& m) {
+  auto blocker = server.submit(run_request(m, "blocker", 4000));
+  while (server.queue_depth() > 0 ||
+         (server.stats().completed == 0 && server.stats().accepted == 0)) {
+    std::this_thread::yield();
+  }
+  // queue_depth()==0 means a worker holds the request (or finished it; the
+  // 4000-iteration run makes "finished already" implausible).
+  return blocker;
+}
+
+TEST(Server, RejectPolicyRejectsWhenQueueIsFull) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.overflow = OverflowPolicy::kReject;
+  Server server(make_predictor(MethodKind::kSellpack), opts);
+  const auto m = shared_matrix(192, 41);
+
+  auto blocker = park_worker(server, m);
+  auto queued = server.submit(run_request(m, "queued"));  // fills the queue
+  // Everything further must be rejected, not blocked.
+  int rejected = 0;
+  for (int i = 0; i < 4; ++i) {
+    const Response rsp = server.call(run_request(m, "overflow"));
+    if (!rsp.ok) {
+      ++rejected;
+      EXPECT_EQ(rsp.category, ErrorCategory::kResource);
+      EXPECT_NE(rsp.error.find("queue"), std::string::npos) << rsp.error;
+    }
+  }
+  EXPECT_GE(rejected, 1);
+  EXPECT_GE(server.stats().rejected, static_cast<std::uint64_t>(rejected));
+  EXPECT_TRUE(blocker.get().ok);
+  EXPECT_TRUE(queued.get().ok);
+}
+
+TEST(Server, DeadlineExpiresWhileQueued) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 8;
+  Server server(make_predictor(MethodKind::kSellpack), opts);
+  const auto m = shared_matrix(192, 42);
+
+  auto blocker = park_worker(server, m);
+  Request doomed = run_request(m, "doomed");
+  doomed.deadline = std::chrono::milliseconds(1);
+  auto doomed_future = server.submit(std::move(doomed));
+  // The blocker (4000 iterations) keeps the worker busy well past 1 ms.
+  const Response rsp = doomed_future.get();
+  EXPECT_FALSE(rsp.ok);
+  EXPECT_EQ(rsp.category, ErrorCategory::kResource);
+  EXPECT_NE(rsp.error.find("deadline"), std::string::npos) << rsp.error;
+  EXPECT_EQ(server.stats().expired, 1u);
+  EXPECT_TRUE(blocker.get().ok);
+}
+
+// ------------------------------------------------------------- shutdown ----
+
+TEST(Server, ShutdownDrainsEveryQueuedRequest) {
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.queue_capacity = 0;  // unbounded: everything queues instantly
+  Server server(make_predictor(MethodKind::kSellpack), opts);
+  const auto m = shared_matrix(96, 51);
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(server.submit(run_request(m, "q" + std::to_string(i))));
+  }
+  server.shutdown(true);
+  int ok = 0;
+  for (auto& f : futures) {
+    if (f.get().ok) ++ok;
+  }
+  EXPECT_EQ(ok, 32) << "drain must complete queued work, not abandon it";
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.accepted, 32u);
+  EXPECT_EQ(st.completed, 32u);
+
+  // After shutdown: immediate, non-blocking rejection.
+  const Response late = server.call(run_request(m, "late"));
+  EXPECT_FALSE(late.ok);
+  EXPECT_NE(late.error.find("shutting down"), std::string::npos);
+}
+
+TEST(Server, NonDrainingShutdownFailsQueuedRequestsFast) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 0;
+  Server server(make_predictor(MethodKind::kSellpack), opts);
+  const auto m = shared_matrix(192, 52);
+
+  auto blocker = park_worker(server, m);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.submit(run_request(m, "q" + std::to_string(i))));
+  }
+  server.shutdown(false);
+  EXPECT_TRUE(blocker.get().ok);  // in-flight work still completes
+  for (auto& f : futures) {
+    const Response rsp = f.get();  // promises are fulfilled, never broken
+    EXPECT_FALSE(rsp.ok);
+    EXPECT_EQ(rsp.category, ErrorCategory::kResource);
+  }
+}
+
+// ------------------------------------------- degradation + fault injection ----
+
+TEST(Server, DegradesToCsrWhenLayoutOverflowsCacheBudget) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.cache_bytes = 1024;  // far below any real converted layout
+  Server server(make_predictor(MethodKind::kSellpack), opts);
+  const auto m = shared_matrix(128, 61);
+
+  const Response rsp = server.call(run_request(m, "big"));
+  ASSERT_TRUE(rsp.ok) << rsp.error;
+  EXPECT_EQ(rsp.choice.config.kind, MethodKind::kCsr);
+  EXPECT_TRUE(rsp.choice.fell_back());
+  EXPECT_NE(rsp.choice.fallback_reason.find("serve:"), std::string::npos)
+      << rsp.choice.fallback_reason;
+  EXPECT_EQ(server.stats().degraded, 1u);
+
+  // The CSR-demoted entry is cacheable and still correct.
+  const Response warm = server.call(run_request(m, "big-again"));
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.prepared_cache_hit);
+  EXPECT_EQ(warm.checksum, rsp.checksum);
+}
+
+TEST(Server, ServeFaultStageMakesOverloadDeterministic) {
+  FaultInjector::global().arm(stage::kServe, 1.0);
+  Server server(make_predictor(MethodKind::kSellpack), {.workers = 2});
+  const auto m = shared_matrix(64, 71);
+  const Response rsp = server.call(run_request(m, "faulted"));
+  FaultInjector::global().disarm(stage::kServe);
+  EXPECT_FALSE(rsp.ok);
+  EXPECT_EQ(rsp.category, ErrorCategory::kResource);
+  EXPECT_NE(rsp.error.find("injected fault"), std::string::npos) << rsp.error;
+
+  // Disarmed again: the same request now succeeds.
+  const Response healthy = server.call(run_request(m, "healthy"));
+  EXPECT_TRUE(healthy.ok) << healthy.error;
+}
+
+// --------------------------------------------------------------- options ----
+
+TEST(ServerOptions, FromEnvReadsEveryKnob) {
+  ::setenv("WISE_SERVE_WORKERS", "3", 1);
+  ::setenv("WISE_SERVE_QUEUE", "17", 1);
+  ::setenv("WISE_SERVE_OVERFLOW", "reject", 1);
+  ::setenv("WISE_SERVE_CACHE_BYTES", "123456", 1);
+  ::setenv("WISE_SERVE_CHOICE_ENTRIES", "9", 1);
+  ::setenv("WISE_SERVE_HASH_VALUES", "1", 1);
+  ::setenv("WISE_SERVE_DEADLINE_MS", "250", 1);
+  const ServerOptions o = ServerOptions::from_env();
+  EXPECT_EQ(o.workers, 3);
+  EXPECT_EQ(o.queue_capacity, 17u);
+  EXPECT_EQ(o.overflow, OverflowPolicy::kReject);
+  EXPECT_EQ(o.cache_bytes, 123456u);
+  EXPECT_EQ(o.choice_entries, 9u);
+  EXPECT_TRUE(o.fingerprint_values);
+  EXPECT_EQ(o.default_deadline.count(), 250);
+
+  ::setenv("WISE_SERVE_OVERFLOW", "bogus", 1);
+  EXPECT_THROW(ServerOptions::from_env(), Error);
+  for (const char* name :
+       {"WISE_SERVE_WORKERS", "WISE_SERVE_QUEUE", "WISE_SERVE_OVERFLOW",
+        "WISE_SERVE_CACHE_BYTES", "WISE_SERVE_CHOICE_ENTRIES",
+        "WISE_SERVE_HASH_VALUES", "WISE_SERVE_DEADLINE_MS"}) {
+    ::unsetenv(name);
+  }
+}
+
+// ------------------------------------------- Wise const-thread-safety ----
+
+TEST(WiseThreadSafety, ConcurrentChooseOnSharedPredictorIsConsistent) {
+  // The contract serve/server.hpp builds on (documented in
+  // wise/pipeline.hpp): N threads may call choose() on one shared const
+  // Wise. Every thread must get the same deterministic choice.
+  const auto predictor = make_predictor(MethodKind::kSellCSigma);
+  const CsrMatrix m = random_csr(128, 128, 6.0, 81);
+  const WiseChoice expected = predictor->choose(m);
+  ASSERT_FALSE(expected.fell_back()) << expected.fallback_reason;
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> wrong(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 5; ++i) {
+        const WiseChoice c = predictor->choose(m);
+        if (!(c.config == expected.config) ||
+            c.predicted_class != expected.predicted_class) {
+          ++wrong[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(wrong[static_cast<std::size_t>(t)], 0);
+  }
+}
+
+}  // namespace
+}  // namespace wise::serve
