@@ -29,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include <omp.h>
+
 #include "exp/measure.hpp"
 #include "exp/spec.hpp"
 #include "exp/train.hpp"
@@ -38,8 +40,10 @@
 #include "obs/report.hpp"
 #include "obs/sink.hpp"
 #include "serve/server.hpp"
+#include "spmv/csr_kernels.hpp"
 #include "spmv/executor.hpp"
 #include "spmv/method.hpp"
+#include "spmv/plan.hpp"
 #include "util/aligned.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
@@ -175,7 +179,52 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- Stage 3: full pipeline choose/prepare ------------------------------
+  // --- Stage 3: execution plan vs plain schedule(static) ------------------
+  // The nnz-balanced plan (spmv/plan.hpp) exists for skewed matrices, where
+  // schedule(static)'s equal *row* split leaves one thread holding the hub
+  // rows. rmat-hs is exactly that shape; the CI validate step gates
+  // plan_vs_static_speedup >= 1.15 at OMP_NUM_THREADS=2 (timings stay
+  // informational locally — see the header comment).
+  std::printf("[perf_smoke] execution plan vs schedule(static) (rmat-hs)...\n");
+  {
+    const CsrMatrix& m = suite[0].m;  // rmat-hs: the skew plans exist for
+    aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()));
+    aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()));
+    Xoshiro256 rng(0x9a7b11);
+    for (auto& v : x) v = static_cast<value_t>(rng.next_double());
+
+    const int iters = quick ? 10 : 50;
+    const int threads = omp_get_max_threads();
+    const SpmvPlan plan = build_csr_plan(m, Schedule::kStCont, threads);
+    const double gflop = 2.0 * static_cast<double>(m.nnz()) / 1e9;
+
+    spmv_csr(m, x, y, Schedule::kStCont);  // warm-up
+    const auto legacy = time_passes(3, iters, [&] {
+      spmv_csr(m, x, y, Schedule::kStCont);
+      do_not_optimize(y.data());
+    });
+    spmv_csr(m, x, y, Schedule::kStCont, plan);  // warm-up
+    const auto planned = time_passes(3, iters, [&] {
+      spmv_csr(m, x, y, Schedule::kStCont, plan);
+      do_not_optimize(y.data());
+    });
+
+    obs::JsonValue params = matrix_params(m);
+    params.set("threads", static_cast<std::int64_t>(threads));
+    params.set("plan_blocks", static_cast<std::int64_t>(plan.num_blocks()));
+    params.set("plan_bytes", static_cast<std::int64_t>(plan.memory_bytes()));
+    params.set("gflops_static", gflop / legacy.min_seconds);
+    params.set("gflops_plan", gflop / planned.min_seconds);
+    params.set("plan_vs_static_speedup",
+               legacy.min_seconds / planned.min_seconds);
+    report.add("plan", "csr_static/rmat-hs", legacy, params);
+    report.add("plan", "csr_plan/rmat-hs", planned, std::move(params));
+    std::printf("[perf_smoke] plan: %d blocks, plan vs static %.2fx\n",
+                static_cast<int>(plan.num_blocks()),
+                legacy.min_seconds / planned.min_seconds);
+  }
+
+  // --- Stage 4: full pipeline choose/prepare ------------------------------
   std::printf("[perf_smoke] pipeline choose (training smoke bank)...\n");
   std::shared_ptr<const Wise> predictor;
   {
@@ -199,7 +248,80 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- Stage 4: serving layer (serve.throughput scenario) -----------------
+  // --- Stage 5: flattened vs recursive tree inference ---------------------
+  // The model bank serves predictions from the flattened packed-node
+  // ensemble (ml/flat_tree.hpp). Time it against the per-tree recursive
+  // walk it replaced, over feature vectors the bank has not seen. The bank
+  // is trained here at paper scale (29 configs, max_depth 15, hundreds of
+  // samples -> trees ~600 nodes deep enough to traverse) rather than
+  // reusing the tiny 8-record pipeline smoke bank, whose depth-1 trees
+  // would measure loop overhead instead of traversal. The CI validate step
+  // gates flat_vs_recursive_speedup >= 2.0.
+  std::printf("[perf_smoke] tree inference: flat packed vs recursive...\n");
+  {
+    const std::vector<MethodConfig> configs = all_method_configs();
+    const std::size_t nc = configs.size();
+    Xoshiro256 rng(0x7eef);
+    std::vector<std::vector<double>> train_x;
+    std::vector<std::vector<double>> train_rel;
+    const int samples = quick ? 120 : 250;
+    for (int i = 0; i < samples; ++i) {
+      std::vector<double> f(feature_count());
+      for (auto& v : f) v = rng.next_double() * 100.0;
+      std::vector<double> rel(nc);
+      for (std::size_t c = 0; c < nc; ++c) {
+        // Each config keys off its own feature pair so the 29 trees are
+        // non-trivial and mutually distinct.
+        const double a = f[c % f.size()];
+        const double b = f[(3 * c + 1) % f.size()];
+        rel[c] = (a > b) ? 0.4 + 0.01 * static_cast<double>(c % 5) : 1.3;
+      }
+      train_x.push_back(std::move(f));
+      train_rel.push_back(std::move(rel));
+    }
+    ModelBank bank;
+    bank.train(configs, train_x, train_rel,
+               {.max_depth = 15, .ccp_alpha = 0.0});
+    // Enough distinct probes that the branch predictor cannot memorize the
+    // recursive walks' outcome sequence — serving sees fresh matrices, so a
+    // small cyclic probe set would flatter the branchy baseline's real cost.
+    std::vector<std::vector<double>> probes(1024);
+    for (auto& p : probes) {
+      p.resize(feature_count());
+      for (auto& v : p) v = rng.next_double() * 100.0;
+    }
+    std::vector<int> out(nc);
+    const int iters = quick ? 200 : 1000;
+    std::size_t which = 0;
+
+    const auto recursive = time_passes(3, iters, [&] {
+      const auto& x = probes[which++ % probes.size()];
+      for (std::size_t c = 0; c < nc; ++c) out[c] = bank.trees()[c].predict(x);
+      do_not_optimize(out.data());
+    });
+    which = 0;
+    const auto flat = time_passes(3, iters, [&] {
+      bank.predict_classes_into(probes[which++ % probes.size()], out);
+      do_not_optimize(out.data());
+    });
+
+    obs::JsonValue params = obs::JsonValue::object();
+    params.set("trees", static_cast<std::int64_t>(nc));
+    params.set("flat_nodes",
+               static_cast<std::int64_t>(bank.flat().num_nodes()));
+    params.set("flat_bytes",
+               static_cast<std::int64_t>(bank.flat().memory_bytes()));
+    params.set("predictions_per_sec",
+               static_cast<double>(nc) / flat.min_seconds);
+    params.set("flat_vs_recursive_speedup",
+               recursive.min_seconds / flat.min_seconds);
+    report.add("inference", "bank_recursive", recursive, params);
+    report.add("inference", "bank_flat", flat, std::move(params));
+    std::printf("[perf_smoke] inference: flat vs recursive %.2fx\n",
+                recursive.min_seconds / flat.min_seconds);
+  }
+
+  // --- Stage 6: serving layer (serve.throughput scenario) -----------------
   std::printf("[perf_smoke] serve throughput (repeated-matrix workload)...\n");
   {
     serve::ServerOptions opts;

@@ -1,0 +1,139 @@
+#include "ml/flat_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace wise {
+
+FlatTreeEnsemble FlatTreeEnsemble::build(
+    const std::vector<DecisionTree>& trees) {
+  FlatTreeEnsemble flat;
+  std::size_t total = 0;
+  for (const auto& tree : trees) {
+    if (!tree.fitted()) {
+      throw std::invalid_argument("FlatTreeEnsemble: unfitted tree");
+    }
+    total += tree.nodes().size();
+  }
+  if (total == 0) return flat;
+  flat.nodes_.reserve(total + 1);
+  flat.feature_.reserve(total);
+  flat.label_.reserve(total + 1);
+  flat.root_.reserve(trees.size());
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::int32_t> newid;
+  std::vector<std::int32_t> order;  // old ids, in new-id order
+  for (const auto& tree : trees) {
+    const auto& nd = tree.nodes();
+    const auto base = static_cast<std::int32_t>(flat.nodes_.size());
+    flat.root_.push_back(base);
+    flat.depth_ = std::max(flat.depth_, tree.depth());
+
+    // BFS renumbering that hands each split node's children CONSECUTIVE new
+    // ids, establishing the right-child-at-left+1 invariant the arithmetic
+    // select relies on.
+    newid.assign(nd.size(), -1);
+    order.clear();
+    order.push_back(0);
+    newid[0] = 0;
+    std::int32_t next = 1;
+    for (std::size_t q = 0; q < order.size(); ++q) {
+      const auto& o = nd[static_cast<std::size_t>(order[q])];
+      if (o.feature < 0) continue;
+      newid[static_cast<std::size_t>(o.left)] = next++;
+      newid[static_cast<std::size_t>(o.right)] = next++;
+      order.push_back(o.left);
+      order.push_back(o.right);
+    }
+
+    flat.nodes_.resize(static_cast<std::size_t>(base) + nd.size());
+    flat.feature_.resize(flat.nodes_.size());
+    flat.label_.resize(flat.nodes_.size());
+    for (std::size_t i = 0; i < nd.size(); ++i) {
+      const auto& o = nd[i];
+      const std::int32_t abs_id = base + newid[i];
+      const auto ni = static_cast<std::size_t>(abs_id);
+      flat.feature_[ni] = o.feature;
+      flat.label_[ni] = o.label;
+      if (o.feature < 0) {
+        flat.nodes_[ni] = {kInf, 0, abs_id};
+      } else {
+        flat.nodes_[ni] = {o.threshold, o.feature,
+                           base + newid[static_cast<std::size_t>(o.left)]};
+      }
+    }
+  }
+  // Sentinel: absorbs the one-past-a-leaf step a NaN feature can cause, so
+  // even unspecified results never index out of bounds.
+  flat.nodes_.push_back(
+      {kInf, 0, static_cast<std::int32_t>(flat.nodes_.size()) - 1});
+  flat.label_.push_back(0);
+  return flat;
+}
+
+void FlatTreeEnsemble::predict_batch(std::span<const double> x,
+                                     std::span<int> out) const {
+  const int nt = num_trees();
+  if (out.size() != static_cast<std::size_t>(nt)) {
+    throw std::invalid_argument("predict_batch: output size != num_trees");
+  }
+  if (nt == 0) return;
+  const PackedNode* nodes = nodes_.data();
+  const double* xp = x.data();
+
+  constexpr int kStackTrees = 64;
+  std::int32_t cur_buf[kStackTrees];
+  std::vector<std::int32_t> heap;
+  std::int32_t* cur = cur_buf;
+  if (nt > kStackTrees) {
+    heap.resize(static_cast<std::size_t>(nt));
+    cur = heap.data();
+  }
+  for (int t = 0; t < nt; ++t) cur[t] = root_[static_cast<std::size_t>(t)];
+
+  // Fixed-depth branchless sweep: every level advances EVERY tree by one
+  // arithmetic select — compare, add, load; nothing to mispredict. Cursors
+  // parked on a leaf stay there (threshold = +inf takes the +0 arm), and
+  // after depth_ levels — the deepest tree's height — every cursor is at
+  // its leaf. depth_ > 0 implies some node splits, which requires x to
+  // cover that feature index; depth_ == 0 never reads x at all.
+  for (int level = 0; level < depth_; ++level) {
+    for (int t = 0; t < nt; ++t) {
+      const PackedNode nd = nodes[cur[t]];
+      cur[t] =
+          nd.left + static_cast<std::int32_t>(!(xp[nd.featsel] <= nd.threshold));
+    }
+  }
+  for (int t = 0; t < nt; ++t) {
+    out[static_cast<std::size_t>(t)] = label_[static_cast<std::size_t>(cur[t])];
+  }
+}
+
+std::vector<int> FlatTreeEnsemble::predict_classes(
+    std::span<const double> x) const {
+  std::vector<int> out(static_cast<std::size_t>(num_trees()));
+  predict_batch(x, out);
+  return out;
+}
+
+int FlatTreeEnsemble::predict_one(int tree, std::span<const double> x) const {
+  std::int32_t n = root_[static_cast<std::size_t>(tree)];
+  while (feature_[static_cast<std::size_t>(n)] >= 0) {
+    const PackedNode& nd = nodes_[static_cast<std::size_t>(n)];
+    n = nd.left +
+        static_cast<std::int32_t>(!(x[static_cast<std::size_t>(nd.featsel)] <=
+                                    nd.threshold));
+  }
+  return label_[static_cast<std::size_t>(n)];
+}
+
+std::size_t FlatTreeEnsemble::memory_bytes() const {
+  return nodes_.capacity() * sizeof(PackedNode) +
+         feature_.capacity() * sizeof(std::int32_t) +
+         label_.capacity() * sizeof(std::int32_t) +
+         root_.capacity() * sizeof(std::int32_t);
+}
+
+}  // namespace wise

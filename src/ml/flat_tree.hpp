@@ -1,0 +1,89 @@
+#pragma once
+// Flattened packed-node decision-tree bank for batch inference.
+//
+// The model bank answers every prediction by walking all ~29 configuration
+// trees over ONE feature vector. Walking DecisionTree::nodes() does that as
+// 29 independent pointer chases through 48-byte AoS nodes whose every step
+// is a data-dependent branch — on fresh feature vectors the branch
+// predictor has nothing to learn, so each level costs a likely
+// misprediction on top of the dependent-load latency, and the traversal
+// drags impurity/n_samples training bookkeeping through the cache.
+//
+// FlatTreeEnsemble re-encodes every tree into 16-byte packed nodes
+// {threshold, feature, left} with each node's two children ADJACENT
+// (right child = left + 1, a BFS renumbering done once at build time).
+// That turns the child select into pure arithmetic —
+//
+//   next = left + (x[feature] <= threshold ? 0 : 1)
+//
+// — which the compiler lowers to a compare + add: no branch exists to
+// mispredict. Leaves self-loop (left = self, threshold = +inf, so the
+// comparison always takes the +0 arm), letting predict_batch advance ALL
+// trees in lockstep for exactly max-depth levels with no leaf test and no
+// active-list bookkeeping. The per-tree steps within a level are
+// independent, so all ~29 dependent-load chains overlap in the
+// out-of-order window instead of serializing.
+//
+// Internal nodes use the same `x[feature] <= threshold` predicate as
+// DecisionTree::predict, so predictions are bit-identical to the recursive
+// per-tree path for finite feature values (pinned by
+// tests/flat_tree_test.cpp — the WISE pipeline rejects non-finite features
+// before inference; a NaN here yields an unspecified label but stays
+// in-bounds thanks to a trailing sentinel node). The speedup floor is
+// gated by the perf_smoke "inference" stage.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace wise {
+
+class FlatTreeEnsemble {
+ public:
+  FlatTreeEnsemble() = default;
+
+  /// Flattens fitted trees. Unfitted trees are rejected
+  /// (std::invalid_argument); an empty vector yields an empty ensemble.
+  static FlatTreeEnsemble build(const std::vector<DecisionTree>& trees);
+
+  int num_trees() const { return static_cast<int>(root_.size()); }
+  bool empty() const { return root_.empty(); }
+
+  /// out[t] = class predicted by tree t for feature vector x, identical to
+  /// DecisionTree::predict of the source tree. out.size() must equal
+  /// num_trees(). All trees are evaluated in one branchless lockstep sweep.
+  void predict_batch(std::span<const double> x, std::span<int> out) const;
+
+  /// Allocating convenience wrapper around predict_batch.
+  std::vector<int> predict_classes(std::span<const double> x) const;
+
+  /// Single-tree traversal over the flat arrays (used for spot checks).
+  int predict_one(int tree, std::span<const double> x) const;
+
+  /// Real node count across all trees (excludes the bounds sentinel).
+  std::size_t num_nodes() const { return feature_.size(); }
+  std::size_t memory_bytes() const;
+
+ private:
+  /// Exactly 16 bytes; one node is one aligned load. `left` is an absolute
+  /// index into nodes_, and the right child always sits at left + 1.
+  struct PackedNode {
+    double threshold;       ///< +inf at leaves (self-loop always takes +0)
+    std::int32_t featsel;   ///< split feature; clamped to 0 at leaves
+    std::int32_t left;      ///< left child; leaf points at itself
+  };
+  static_assert(sizeof(PackedNode) == 16);
+
+  // All trees concatenated in BFS order (children adjacent), plus one
+  // trailing sentinel so a NaN-driven leaf overstep stays in-bounds.
+  std::vector<PackedNode> nodes_;
+  std::vector<std::int32_t> feature_;  ///< original feature, -1 marks a leaf
+  std::vector<std::int32_t> label_;    ///< majority class per node
+  std::vector<std::int32_t> root_;     ///< root node index per tree
+  int depth_ = 0;                      ///< deepest tree's height in edges
+};
+
+}  // namespace wise

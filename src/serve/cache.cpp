@@ -49,7 +49,7 @@ std::size_t ChoiceCache::size() const {
 }
 
 std::size_t prepared_entry_bytes(const CsrMatrix& m, const PreparedMatrix& pm) {
-  std::size_t bytes = m.memory_bytes();
+  std::size_t bytes = m.memory_bytes() + pm.plan_bytes();
   if (pm.config().kind != MethodKind::kCsr) bytes += pm.memory_bytes();
   return bytes;
 }

@@ -59,6 +59,38 @@ void spmv_csr(const CsrMatrix& a, std::span<const value_t> x,
   }
 }
 
+void spmv_csr(const CsrMatrix& a, std::span<const value_t> x,
+              std::span<value_t> y, Schedule sched, const SpmvPlan& plan) {
+  check_dims(a, x, y);
+  const index_t n = a.nrows();
+  if (!plan.covers(n)) {
+    throw std::invalid_argument("spmv_csr: plan does not cover the matrix");
+  }
+  const nnz_t* rp = a.row_ptr().data();
+  const index_t* ci = a.col_idx().data();
+  const value_t* va = a.vals().data();
+  const value_t* xp = x.data();
+  value_t* yp = y.data();
+  const index_t nb = plan.num_blocks();
+  const index_t* bd = plan.bounds.data();
+
+  auto block = [=](index_t b) {
+    const index_t hi = bd[b + 1];
+    for (index_t i = bd[b]; i < hi; ++i) yp[i] = row_dot(rp, ci, va, xp, i);
+  };
+
+  // Blocks already carry ~equal nonzero counts, so the static policies run
+  // one contiguous run of blocks per thread; Dyn keeps work stealing over
+  // the (oversubscribed) block list for machines with ambient load.
+  if (sched == Schedule::kDyn) {
+#pragma omp parallel for schedule(dynamic, 1)
+    for (index_t b = 0; b < nb; ++b) block(b);
+  } else {
+#pragma omp parallel for schedule(static)
+    for (index_t b = 0; b < nb; ++b) block(b);
+  }
+}
+
 void spmv_csr_mkl_like(const CsrMatrix& a, std::span<const value_t> x,
                        std::span<value_t> y) {
   check_dims(a, x, y);

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "sparse/csr.hpp"
+#include "spmv/plan.hpp"
 #include "spmv/schedule.hpp"
 
 namespace wise {
@@ -12,6 +13,14 @@ namespace wise {
 /// Throws std::invalid_argument on dimension mismatch.
 void spmv_csr(const CsrMatrix& a, std::span<const value_t> x,
               std::span<value_t> y, Schedule sched);
+
+/// y = A*x over a precomputed nnz-balanced plan (see spmv/plan.hpp). Blocks
+/// run one per thread for the static policies and work-stolen for Dyn.
+/// Bit-identical to the legacy loop above at any thread count. Throws
+/// std::invalid_argument on dimension mismatch or a plan that does not
+/// cover the matrix's rows.
+void spmv_csr(const CsrMatrix& a, std::span<const value_t> x,
+              std::span<value_t> y, Schedule sched, const SpmvPlan& plan);
 
 /// MKL baseline stand-in: CSR SpMV with a static row partition balanced by
 /// nonzero count per thread (what a well-tuned vendor CSR kernel does).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include <omp.h>
+
 #include "spmv/bsr.hpp"
 #include "spmv/csr_kernels.hpp"
 #include "util/timer.hpp"
@@ -31,9 +33,23 @@ PreparedMatrix PreparedMatrix::prepare(const CsrMatrix& m,
     // caught here (wise::Error, kValidation) instead of inside the kernel.
     pm.packed_->validate();
   }
+  if (plans_enabled()) {
+    // Balancing happens once here; steady-state run() calls pay zero
+    // repartitioning cost. The block count is pinned to the thread count
+    // at prepare time — running with fewer threads later stays correct
+    // (blocks are just shared out), it only rebalances more coarsely.
+    obs::ScopedTimer span("spmv.prepare.plan");
+    const int threads = omp_get_max_threads();
+    if (cfg.kind == MethodKind::kCsr) {
+      pm.csr_plan_ = build_csr_plan(m, cfg.sched, threads);
+    } else if (cfg.kind != MethodKind::kBsr) {
+      pm.srv_plan_ = build_srv_plan(*pm.packed_, cfg.sched, threads);
+    }
+  }
   if (metrics.enabled()) {
     pm.run_timer_ = metrics.timer_id("spmv.run." + cfg.name());
     metrics.add("spmv.prepare.count");
+    if (pm.has_plan()) metrics.add("spmv.prepare.plan.count");
     metrics.set_gauge("spmv.prepare.memory_bytes",
                       static_cast<double>(pm.memory_bytes()));
   }
@@ -43,17 +59,28 @@ PreparedMatrix PreparedMatrix::prepare(const CsrMatrix& m,
 void PreparedMatrix::run(std::span<const value_t> x, std::span<value_t> y) {
   obs::ScopedTimer span(run_timer_, obs::MetricsRegistry::global());
   if (cfg_.kind == MethodKind::kCsr) {
-    spmv_csr(*csr_, x, y, cfg_.sched);
+    if (csr_plan_.has_value()) {
+      spmv_csr(*csr_, x, y, cfg_.sched, *csr_plan_);
+    } else {
+      spmv_csr(*csr_, x, y, cfg_.sched);
+    }
   } else if (cfg_.kind == MethodKind::kBsr) {
     bsr_->spmv(x, y);
   } else {
-    spmv_srvpack(*packed_, x, y, cfg_.sched, ws_);
+    spmv_srvpack(*packed_, x, y, cfg_.sched, ws_,
+                 srv_plan_.has_value() ? &*srv_plan_ : nullptr);
   }
 }
 
 std::size_t PreparedMatrix::memory_bytes() const {
   if (bsr_) return bsr_->memory_bytes();
   return packed_.has_value() ? packed_->memory_bytes() : csr_->memory_bytes();
+}
+
+std::size_t PreparedMatrix::plan_bytes() const {
+  if (csr_plan_.has_value()) return csr_plan_->memory_bytes();
+  if (srv_plan_.has_value()) return srv_plan_->memory_bytes();
+  return 0;
 }
 
 double time_spmv(PreparedMatrix& pm, std::span<const value_t> x,

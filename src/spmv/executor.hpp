@@ -12,6 +12,7 @@
 #include "sparse/srvpack.hpp"
 #include "spmv/bsr_fwd.hpp"
 #include "spmv/method.hpp"
+#include "spmv/plan.hpp"
 #include "spmv/srvpack_kernels.hpp"
 
 namespace wise {
@@ -24,8 +25,9 @@ namespace wise {
 /// other configurations the SRVPack copy is owned.
 class PreparedMatrix {
  public:
-  /// Converts `m` (timing the conversion). Never null-returns; throws on
-  /// invalid configs.
+  /// Converts `m` (timing the conversion) and, unless WISE_PLAN=0, builds
+  /// the nnz-balanced execution plan the kernels run over (spmv/plan.hpp).
+  /// Never null-returns; throws on invalid configs.
   static PreparedMatrix prepare(const CsrMatrix& m, const MethodConfig& cfg);
 
   /// y = A*x with the prepared layout and the config's scheduling policy.
@@ -38,8 +40,19 @@ class PreparedMatrix {
   /// Wall-clock seconds the layout conversion took (0 for CSR).
   double prep_seconds() const { return prep_seconds_; }
 
-  /// Bytes of the prepared representation.
+  /// Bytes of the prepared representation (layout only; plans are reported
+  /// separately by plan_bytes so existing footprint comparisons hold).
   std::size_t memory_bytes() const;
+
+  /// Bytes of the precomputed execution plan, 0 when plans are disabled or
+  /// the config has none (BSR). serve::prepared_entry_bytes charges this
+  /// into the prepared-cache byte budget on top of memory_bytes().
+  std::size_t plan_bytes() const;
+
+  /// True when run() executes over a precomputed plan.
+  bool has_plan() const {
+    return csr_plan_.has_value() || srv_plan_.has_value();
+  }
 
   index_t nrows() const { return csr_->nrows(); }
   index_t ncols() const { return csr_->ncols(); }
@@ -49,6 +62,8 @@ class PreparedMatrix {
   const CsrMatrix* csr_ = nullptr;  ///< always set; the SpMV source for kCsr
   std::optional<SrvPackMatrix> packed_;
   std::shared_ptr<const BsrMatrix> bsr_;  ///< set for the BSR extension
+  std::optional<SpmvPlan> csr_plan_;  ///< row plan, kCsr only
+  std::optional<SrvPlan> srv_plan_;   ///< per-segment chunk plans, SRVPack
   SrvWorkspace ws_;
   double prep_seconds_ = 0.0;
   /// Per-configuration kernel timer ("spmv.run.<config name>"), interned

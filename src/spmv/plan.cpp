@@ -1,0 +1,81 @@
+#include "spmv/plan.hpp"
+
+#include <algorithm>
+
+#include "util/env.hpp"
+
+namespace wise {
+
+bool SpmvPlan::covers(index_t n) const {
+  if (bounds.size() < 2) return false;
+  if (bounds.front() != 0 || bounds.back() != n) return false;
+  if (n == 0) return bounds.size() == 2;
+  for (std::size_t b = 1; b < bounds.size(); ++b) {
+    if (bounds[b] <= bounds[b - 1]) return false;
+  }
+  return true;
+}
+
+SpmvPlan build_balanced_plan(std::span<const nnz_t> offsets,
+                             index_t max_blocks) {
+  SpmvPlan plan;
+  const index_t n =
+      offsets.empty() ? 0 : static_cast<index_t>(offsets.size()) - 1;
+  plan.bounds.push_back(0);
+  if (n <= 0) {
+    plan.bounds.push_back(0);
+    return plan;
+  }
+  max_blocks = std::max<index_t>(1, max_blocks);
+  const nnz_t total = offsets[static_cast<std::size_t>(n)];
+  if (total > 0) {
+    const nnz_t* begin = offsets.data();
+    const nnz_t* end = begin + n + 1;
+    for (index_t b = 1; b < max_blocks; ++b) {
+      const nnz_t target = total * b / max_blocks;
+      // Last item whose prefix start is <= target: the block boundary the
+      // target falls in. Runs of zero-weight items stick to the block on
+      // their left.
+      const index_t item = static_cast<index_t>(
+          std::upper_bound(begin, end, target) - begin - 1);
+      // Strictly-ascending bounds merge split points that landed inside
+      // one heavy item (or in a run too light to fill a block).
+      if (item > plan.bounds.back() && item < n) plan.bounds.push_back(item);
+    }
+  }
+  plan.bounds.push_back(n);
+  plan.bounds.shrink_to_fit();
+  return plan;
+}
+
+index_t plan_blocks_for(Schedule sched, int threads) {
+  const index_t t = std::max(1, threads);
+  if (sched != Schedule::kDyn) return t;
+  const index_t factor = static_cast<index_t>(
+      std::clamp<std::int64_t>(env_int("WISE_PLAN_BLOCK_FACTOR", 4), 1, 256));
+  return t * factor;
+}
+
+SpmvPlan build_csr_plan(const CsrMatrix& m, Schedule sched, int threads) {
+  return build_balanced_plan(m.row_ptr(), plan_blocks_for(sched, threads));
+}
+
+std::size_t SrvPlan::memory_bytes() const {
+  std::size_t bytes = segments.capacity() * sizeof(SpmvPlan);
+  for (const auto& seg : segments) bytes += seg.memory_bytes();
+  return bytes;
+}
+
+SrvPlan build_srv_plan(const SrvPackMatrix& m, Schedule sched, int threads) {
+  SrvPlan plan;
+  plan.segments.reserve(m.segments().size());
+  const index_t blocks = plan_blocks_for(sched, threads);
+  for (const auto& seg : m.segments()) {
+    plan.segments.push_back(build_balanced_plan(seg.chunk_offset, blocks));
+  }
+  return plan;
+}
+
+bool plans_enabled() { return env_flag("WISE_PLAN", true); }
+
+}  // namespace wise

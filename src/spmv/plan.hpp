@@ -1,0 +1,90 @@
+#pragma once
+// Precomputed nnz-balanced execution plans for the SpMV kernels.
+//
+// The plain OpenMP row loops in csr_kernels.cpp divide *rows* evenly across
+// threads. On skewed matrices (power-law degree distributions — the exact
+// regime WISE targets) row counts are a terrible proxy for work: one thread
+// can own a handful of dense hub rows holding most of the nonzeros while
+// the rest idle. Dynamic scheduling papers over the imbalance but pays a
+// shared-queue dequeue per grain on every single multiplication.
+//
+// An SpmvPlan moves that balancing decision to prepare() time: a prefix-sum
+// over row_ptr (CSR) or chunk_offset (SRVPack) is binary-searched for
+// split points so each block covers ~nnz/B of the work, and runs of short
+// rows are merged into one block (split points falling inside the same row
+// collapse, so a single dense row never splits and never duplicates).
+// Steady-state SpMV then executes block-by-block with no runtime balancing
+// cost — the plan is built once and cached alongside the prepared layout
+// (serve::PreparedCache charges its bytes into the cache budget).
+//
+// Correctness is schedule-independent: every row (CSR) or chunk (SRVPack
+// segment) is computed by exactly one block with the same serial inner
+// loop, so plan execution is bit-identical to the legacy loops at any
+// thread count (pinned by tests/plan_test.cpp).
+//
+// Env knobs (read once per build call, documented in docs/PERFORMANCE.md):
+//   WISE_PLAN=0                 disable plans (legacy OpenMP loops)
+//   WISE_PLAN_BLOCK_FACTOR=N    blocks per thread for Dyn plans (default 4)
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/srvpack.hpp"
+#include "spmv/schedule.hpp"
+#include "util/types.hpp"
+
+namespace wise {
+
+/// A partition of the items [0, n) — CSR rows or SRVPack chunks — into
+/// contiguous, non-empty, nnz-balanced blocks. bounds has num_blocks()+1
+/// ascending entries with bounds.front() == 0 and bounds.back() == n;
+/// block b covers [bounds[b], bounds[b+1]).
+struct SpmvPlan {
+  std::vector<index_t> bounds;
+
+  index_t num_blocks() const {
+    return bounds.empty() ? 0 : static_cast<index_t>(bounds.size()) - 1;
+  }
+  index_t num_items() const { return bounds.empty() ? 0 : bounds.back(); }
+  std::size_t memory_bytes() const {
+    return bounds.capacity() * sizeof(index_t);
+  }
+
+  /// True when the blocks tile [0, n) exactly once: first bound 0, last
+  /// bound n, strictly ascending in between (a zero-item plan is the
+  /// single empty block {0, 0}).
+  bool covers(index_t n) const;
+};
+
+/// Partitions [0, offsets.size()-1) into at most `max_blocks` blocks of
+/// ~equal prefix-sum weight. `offsets` is a non-decreasing prefix sum with
+/// offsets[0] == 0 (a CSR row_ptr or SRVPack chunk_offset). Split points
+/// landing inside one heavy item collapse, so the result can have fewer
+/// blocks than requested but every block is non-empty.
+SpmvPlan build_balanced_plan(std::span<const nnz_t> offsets,
+                             index_t max_blocks);
+
+/// How many blocks a schedule wants for `threads` threads: one per thread
+/// for the static policies, threads x WISE_PLAN_BLOCK_FACTOR for Dyn so
+/// work stealing still has spare blocks to rebalance with.
+index_t plan_blocks_for(Schedule sched, int threads);
+
+/// Row plan for the CSR kernels (binary search over row_ptr).
+SpmvPlan build_csr_plan(const CsrMatrix& m, Schedule sched, int threads);
+
+/// Chunk plans for the SRVPack kernel: one partition per segment, balanced
+/// by stored slots (chunk_offset), since segments execute back-to-back.
+struct SrvPlan {
+  std::vector<SpmvPlan> segments;
+  std::size_t memory_bytes() const;
+};
+
+SrvPlan build_srv_plan(const SrvPackMatrix& m, Schedule sched, int threads);
+
+/// WISE_PLAN environment switch (default on). When off, PreparedMatrix
+/// skips plan construction and run() uses the legacy OpenMP loops.
+bool plans_enabled();
+
+}  // namespace wise

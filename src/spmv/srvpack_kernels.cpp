@@ -7,12 +7,51 @@ namespace wise {
 
 namespace {
 
+/// Runs `chunk` over every chunk index, either with the legacy OpenMP
+/// schedules (plan == nullptr) or block-by-block over a precomputed
+/// nnz-balanced partition. Every chunk executes exactly once either way,
+/// so the two paths are bit-identical.
+template <typename ChunkFn>
+void dispatch_chunks(index_t nchunks, Schedule sched, int grain,
+                     const SpmvPlan* plan, ChunkFn&& chunk) {
+  if (plan != nullptr) {
+    const index_t nb = plan->num_blocks();
+    const index_t* bd = plan->bounds.data();
+    if (sched == Schedule::kDyn) {
+#pragma omp parallel for schedule(dynamic, 1)
+      for (index_t b = 0; b < nb; ++b) {
+        for (index_t k = bd[b]; k < bd[b + 1]; ++k) chunk(k);
+      }
+    } else {
+#pragma omp parallel for schedule(static)
+      for (index_t b = 0; b < nb; ++b) {
+        for (index_t k = bd[b]; k < bd[b + 1]; ++k) chunk(k);
+      }
+    }
+    return;
+  }
+  switch (sched) {
+    case Schedule::kDyn:
+#pragma omp parallel for schedule(dynamic, grain)
+      for (index_t k = 0; k < nchunks; ++k) chunk(k);
+      break;
+    case Schedule::kSt:
+#pragma omp parallel for schedule(static, grain)
+      for (index_t k = 0; k < nchunks; ++k) chunk(k);
+      break;
+    case Schedule::kStCont:
+#pragma omp parallel for schedule(static)
+      for (index_t k = 0; k < nchunks; ++k) chunk(k);
+      break;
+  }
+}
+
 /// Processes the chunks of one segment. C is a compile-time SIMD width so
 /// the inner lane loop fully vectorizes; runtime widths fall back to
 /// run_chunks_generic below.
 template <int C>
 void run_chunks(const SrvSegment& seg, const value_t* x, value_t* y,
-                Schedule sched) {
+                Schedule sched, const SpmvPlan* plan) {
   const index_t nchunks = seg.num_chunks();
   const index_t nrows_seg = seg.num_rows();
   const nnz_t* off = seg.chunk_offset.data();
@@ -41,25 +80,12 @@ void run_chunks(const SrvSegment& seg, const value_t* x, value_t* y,
     }
   };
 
-  switch (sched) {
-    case Schedule::kDyn:
-#pragma omp parallel for schedule(dynamic, grain)
-      for (index_t k = 0; k < nchunks; ++k) chunk(k);
-      break;
-    case Schedule::kSt:
-#pragma omp parallel for schedule(static, grain)
-      for (index_t k = 0; k < nchunks; ++k) chunk(k);
-      break;
-    case Schedule::kStCont:
-#pragma omp parallel for schedule(static)
-      for (index_t k = 0; k < nchunks; ++k) chunk(k);
-      break;
-  }
+  dispatch_chunks(nchunks, sched, grain, plan, chunk);
 }
 
 /// Runtime-width fallback for c values other than the instantiated 4/8.
 void run_chunks_generic(const SrvSegment& seg, int c, const value_t* x,
-                        value_t* y, Schedule sched) {
+                        value_t* y, Schedule sched, const SpmvPlan* plan) {
   constexpr int kMaxC = 64;
   const index_t nchunks = seg.num_chunks();
   const index_t nrows_seg = seg.num_rows();
@@ -88,29 +114,20 @@ void run_chunks_generic(const SrvSegment& seg, int c, const value_t* x,
     }
   };
 
-  switch (sched) {
-    case Schedule::kDyn:
-#pragma omp parallel for schedule(dynamic, grain)
-      for (index_t k = 0; k < nchunks; ++k) chunk(k);
-      break;
-    case Schedule::kSt:
-#pragma omp parallel for schedule(static, grain)
-      for (index_t k = 0; k < nchunks; ++k) chunk(k);
-      break;
-    case Schedule::kStCont:
-#pragma omp parallel for schedule(static)
-      for (index_t k = 0; k < nchunks; ++k) chunk(k);
-      break;
-  }
+  dispatch_chunks(nchunks, sched, grain, plan, chunk);
 }
 
 }  // namespace
 
 void spmv_srvpack(const SrvPackMatrix& a, std::span<const value_t> x,
-                  std::span<value_t> y, Schedule sched, SrvWorkspace& ws) {
+                  std::span<value_t> y, Schedule sched, SrvWorkspace& ws,
+                  const SrvPlan* plan) {
   if (x.size() != static_cast<std::size_t>(a.ncols()) ||
       y.size() != static_cast<std::size_t>(a.nrows())) {
     throw std::invalid_argument("spmv_srvpack: dimension mismatch");
+  }
+  if (plan != nullptr && plan->segments.size() != a.segments().size()) {
+    throw std::invalid_argument("spmv_srvpack: plan/segment count mismatch");
   }
 
   // With CFS the stored column ids live in permuted space; gather x into
@@ -134,11 +151,15 @@ void spmv_srvpack(const SrvPackMatrix& a, std::span<const value_t> x,
 
   // Segments run back-to-back: each keeps its slice of the input vector hot
   // in the LLC before the next begins (the point of LAV segmentation).
-  for (const auto& seg : a.segments()) {
+  for (std::size_t s = 0; s < a.segments().size(); ++s) {
+    const auto& seg = a.segments()[s];
+    const SpmvPlan* seg_plan = plan != nullptr ? &plan->segments[s] : nullptr;
     switch (a.c()) {
-      case 4: run_chunks<4>(seg, xp, yp, sched); break;
-      case 8: run_chunks<8>(seg, xp, yp, sched); break;
-      default: run_chunks_generic(seg, a.c(), xp, yp, sched); break;
+      case 4: run_chunks<4>(seg, xp, yp, sched, seg_plan); break;
+      case 8: run_chunks<8>(seg, xp, yp, sched, seg_plan); break;
+      default:
+        run_chunks_generic(seg, a.c(), xp, yp, sched, seg_plan);
+        break;
     }
   }
 }

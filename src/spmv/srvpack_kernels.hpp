@@ -11,6 +11,7 @@
 #include <span>
 
 #include "sparse/srvpack.hpp"
+#include "spmv/plan.hpp"
 #include "spmv/schedule.hpp"
 #include "util/aligned.hpp"
 
@@ -25,7 +26,14 @@ struct SrvWorkspace {
 
 /// y = A*x. y is fully overwritten (zero-initialized, then accumulated per
 /// segment). Throws std::invalid_argument on dimension mismatch.
+///
+/// When `plan` is non-null it must hold one chunk partition per segment
+/// (build_srv_plan); chunks then execute block-by-block with the balancing
+/// decided at prepare() time instead of per-multiplication by the OpenMP
+/// runtime. Bit-identical to the plan-less path: each chunk's accumulation
+/// is unchanged and every chunk runs exactly once.
 void spmv_srvpack(const SrvPackMatrix& a, std::span<const value_t> x,
-                  std::span<value_t> y, Schedule sched, SrvWorkspace& ws);
+                  std::span<value_t> y, Schedule sched, SrvWorkspace& ws,
+                  const SrvPlan* plan = nullptr);
 
 }  // namespace wise

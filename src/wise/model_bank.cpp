@@ -85,6 +85,7 @@ void ModelBank::train(const std::vector<MethodConfig>& configs,
     }
     trees_[c].fit(ds, params);
   }
+  flat_ = FlatTreeEnsemble::build(trees_);
 }
 
 std::vector<int> ModelBank::predict_classes(
@@ -93,10 +94,16 @@ std::vector<int> ModelBank::predict_classes(
     throw std::logic_error("ModelBank::predict_classes: not trained");
   }
   std::vector<int> out(trees_.size());
-  for (std::size_t c = 0; c < trees_.size(); ++c) {
-    out[c] = trees_[c].predict(features);
-  }
+  predict_classes_into(features, out);
   return out;
+}
+
+void ModelBank::predict_classes_into(std::span<const double> features,
+                                     std::span<int> out) const {
+  if (!trained()) {
+    throw std::logic_error("ModelBank::predict_classes_into: not trained");
+  }
+  flat_.predict_batch(features, out);
 }
 
 void ModelBank::save(const std::string& dir) const {
@@ -148,6 +155,7 @@ ModelBank ModelBank::load(const std::string& dir) {
 
   if (version == "v1") {
     load_v1_body(in, path, n, bank.configs_, bank.trees_);
+    bank.flat_ = FlatTreeEnsemble::build(bank.trees_);
     return bank;
   }
 
@@ -199,6 +207,7 @@ ModelBank ModelBank::load(const std::string& dir) {
     fail(path, "no usable trees (" + std::to_string(bank.warnings_.size()) +
                    " skipped)");
   }
+  bank.flat_ = FlatTreeEnsemble::build(bank.trees_);
   return bank;
 }
 

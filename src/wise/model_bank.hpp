@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "ml/decision_tree.hpp"
+#include "ml/flat_tree.hpp"
 #include "spmv/method.hpp"
 
 namespace wise {
@@ -43,10 +44,22 @@ class ModelBank {
              const TreeParams& params = {});
 
   /// Predicted speedup class per configuration, in configs() order.
+  /// Served from the flattened ensemble: all trees are evaluated in one
+  /// lockstep SoA sweep (ml/flat_tree.hpp), bit-identical to walking each
+  /// DecisionTree in trees() individually.
   std::vector<int> predict_classes(std::span<const double> features) const;
+
+  /// predict_classes without the allocation: out.size() must equal
+  /// configs().size(). The serving hot path calls this per request.
+  void predict_classes_into(std::span<const double> features,
+                            std::span<int> out) const;
 
   const std::vector<MethodConfig>& configs() const { return configs_; }
   const std::vector<DecisionTree>& trees() const { return trees_; }
+
+  /// The flattened inference bank, rebuilt by train() and load().
+  const FlatTreeEnsemble& flat() const { return flat_; }
+
   bool trained() const { return !trees_.empty(); }
 
   /// Persists as <dir>/models.txt (versioned header + checksummed trees).
@@ -64,6 +77,7 @@ class ModelBank {
  private:
   std::vector<MethodConfig> configs_;
   std::vector<DecisionTree> trees_;
+  FlatTreeEnsemble flat_;
   std::vector<std::string> warnings_;
 };
 

@@ -19,8 +19,10 @@
 // Thread-safety contract (relied on by serve/server.hpp): choose() and
 // prepare() are const and safe to call concurrently from any number of
 // threads against one shared Wise/ModelBank. Audited guarantees:
-//  * ModelBank::predict_classes and DecisionTree::predict walk immutable
-//    node arrays — no lazy initialization, no caching, no mutable members.
+//  * ModelBank::predict_classes walks the immutable flattened SoA node
+//    arrays (ml/flat_tree.hpp), built eagerly at train()/load() time — no
+//    lazy initialization, no caching, no mutable members. Its per-call
+//    cursor state lives on the caller's stack.
 //  * extract_features uses only locals and its own OpenMP region; its one
 //    static (the feature-name table) has thread-safe magic-static init.
 //  * The global MetricsRegistry and FaultInjector the stages consult are

@@ -1,0 +1,148 @@
+// Tests for the flattened SoA tree ensemble (src/ml/flat_tree.hpp): the
+// lockstep predict_batch must be bit-identical to walking each recursive
+// DecisionTree, including over a full 29-configuration smoke bank.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "features/extractor.hpp"
+#include "ml/dataset.hpp"
+#include "ml/flat_tree.hpp"
+#include "spmv/method.hpp"
+#include "util/prng.hpp"
+#include "wise/model_bank.hpp"
+#include "wise/speedup_class.hpp"
+
+namespace wise {
+namespace {
+
+/// Trains a bank over the full 29-configuration space on synthetic data
+/// whose rel_times depend on several features, so the trees are non-trivial
+/// and mutually distinct.
+ModelBank smoke_bank(int n_samples) {
+  const auto configs = all_method_configs();
+  Xoshiro256 rng(0xf1a7);
+  std::vector<std::vector<double>> features;
+  std::vector<std::vector<double>> rel_times;
+  for (int i = 0; i < n_samples; ++i) {
+    std::vector<double> f(feature_count());
+    for (auto& v : f) v = rng.next_double() * 100.0;
+    std::vector<double> rel(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      // Each config keys off a different pair of features.
+      const double a = f[c % f.size()];
+      const double b = f[(3 * c + 1) % f.size()];
+      rel[c] = (a > b) ? 0.4 + 0.01 * static_cast<double>(c % 5) : 1.3;
+    }
+    features.push_back(std::move(f));
+    rel_times.push_back(std::move(rel));
+  }
+  ModelBank bank;
+  bank.train(configs, features, rel_times, {.max_depth = 8, .ccp_alpha = 0.0});
+  return bank;
+}
+
+TEST(FlatTree, EmptyEnsemble) {
+  const FlatTreeEnsemble flat = FlatTreeEnsemble::build({});
+  EXPECT_TRUE(flat.empty());
+  EXPECT_EQ(flat.num_trees(), 0);
+  std::vector<int> out;
+  flat.predict_batch(std::vector<double>{1.0}, out);  // no-op, no throw
+}
+
+TEST(FlatTree, RejectsUnfittedTree) {
+  EXPECT_THROW(FlatTreeEnsemble::build(std::vector<DecisionTree>(1)),
+               std::invalid_argument);
+}
+
+TEST(FlatTree, RejectsWrongOutputSize) {
+  Dataset ds({"f0"}, 2);
+  ds.add({0.0}, 0);
+  ds.add({1.0}, 1);
+  DecisionTree tree;
+  tree.fit(ds, {.max_depth = 2, .ccp_alpha = 0.0});
+  const FlatTreeEnsemble flat = FlatTreeEnsemble::build({tree});
+  std::vector<int> wrong(2);
+  EXPECT_THROW(flat.predict_batch(std::vector<double>{0.5}, wrong),
+               std::invalid_argument);
+}
+
+TEST(FlatTree, SingleLeafTree) {
+  // A pure dataset yields a single-leaf tree; the flat walk must terminate
+  // immediately with its label.
+  Dataset ds({"f0"}, 3);
+  ds.add({1.0}, 2);
+  ds.add({2.0}, 2);
+  DecisionTree tree;
+  tree.fit(ds);
+  ASSERT_EQ(tree.num_nodes(), 1);
+  const FlatTreeEnsemble flat = FlatTreeEnsemble::build({tree});
+  std::vector<int> out(1);
+  flat.predict_batch(std::vector<double>{123.0}, out);
+  EXPECT_EQ(out[0], 2);
+}
+
+TEST(FlatTree, MatchesRecursiveOnSmokeBank) {
+  const ModelBank bank = smoke_bank(150);
+  ASSERT_EQ(bank.trees().size(), all_method_configs().size());
+  EXPECT_EQ(static_cast<std::size_t>(bank.flat().num_trees()),
+            bank.trees().size());
+  EXPECT_GT(bank.flat().memory_bytes(), 0u);
+
+  Xoshiro256 rng(99);
+  std::vector<double> x(feature_count());
+  for (int trial = 0; trial < 200; ++trial) {
+    for (auto& v : x) v = rng.next_double() * 100.0;
+    const std::vector<int> flat_out = bank.predict_classes(x);
+    ASSERT_EQ(flat_out.size(), bank.trees().size());
+    for (std::size_t c = 0; c < bank.trees().size(); ++c) {
+      ASSERT_EQ(flat_out[c], bank.trees()[c].predict(x))
+          << "config " << bank.configs()[c].name() << ", trial " << trial;
+      ASSERT_EQ(flat_out[c],
+                bank.flat().predict_one(static_cast<int>(c), x));
+    }
+  }
+}
+
+TEST(FlatTree, MatchesRecursiveOnThresholdBoundaries) {
+  // Feature values exactly on split thresholds are where a traversal
+  // discrepancy (<= vs <) would show: probe every threshold of every tree.
+  const ModelBank bank = smoke_bank(60);
+  std::vector<double> x(feature_count(), 50.0);
+  for (std::size_t c = 0; c < bank.trees().size(); ++c) {
+    for (const auto& node : bank.trees()[c].nodes()) {
+      if (node.feature < 0) continue;
+      x[static_cast<std::size_t>(node.feature)] = node.threshold;
+      const std::vector<int> flat_out = bank.predict_classes(x);
+      for (std::size_t t = 0; t < bank.trees().size(); ++t) {
+        ASSERT_EQ(flat_out[t], bank.trees()[t].predict(x))
+            << "boundary of config " << bank.configs()[c].name();
+      }
+    }
+  }
+}
+
+TEST(FlatTree, PredictClassesIntoAvoidsAllocationPathMismatch) {
+  const ModelBank bank = smoke_bank(60);
+  Xoshiro256 rng(7);
+  std::vector<double> x(feature_count());
+  for (auto& v : x) v = rng.next_double() * 100.0;
+  std::vector<int> out(bank.configs().size(), -1);
+  bank.predict_classes_into(x, out);
+  EXPECT_EQ(out, bank.predict_classes(x));
+}
+
+TEST(FlatTree, SurvivesSaveLoadRoundTrip) {
+  const ModelBank bank = smoke_bank(60);
+  const std::string dir = ::testing::TempDir() + "wise_flat_bank";
+  bank.save(dir);
+  const ModelBank loaded = ModelBank::load(dir);
+  Xoshiro256 rng(13);
+  std::vector<double> x(feature_count());
+  for (auto& v : x) v = rng.next_double() * 100.0;
+  EXPECT_EQ(loaded.predict_classes(x), bank.predict_classes(x));
+}
+
+}  // namespace
+}  // namespace wise

@@ -167,7 +167,8 @@ TEST(PreparedCache, EvictedEntrySurvivesWhileHeld) {
 TEST(PreparedCache, EntryBytesAccountsConvertedLayouts) {
   auto m = std::make_shared<const CsrMatrix>(random_csr(128, 128, 4.0, 5));
   const PreparedMatrix csr = PreparedMatrix::prepare(*m, MethodConfig{});
-  EXPECT_EQ(prepared_entry_bytes(*m, csr), m->memory_bytes())
+  EXPECT_EQ(prepared_entry_bytes(*m, csr),
+            m->memory_bytes() + csr.plan_bytes())
       << "CSR entries must not double-count the source arrays";
   MethodConfig sell;
   sell.kind = MethodKind::kSellpack;
@@ -175,8 +176,8 @@ TEST(PreparedCache, EntryBytesAccountsConvertedLayouts) {
   sell.c = 4;
   const PreparedMatrix packed = PreparedMatrix::prepare(*m, sell);
   EXPECT_EQ(prepared_entry_bytes(*m, packed),
-            m->memory_bytes() + packed.memory_bytes())
-      << "converted entries pay for both source and layout";
+            m->memory_bytes() + packed.memory_bytes() + packed.plan_bytes())
+      << "converted entries pay for source, layout, and plan";
 }
 
 }  // namespace

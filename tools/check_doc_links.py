@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Documentation link checker.
+
+Walks README.md and docs/*.md and verifies that references into the
+repository actually resolve, so docs cannot silently rot as code moves:
+
+* markdown links ``[text](target)`` — http(s)/mailto and pure-anchor
+  targets are skipped; everything else is resolved relative to the file
+  containing the link (with any ``#anchor`` suffix stripped) and must
+  exist.
+* backticked code references like ``src/spmv/plan.hpp`` or
+  ``tests/plan_test.cpp:42`` — checked only when they point into a
+  known code tree (src/, docs/, tests/, bench/, examples/, tools/,
+  .github/) or name a top-level ``*.md`` file, since short forms like
+  ``serve/server.hpp`` are legitimate prose shorthand. Placeholders
+  containing ``<`` or ``*`` (e.g. ``BENCH_<sha>.json``) are skipped.
+  A trailing ``:LINE`` must not exceed the file's line count.
+
+Exits 1 listing every dangling reference. Run from anywhere:
+the repository root is derived from this script's location (or pass it
+as the single argument).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+CHECKED_PREFIXES = (
+    "src/", "docs/", "tests/", "bench/", "examples/", "tools/", ".github/",
+)
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_REF = re.compile(r"`([A-Za-z0-9_.<>/*-]+?)(?::(\d+))?`")
+
+
+def doc_files(root: Path):
+    yield root / "README.md"
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def check_md_link(doc: Path, target: str, root: Path):
+    if target.startswith(("http://", "https://", "mailto:", "#")):
+        return None
+    path = target.split("#", 1)[0]
+    if not path:
+        return None
+    resolved = (doc.parent / path).resolve()
+    if not resolved.exists():
+        return f"markdown link -> {target}"
+    return None
+
+
+def check_code_ref(ref: str, line: str, root: Path):
+    if "<" in ref or "*" in ref:
+        return None  # placeholder, not a path
+    is_checked = ref.startswith(CHECKED_PREFIXES) or (
+        "/" not in ref and ref.endswith(".md")
+    )
+    if not is_checked:
+        return None
+    if ref.endswith("/"):
+        if not (root / ref).is_dir():
+            return f"directory ref -> {ref}"
+        return None
+    # Only treat it as a file claim when it names an extension; bare refs
+    # like `bench/ablation_extension` are binary targets, not files.
+    if "." not in ref.rsplit("/", 1)[-1]:
+        return None
+    path = root / ref
+    if not path.is_file():
+        return f"file ref -> {ref}"
+    if line is not None:
+        n_lines = len(path.read_text(errors="replace").splitlines())
+        if int(line) > n_lines:
+            return f"line ref -> {ref}:{line} (file has {n_lines} lines)"
+    return None
+
+
+def main():
+    root = (
+        Path(sys.argv[1]).resolve()
+        if len(sys.argv) > 1
+        else Path(__file__).resolve().parent.parent
+    )
+    problems = []
+    n_links = n_refs = 0
+    for doc in doc_files(root):
+        if not doc.is_file():
+            problems.append(f"{doc.relative_to(root)}: file missing")
+            continue
+        for lineno, text in enumerate(
+            doc.read_text(errors="replace").splitlines(), start=1
+        ):
+            for m in MD_LINK.finditer(text):
+                n_links += 1
+                err = check_md_link(doc, m.group(1), root)
+                if err:
+                    problems.append(
+                        f"{doc.relative_to(root)}:{lineno}: {err}"
+                    )
+            for m in CODE_REF.finditer(text):
+                n_refs += 1
+                err = check_code_ref(m.group(1), m.group(2), root)
+                if err:
+                    problems.append(
+                        f"{doc.relative_to(root)}:{lineno}: {err}"
+                    )
+    if problems:
+        print(f"{len(problems)} dangling documentation reference(s):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(
+        f"doc links OK: {n_links} markdown links, "
+        f"{n_refs} code refs scanned"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
