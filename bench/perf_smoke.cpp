@@ -20,9 +20,12 @@
 // on that self-check plus its own validation pass. Timings themselves are
 // informational (runner noise must not fail CI); only report *shape* gates.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -327,6 +330,7 @@ int main(int argc, char** argv) {
     serve::ServerOptions opts;
     opts.workers = 4;
     opts.queue_capacity = 0;
+    opts.shards = 4;  // pinned: identical cache partitioning on every runner
     serve::Server server(predictor, opts);
 
     std::vector<std::shared_ptr<const CsrMatrix>> shared;
@@ -410,6 +414,7 @@ int main(int argc, char** argv) {
 
     obs::JsonValue params = obs::JsonValue::object();
     params.set("clients", static_cast<std::int64_t>(clients));
+    params.set("shards", static_cast<std::int64_t>(server.shard_count()));
     params.set("requests", static_cast<std::int64_t>(st.completed));
     params.set("requests_per_sec",
                static_cast<double>(total) / wall_seconds);
@@ -424,6 +429,113 @@ int main(int argc, char** argv) {
         "[perf_smoke] serve: %.0f req/s, hit ratio %.3f, warm vs cold %.1fx\n",
         static_cast<double>(total) / wall_seconds, hit_ratio,
         cold_mean / warm_mean);
+  }
+
+  // --- Stage 7: shard scaling sweep (serve.shard_sweep scenario) -----------
+  // Isolates the dispatch + warm-cache path the sharding refactor targets:
+  // warm kPrepare requests are pure fingerprint-route + lock-free cache hits
+  // (no OpenMP inner loop), so throughput here measures the serving core,
+  // not the SpMV kernels. Eight pipelined clients hammer 1/2/4-shard
+  // servers over the same 12-matrix working set; the CI validate step gates
+  // speedup_vs_1shard >= 1.5 at 4 shards when the recorded hw_concurrency
+  // is >= 4 (single-core runners record the sweep but skip the gate).
+  std::printf("[perf_smoke] serve shard scaling sweep (1/2/4 shards)...\n");
+  {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<std::shared_ptr<const CsrMatrix>> mats;
+    std::vector<serve::Fingerprint> fps;
+    for (int i = 0; i < 12; ++i) {  // small: prepare cost is irrelevant here
+      const auto coo = generate_rmat(
+          rmat_class_params(RmatClass::kLowSkew, 256, 4.0),
+          9000 + static_cast<std::uint64_t>(i));
+      mats.push_back(std::make_shared<const CsrMatrix>(CsrMatrix::from_coo(coo)));
+      fps.push_back(serve::fingerprint_matrix(*mats.back()));
+    }
+    const int clients = 8;
+    const int per_client = quick ? 100 : 400;
+    const int sweep_passes = 3;
+    double base_rps = 0.0;
+
+    for (const int shards : {1, 2, 4}) {
+      serve::ServerOptions opts;
+      opts.workers = 2 * shards;  // two workers per shard at every point
+      opts.queue_capacity = 0;
+      opts.shards = shards;
+      serve::Server server(predictor, opts);
+
+      for (std::size_t i = 0; i < mats.size(); ++i) {  // warm every entry
+        serve::Request req;
+        req.kind = serve::RequestKind::kPrepare;
+        req.matrix = mats[i];
+        req.fingerprint = fps[i];
+        req.id = "warm";
+        const serve::Response rsp = server.call(req);
+        if (!rsp.ok) {
+          std::fprintf(stderr, "[perf_smoke] FAIL: sweep warm-up: %s\n",
+                       rsp.error.c_str());
+          return 1;
+        }
+      }
+
+      std::vector<double> per_request_samples;
+      double best_rps = 0.0;
+      const double total_requests =
+          static_cast<double>(clients) * static_cast<double>(per_client);
+      for (int pass = 0; pass < sweep_passes; ++pass) {
+        std::atomic<int> failures{0};
+        Timer wall;
+        std::vector<std::thread> threads;
+        for (int c = 0; c < clients; ++c) {
+          threads.emplace_back([&, c] {
+            // Pipelined: enqueue the full batch, then drain, so clients
+            // measure server throughput rather than request round-trips.
+            std::vector<std::future<serve::Response>> futs;
+            futs.reserve(static_cast<std::size_t>(per_client));
+            for (int r = 0; r < per_client; ++r) {
+              const std::size_t i =
+                  static_cast<std::size_t>(c + r) % mats.size();
+              serve::Request req;
+              req.kind = serve::RequestKind::kPrepare;
+              req.matrix = mats[i];
+              req.fingerprint = fps[i];
+              req.id = "sweep";
+              futs.push_back(server.submit(std::move(req)));
+            }
+            for (auto& f : futs) {
+              if (!f.get().ok) failures.fetch_add(1);
+            }
+          });
+        }
+        for (auto& t : threads) t.join();
+        const double secs = wall.seconds();
+        if (failures.load() != 0) {
+          std::fprintf(stderr, "[perf_smoke] FAIL: %d sweep requests failed\n",
+                       failures.load());
+          return 1;
+        }
+        per_request_samples.push_back(secs / total_requests);
+        best_rps = std::max(best_rps, total_requests / secs);
+      }
+      if (shards == 1) base_rps = best_rps;
+
+      obs::JsonValue params = obs::JsonValue::object();
+      params.set("shards", static_cast<std::int64_t>(server.shard_count()));
+      params.set("workers", static_cast<std::int64_t>(opts.workers));
+      params.set("clients", static_cast<std::int64_t>(clients));
+      params.set("requests",
+                 static_cast<std::int64_t>(clients * per_client));
+      params.set("hw_concurrency", static_cast<std::int64_t>(hw));
+      params.set("requests_per_sec", best_rps);
+      params.set("speedup_vs_1shard",
+                 base_rps > 0.0 ? best_rps / base_rps : 1.0);
+      report.add("serve", "shard_sweep/shards" + std::to_string(shards),
+                 obs::TimingSummary::from_samples(per_request_samples,
+                                                  clients * per_client),
+                 std::move(params));
+      std::printf("[perf_smoke] shard sweep: %d shard(s) %.0f req/s (%.2fx)\n",
+                  shards, best_rps,
+                  base_rps > 0.0 ? best_rps / base_rps : 1.0);
+    }
   }
 
   // --- Emit ----------------------------------------------------------------

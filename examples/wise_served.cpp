@@ -74,8 +74,8 @@ int usage() {
                "  knobs: WISE_SERVE_WORKERS, WISE_SERVE_QUEUE, "
                "WISE_SERVE_OVERFLOW,\n"
                "         WISE_SERVE_CACHE_BYTES, WISE_SERVE_CHOICE_ENTRIES,\n"
-               "         WISE_SERVE_HASH_VALUES, WISE_SERVE_DEADLINE_MS "
-               "(docs/SERVING.md)\n");
+               "         WISE_SERVE_HASH_VALUES, WISE_SERVE_DEADLINE_MS,\n"
+               "         WISE_SERVE_SHARDS (docs/SERVING.md)\n");
   return 2;
 }
 
@@ -123,6 +123,9 @@ std::string stats_line(serve::Server& server) {
   sv.set("expired", st.expired);
   sv.set("failed", st.failed);
   sv.set("degraded", st.degraded);
+  sv.set("coalesced", st.coalesced);
+  sv.set("prepares", st.prepares);
+  sv.set("shards", static_cast<std::uint64_t>(server.shard_count()));
   sv.set("queue_depth", static_cast<std::uint64_t>(server.queue_depth()));
   doc.set("server", std::move(sv));
   const serve::CacheStats cs = server.cache_stats();
@@ -339,9 +342,10 @@ int main(int argc, char** argv) {
     const auto options = serve::ServerOptions::from_env();
     serve::Server server(predictor, options);
     std::fprintf(stderr,
-                 "[wise_served] %d workers, queue %zu (%s), cache budget %zu "
-                 "bytes\n",
-                 server.options().workers, server.options().queue_capacity,
+                 "[wise_served] %d workers / %zu shards, queue %zu (%s), "
+                 "cache budget %zu bytes\n",
+                 server.options().workers, server.shard_count(),
+                 server.options().queue_capacity,
                  server.options().overflow == serve::OverflowPolicy::kBlock
                      ? "block"
                      : "reject",

@@ -1,5 +1,7 @@
 #pragma once
 // The serving layer's two-tier result cache, keyed by matrix fingerprint.
+// One instance of each tier belongs to one *shard* of the sharded server
+// (serve/server.hpp); shard routing happens above this layer.
 //
 // Tier 1 (ChoiceCache) memoizes WiseChoice — the output of feature
 // extraction + model inference. Entries are tiny, so the tier is bounded by
@@ -8,7 +10,15 @@
 // so the tier is bounded by a byte budget and eviction is accounted with
 // each entry's actual footprint (matrix bytes + converted-layout bytes).
 //
-// Both tiers are thread-safe (one mutex each around an LruMap) and record
+// Concurrency: the *read* path of both tiers is lock-free. Lookups probe an
+// immutable copy-on-write table through one atomic pointer load, protected
+// by epoch-based reclamation (util/epoch_lru.hpp) — a warm hit takes zero
+// mutexes, which is what lets hot matrices scale with client threads
+// instead of serializing on a cache-wide lock. Writers (misses) serialize
+// on the map's internal mutex and rebuild the table; recency is a relaxed
+// per-entry tick, which reduces to strict LRU under sequential access so
+// eviction order stays deterministic for tests.
+//
 // obs counters:
 //   serve.cache.hit / serve.cache.miss          prepared tier (the
 //                                               expensive one — the
@@ -16,20 +26,23 @@
 //   serve.cache.choice.hit / .choice.miss       choice tier
 //   serve.cache.evict.count                     prepared-tier evictions
 //   serve.cache.bytes / serve.cache.entries     prepared-tier gauges
+//     (gauges aggregate across shards via the server's stats, not here)
 //
 // Prepared entries are handed out as shared_ptr, so an entry evicted while
-// a worker is mid-SpMV stays alive until that worker drops it. Each entry
-// carries its own run mutex because PreparedMatrix::run reuses a scratch
-// workspace and is not safe for concurrent calls on one object.
+// a worker is mid-SpMV stays alive until that worker drops it. Entries
+// carry no run lock: PreparedMatrix::run has a const-thread-safe overload
+// taking a caller workspace (spmv/executor.hpp), so concurrent RUNs of one
+// hot entry proceed in parallel.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "serve/fingerprint.hpp"
 #include "spmv/executor.hpp"
-#include "util/lru.hpp"
+#include "util/epoch_lru.hpp"
 #include "wise/pipeline.hpp"
 
 namespace wise::serve {
@@ -46,7 +59,8 @@ struct CacheStats {
   std::size_t choice_entries = 0;
 };
 
-/// Tier 1: fingerprint → WiseChoice, bounded by entry count.
+/// Tier 1: fingerprint → WiseChoice, bounded by entry count. get() is
+/// lock-free.
 class ChoiceCache {
  public:
   explicit ChoiceCache(std::size_t max_entries);
@@ -54,28 +68,30 @@ class ChoiceCache {
   std::optional<WiseChoice> get(const Fingerprint& fp);
   void put(const Fingerprint& fp, const WiseChoice& choice);
 
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
-  std::size_t size() const;
+  std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const { return map_.size(); }
 
  private:
-  mutable std::mutex mutex_;
-  LruMap<Fingerprint, WiseChoice, FingerprintHash> map_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  EpochLruMap<Fingerprint, WiseChoice, FingerprintHash> map_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 /// One cached prepared matrix: the owned source CSR (PreparedMatrix
 /// references it for CSR configs), the converted layout, the choice that
-/// produced it, and the footprint it was charged at insertion.
+/// produced it, and the footprint it was charged at insertion. Immutable
+/// once published — RUNs execute it through the const-thread-safe
+/// PreparedMatrix::run overload with a per-thread workspace.
 struct PreparedEntry {
   std::shared_ptr<const CsrMatrix> matrix;
   PreparedMatrix prepared;
   WiseChoice choice;
   std::size_t bytes = 0;
-  /// PreparedMatrix::run reuses a scratch buffer; concurrent RUNs of the
-  /// same cached entry serialize on this.
-  std::mutex run_mutex;
 };
 
 /// Actual footprint an entry is charged: the owned CSR plus, for converted
@@ -86,6 +102,7 @@ struct PreparedEntry {
 std::size_t prepared_entry_bytes(const CsrMatrix& m, const PreparedMatrix& pm);
 
 /// Tier 2: fingerprint → shared PreparedEntry, bounded by a byte budget.
+/// get() is lock-free.
 class PreparedCache {
  public:
   /// `budget_bytes` caps the summed entry footprints (0 = unbounded).
@@ -93,24 +110,35 @@ class PreparedCache {
 
   std::shared_ptr<PreparedEntry> get(const Fingerprint& fp);
 
+  /// Uncounted lookup for the server's coalescing double-check: identical
+  /// to get() but records no hit/miss (the miss that led the caller here
+  /// was already counted).
+  std::shared_ptr<PreparedEntry> peek(const Fingerprint& fp);
+
   /// Inserts and applies the LRU byte budget. The entry's footprint must
   /// already be set (prepared_entry_bytes). Evicted entries only die once
   /// every outstanding shared_ptr drops.
   void put(const Fingerprint& fp, std::shared_ptr<PreparedEntry> entry);
 
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
-  std::uint64_t evictions() const;
-  std::size_t bytes() const;
-  std::size_t size() const;
-  std::size_t budget() const;
+  std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  std::size_t bytes() const { return map_.total_cost(); }
+  std::size_t size() const { return map_.size(); }
+  std::size_t budget() const { return map_.budget(); }
 
  private:
-  mutable std::mutex mutex_;
-  LruMap<Fingerprint, std::shared_ptr<PreparedEntry>, FingerprintHash> map_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  EpochLruMap<Fingerprint, std::shared_ptr<PreparedEntry>, FingerprintHash>
+      map_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace wise::serve

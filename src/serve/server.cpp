@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "util/aligned.hpp"
 #include "util/env.hpp"
 #include "util/fault.hpp"
+#include "util/lru.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
 
@@ -17,6 +19,36 @@ namespace wise::serve {
 namespace {
 
 constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+// Ids interned once per process (first Server construction). By-name
+// metric calls go through the registry mutex; the request path records
+// exclusively through these pre-interned ids, which only touch the calling
+// thread's slab.
+struct ServeMetricIds {
+  obs::MetricId request_count;
+  obs::MetricId reject_count;
+  obs::MetricId expired_count;
+  obs::MetricId degraded_count;
+  obs::MetricId coalesced_count;
+  obs::MetricId queue_wait;
+  obs::MetricId request_service;
+};
+
+const ServeMetricIds& serve_metric_ids() {
+  static const ServeMetricIds ids = [] {
+    auto& metrics = obs::MetricsRegistry::global();
+    ServeMetricIds out;
+    out.request_count = metrics.counter_id("serve.request.count");
+    out.reject_count = metrics.counter_id("serve.request.reject.count");
+    out.expired_count = metrics.counter_id("serve.deadline.expired.count");
+    out.degraded_count = metrics.counter_id("serve.degraded.count");
+    out.coalesced_count = metrics.counter_id("serve.coalesced.count");
+    out.queue_wait = metrics.timer_id("serve.queue.wait");
+    out.request_service = metrics.timer_id("serve.request.service");
+    return out;
+  }();
+  return ids;
+}
 
 Response error_response(const Request& req, ErrorCategory category,
                         std::string message) {
@@ -28,14 +60,41 @@ Response error_response(const Request& req, ErrorCategory category,
   return rsp;
 }
 
-std::uint64_t record_since(const char* name,
+std::uint64_t record_since(obs::MetricId id,
                            std::chrono::steady_clock::time_point start) {
   const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                       std::chrono::steady_clock::now() - start)
                       .count();
-  obs::MetricsRegistry::global().record_ns(name,
+  obs::MetricsRegistry::global().record_ns(id,
                                            static_cast<std::uint64_t>(ns));
   return static_cast<std::uint64_t>(ns);
+}
+
+/// Resolved shard count: explicit values round down to a power of two in
+/// [1, 256]; auto (0) additionally caps at both hardware concurrency and
+/// the worker count, so a workers=1 server stays a single shard with the
+/// pre-sharding single-queue semantics.
+int resolve_shards(const ServerOptions& o) {
+  int s = o.shards;
+  if (s <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    s = static_cast<int>(
+        std::min<unsigned>(hw, static_cast<unsigned>(std::max(1, o.workers))));
+  }
+  s = std::clamp(s, 1, 256);
+  int pow2 = 1;
+  while (pow2 * 2 <= s) pow2 *= 2;
+  return pow2;
+}
+
+/// split_budget share with a floor of 1 when the total is bounded: a 0
+/// share would mean "unbounded" to the cache, inverting the budget. Only
+/// fires in the pathological total < shards case (then the shard sum
+/// exceeds the configured total by at most shards-1 units).
+std::size_t bounded_share(std::size_t share, std::size_t total) {
+  if (total == 0) return 0;  // unbounded stays unbounded on every shard
+  return std::max<std::size_t>(1, share);
 }
 
 }  // namespace
@@ -60,36 +119,84 @@ ServerOptions ServerOptions::from_env() {
   o.fingerprint_values = env_flag("WISE_SERVE_HASH_VALUES", false);
   o.default_deadline =
       std::chrono::milliseconds(env_int("WISE_SERVE_DEADLINE_MS", 0));
+  o.shards = static_cast<int>(env_int("WISE_SERVE_SHARDS", 0));
   return o;
 }
 
 Server::Server(std::shared_ptr<const Wise> predictor, ServerOptions options)
-    : wise_(std::move(predictor)),
-      options_(options),
-      choice_cache_(options.choice_entries),
-      prepared_cache_(options.cache_bytes) {
+    : wise_(std::move(predictor)), options_(options) {
   if (!wise_) {
     throw std::invalid_argument("serve::Server: null predictor");
   }
-  pool_ = std::make_unique<ThreadPool>(options_.workers,
-                                       options_.queue_capacity);
-  obs::MetricsRegistry::global().set_gauge(
-      "serve.workers", static_cast<double>(pool_->thread_count()));
+  serve_metric_ids();  // intern before the first request can record
+
+  const std::size_t n = static_cast<std::size_t>(resolve_shards(options_));
+  options_.shards = static_cast<int>(n);
+
+  // Every per-shard resource is a base + round-robin-remainder split of the
+  // configured total (util/lru.hpp split_budget), so the shard sums match
+  // the configuration exactly; worker/queue/entry shares are floored at 1
+  // because those totals must stay positive per shard.
+  const auto worker_shares = split_budget(
+      static_cast<std::size_t>(std::max(1, options_.workers)), n);
+  const auto queue_shares = split_budget(options_.queue_capacity, n);
+  const auto choice_shares = split_budget(options_.choice_entries, n);
+  const auto byte_shares = split_budget(options_.cache_bytes, n);
+
+  shards_.reserve(n);
+  int total_threads = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int workers =
+        static_cast<int>(std::max<std::size_t>(1, worker_shares[i]));
+    const std::size_t queue =
+        options_.queue_capacity == 0
+            ? 0
+            : std::max<std::size_t>(1, queue_shares[i]);
+    shards_.push_back(std::make_unique<Shard>(
+        bounded_share(choice_shares[i], options_.choice_entries),
+        bounded_share(byte_shares[i], options_.cache_bytes), workers, queue));
+    total_threads += shards_.back()->pool->thread_count();
+  }
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.set_gauge("serve.workers", static_cast<double>(total_threads));
+  metrics.set_gauge("serve.shards", static_cast<double>(n));
 }
 
 Server::~Server() { shutdown(true); }
+
+std::size_t Server::shard_of(const Fingerprint& fp) const {
+  // splitmix64-style finalizer over the fingerprint hash: home shards stay
+  // uniform even when structure hashes share low bits (similar matrices).
+  std::uint64_t z =
+      static_cast<std::uint64_t>(FingerprintHash{}(fp)) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<std::size_t>(z & (shards_.size() - 1));
+}
 
 std::future<Response> Server::submit(Request req) {
   auto promise = std::make_shared<std::promise<Response>>();
   std::future<Response> future = promise->get_future();
   auto& metrics = obs::MetricsRegistry::global();
-  metrics.add("serve.request.count");
+  const auto& ids = serve_metric_ids();
+  metrics.add(ids.request_count);
+
+  // Fingerprinted requests go to their home shard (its caches and inflight
+  // table live there); the rest round-robin across pools and re-home after
+  // the worker hashes the matrix.
+  Shard* shard =
+      req.fingerprint.has_value()
+          ? shards_[shard_of(*req.fingerprint)].get()
+          : shards_[rr_.fetch_add(1, std::memory_order_relaxed) &
+                    (shards_.size() - 1)]
+                .get();
 
   if (!accepting_.load(std::memory_order_acquire)) {
     promise->set_value(error_response(req, ErrorCategory::kResource,
                                       "server is shutting down"));
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.rejected;
+    shard->counters.rejected.fetch_add(1, std::memory_order_relaxed);
     return future;
   }
 
@@ -100,15 +207,16 @@ std::future<Response> Server::submit(Request req) {
       deadline_ms.count() > 0 ? enqueued + deadline_ms : kNoDeadline;
 
   const std::string id = req.id;
-  auto task = [this, promise, request = std::move(req), enqueued, deadline] {
-    promise->set_value(process(request, enqueued, deadline));
+  auto task = [this, promise, shard, request = std::move(req), enqueued,
+               deadline] {
+    promise->set_value(process(*shard, request, enqueued, deadline));
   };
 
   const bool queued = options_.overflow == OverflowPolicy::kBlock
-                          ? pool_->submit(task)
-                          : pool_->try_submit(task);
+                          ? shard->pool->submit(task)
+                          : shard->pool->try_submit(task);
   if (!queued) {
-    metrics.add("serve.request.reject.count");
+    metrics.add(ids.reject_count);
     // The rejected task was never enqueued but still owns a promise
     // reference; complete the request through our copy.
     Request rejected;
@@ -118,16 +226,10 @@ std::future<Response> Server::submit(Request req) {
                        options_.overflow == OverflowPolicy::kReject
                            ? "request queue is full"
                            : "server is shutting down"));
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.rejected;
+    shard->counters.rejected.fetch_add(1, std::memory_order_relaxed);
     return future;
   }
-  metrics.set_gauge("serve.queue.depth",
-                    static_cast<double>(pool_->queue_depth()));
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.accepted;
-  }
+  shard->counters.accepted.fetch_add(1, std::memory_order_relaxed);
   return future;
 }
 
@@ -136,24 +238,51 @@ Response Server::call(Request req) { return submit(std::move(req)).get(); }
 void Server::shutdown(bool drain) {
   accepting_.store(false, std::memory_order_release);
   if (!drain) cancelled_.store(true, std::memory_order_release);
-  pool_->drain_and_stop();
+  for (auto& shard : shards_) shard->pool->drain_and_stop();
+}
+
+std::size_t Server::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& shard : shards_) depth += shard->pool->queue_depth();
+  return depth;
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  ServerStats s;
+  for (const auto& shard : shards_) {
+    const ShardCounters& c = shard->counters;
+    s.accepted += c.accepted.load(std::memory_order_relaxed);
+    s.completed += c.completed.load(std::memory_order_relaxed);
+    s.rejected += c.rejected.load(std::memory_order_relaxed);
+    s.expired += c.expired.load(std::memory_order_relaxed);
+    s.failed += c.failed.load(std::memory_order_relaxed);
+    s.degraded += c.degraded.load(std::memory_order_relaxed);
+    s.coalesced += c.coalesced.load(std::memory_order_relaxed);
+    s.prepares += c.prepares.load(std::memory_order_relaxed);
+  }
+  // Gauges refresh here, off the request path (stats() is the poll point).
+  obs::MetricsRegistry::global().set_gauge(
+      "serve.queue.depth", static_cast<double>(queue_depth()));
+  return s;
 }
 
 CacheStats Server::cache_stats() const {
   CacheStats cs;
-  cs.choice_hits = choice_cache_.hits();
-  cs.choice_misses = choice_cache_.misses();
-  cs.choice_entries = choice_cache_.size();
-  cs.prepared_hits = prepared_cache_.hits();
-  cs.prepared_misses = prepared_cache_.misses();
-  cs.prepared_entries = prepared_cache_.size();
-  cs.prepared_bytes = prepared_cache_.bytes();
-  cs.evictions = prepared_cache_.evictions();
+  for (const auto& shard : shards_) {
+    cs.choice_hits += shard->choice_cache.hits();
+    cs.choice_misses += shard->choice_cache.misses();
+    cs.choice_entries += shard->choice_cache.size();
+    cs.prepared_hits += shard->prepared_cache.hits();
+    cs.prepared_misses += shard->prepared_cache.misses();
+    cs.prepared_entries += shard->prepared_cache.size();
+    cs.prepared_bytes += shard->prepared_cache.bytes();
+    cs.evictions += shard->prepared_cache.evictions();
+  }
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.set_gauge("serve.cache.bytes",
+                    static_cast<double>(cs.prepared_bytes));
+  metrics.set_gauge("serve.cache.entries",
+                    static_cast<double>(cs.prepared_entries));
   return cs;
 }
 
@@ -169,24 +298,26 @@ MethodConfig Server::cheapest_csr_config() const {
   return best != nullptr ? *best : MethodConfig{};
 }
 
-std::shared_ptr<PreparedEntry> Server::prepare_entry(const Request& req,
+std::shared_ptr<PreparedEntry> Server::prepare_entry(Shard& home,
+                                                     const Request& req,
                                                      const Fingerprint& fp,
                                                      WiseChoice& choice) {
+  home.counters.prepares.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t shard_budget = home.prepared_cache.budget();
   PreparedMatrix pm = wise_->prepare(*req.matrix, choice);
-  if (options_.cache_bytes > 0 && choice.config.kind != MethodKind::kCsr &&
-      prepared_entry_bytes(*req.matrix, pm) > options_.cache_bytes) {
-    // A layout that alone overflows the prepared-cache budget would evict
-    // the whole working set and still not be cacheable: serve it (and cache
-    // it) as the cheapest CSR variant instead.
+  if (shard_budget > 0 && choice.config.kind != MethodKind::kCsr &&
+      prepared_entry_bytes(*req.matrix, pm) > shard_budget) {
+    // A layout that alone overflows its shard's prepared-cache budget would
+    // evict the shard's whole working set and still not be cacheable: serve
+    // it (and cache it) as the cheapest CSR variant instead.
     choice.config = cheapest_csr_config();
     choice.predicted_class = 0;
     choice.fallback_reason =
         "serve: converted layout exceeds WISE_SERVE_CACHE_BYTES budget of " +
-        std::to_string(options_.cache_bytes) + " bytes";
+        std::to_string(shard_budget) + " bytes";
     pm = PreparedMatrix::prepare(*req.matrix, choice.config);
-    obs::MetricsRegistry::global().add("serve.degraded.count");
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.degraded;
+    obs::MetricsRegistry::global().add(serve_metric_ids().degraded_count);
+    home.counters.degraded.fetch_add(1, std::memory_order_relaxed);
   }
 
   auto entry = std::make_shared<PreparedEntry>();
@@ -194,9 +325,65 @@ std::shared_ptr<PreparedEntry> Server::prepare_entry(const Request& req,
   entry->choice = choice;
   entry->bytes = prepared_entry_bytes(*req.matrix, pm);
   entry->prepared = std::move(pm);
-  choice_cache_.put(fp, choice);
-  prepared_cache_.put(fp, entry);
+  home.choice_cache.put(fp, choice);
+  home.prepared_cache.put(fp, entry);
   return entry;
+}
+
+std::shared_ptr<PreparedEntry> Server::prepare_or_join(Shard& home,
+                                                       const Request& req,
+                                                       const Fingerprint& fp,
+                                                       Response& rsp) {
+  std::promise<std::shared_ptr<PreparedEntry>> my_promise;
+  std::shared_future<std::shared_ptr<PreparedEntry>> fut;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(home.inflight_mutex);
+    // Double-check under the inflight lock: a leader publishes to the cache
+    // *before* erasing its inflight slot, so a request arriving between
+    // those two steps (or between its own miss and this lock) finds the
+    // entry here instead of preparing again.
+    if (auto cached = home.prepared_cache.peek(fp)) {
+      rsp.prepared_cache_hit = true;
+      rsp.choice = cached->choice;
+      return cached;
+    }
+    auto it = home.inflight.find(fp);
+    if (it != home.inflight.end()) {
+      fut = it->second;
+    } else {
+      fut = my_promise.get_future().share();
+      home.inflight.emplace(fp, fut);
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    // Join the in-flight prepare: park on the leader's future. The leader's
+    // failure (if any) rethrows here and surfaces as this request's error.
+    rsp.coalesced = true;
+    home.counters.coalesced.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::global().add(serve_metric_ids().coalesced_count);
+    std::shared_ptr<PreparedEntry> entry = fut.get();
+    rsp.choice = entry->choice;
+    return entry;
+  }
+
+  try {
+    std::shared_ptr<PreparedEntry> entry =
+        prepare_entry(home, req, fp, rsp.choice);
+    my_promise.set_value(entry);
+    std::lock_guard<std::mutex> lock(home.inflight_mutex);
+    home.inflight.erase(fp);
+    return entry;
+  } catch (...) {
+    my_promise.set_exception(std::current_exception());
+    {
+      std::lock_guard<std::mutex> lock(home.inflight_mutex);
+      home.inflight.erase(fp);
+    }
+    throw;
+  }
 }
 
 Response Server::run_prepared(const Request& req, Response rsp,
@@ -212,11 +399,12 @@ Response Server::run_prepared(const Request& req, Response rsp,
 
   const int iters = std::max(1, req.iters);
   {
-    // PreparedMatrix::run reuses a scratch workspace; concurrent RUNs of
-    // one cached entry serialize here.
-    std::lock_guard<std::mutex> lock(entry->run_mutex);
+    // Lock-free concurrent RUNs of one cached entry: everything a run
+    // touches is immutable after prepare except the gather scratch buffer,
+    // which each worker thread brings itself.
+    static thread_local SrvWorkspace run_ws;
     Timer t;
-    for (int i = 0; i < iters; ++i) entry->prepared.run(x, y);
+    for (int i = 0; i < iters; ++i) entry->prepared.run(x, y, run_ws);
     rsp.spmv_seconds = t.seconds() / iters;
   }
   double sum = 0;
@@ -225,18 +413,18 @@ Response Server::run_prepared(const Request& req, Response rsp,
   return rsp;
 }
 
-Response Server::process(const Request& req,
+Response Server::process(Shard& exec, const Request& req,
                          std::chrono::steady_clock::time_point enqueued,
                          std::chrono::steady_clock::time_point deadline) {
   auto& metrics = obs::MetricsRegistry::global();
-  const std::uint64_t wait_ns = record_since("serve.queue.wait", enqueued);
+  const auto& ids = serve_metric_ids();
+  const std::uint64_t wait_ns = record_since(ids.queue_wait, enqueued);
 
   Response rsp;
   const auto finish = [&](Response r) {
     r.queue_seconds = static_cast<double>(wait_ns) * 1e-9;
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.completed;
-    if (!r.ok) ++stats_.failed;
+    exec.counters.completed.fetch_add(1, std::memory_order_relaxed);
+    if (!r.ok) exec.counters.failed.fetch_add(1, std::memory_order_relaxed);
     return r;
   };
 
@@ -245,18 +433,15 @@ Response Server::process(const Request& req,
                                  "server shut down before the request ran"));
   }
   if (deadline != kNoDeadline && std::chrono::steady_clock::now() > deadline) {
-    metrics.add("serve.deadline.expired.count");
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.expired;
-    }
+    metrics.add(ids.expired_count);
+    exec.counters.expired.fetch_add(1, std::memory_order_relaxed);
     return finish(error_response(req, ErrorCategory::kResource,
                                  "deadline expired while queued"));
   }
 
   Timer service;
   try {
-    obs::ScopedTimer span("serve.request.service");
+    obs::ScopedTimer span(ids.request_service, metrics);
     FaultInjector::global().maybe_throw(stage::kServe,
                                         ErrorCategory::kResource);
     if (!req.matrix) {
@@ -268,23 +453,27 @@ Response Server::process(const Request& req,
         req.fingerprint.has_value()
             ? *req.fingerprint
             : fingerprint_matrix(*req.matrix, options_.fingerprint_values);
+    // Per-fingerprint state always lives on the fingerprint's home shard —
+    // for unfingerprinted requests that may differ from the pool that runs
+    // the task, so resolve it from the hash just computed.
+    Shard& home = *shards_[shard_of(rsp.fingerprint)];
 
     if (req.kind == RequestKind::kPredict) {
-      if (auto cached = choice_cache_.get(rsp.fingerprint)) {
+      if (auto cached = home.choice_cache.get(rsp.fingerprint)) {
         rsp.choice = *cached;
         rsp.choice_cache_hit = true;
       } else {
         rsp.choice = wise_->choose(*req.matrix);
-        choice_cache_.put(rsp.fingerprint, rsp.choice);
+        home.choice_cache.put(rsp.fingerprint, rsp.choice);
       }
     } else {
       std::shared_ptr<PreparedEntry> entry =
-          prepared_cache_.get(rsp.fingerprint);
+          home.prepared_cache.get(rsp.fingerprint);
       if (entry != nullptr) {
         rsp.prepared_cache_hit = true;
         rsp.choice = entry->choice;
       } else {
-        entry = prepare_entry(req, rsp.fingerprint, rsp.choice);
+        entry = prepare_or_join(home, req, rsp.fingerprint, rsp);
       }
       if (req.kind == RequestKind::kRun) {
         rsp = run_prepared(req, std::move(rsp), entry);

@@ -2,35 +2,57 @@
 // Concurrent prediction server — the long-lived, multi-tenant front half of
 // the WISE pipeline (ROADMAP: "serves heavy traffic").
 //
-// A Server owns a fixed worker pool (util/thread_pool.hpp), a bounded
-// request queue with an explicit backpressure policy, and the two-tier
-// fingerprint cache (serve/cache.hpp). One shared, const wise::Wise does
-// all prediction; Wise::choose/prepare are const-thread-safe (see
-// wise/pipeline.hpp), so N workers share one ModelBank with no locking.
+// The server is SHARDED: the fingerprint space is partitioned across N
+// shards (N = WISE_SERVE_SHARDS, default: hardware concurrency rounded
+// down to a power of two and capped by the worker count). Each shard owns
+// its own slice of the serving state — a ChoiceCache, a byte-budgeted
+// PreparedCache slice, a worker pool, and an in-flight prepare table — so
+// independent hot matrices never touch each other's locks or cache lines.
+// submit() routes a fingerprinted request to its home shard by mixing the
+// fingerprint bits; requests without a precomputed fingerprint are
+// round-robined across pools and re-homed to the owning shard's caches
+// once the worker has hashed the matrix.
+//
+// Within a shard the warm path is lock-FREE, not merely lock-light: both
+// cache tiers read through epoch-protected copy-on-write tables
+// (util/epoch_lru.hpp), and cached entries execute SpMV through the
+// const-thread-safe PreparedMatrix::run overload with a per-thread
+// workspace — a warm PREDICT or RUN takes zero mutexes end to end. Server
+// counters are per-shard relaxed atomics, aggregated only when stats() is
+// called.
+//
+// Cold misses COALESCE: concurrent requests for the same not-yet-prepared
+// fingerprint register on the shard's in-flight table and share one
+// prepare — one leader converts the layout, the others park on a
+// shared_future and reuse its entry (Response::coalesced). A stampede of
+// K identical cold requests costs one conversion, not K.
 //
 // Request lifecycle:
 //   submit() fingerprints nothing and copies nothing — it enqueues the
 //   request (shared_ptr to the matrix) and returns a std::future<Response>.
-//   When the queue is full the overflow policy decides: kBlock parks the
-//   caller until a slot frees; kReject completes the future immediately
-//   with a kResource error. A worker that dequeues an expired request (its
-//   deadline passed while queued) completes it with a kResource error
-//   without doing the work — deadlines are admission control, not
-//   preemption. shutdown(drain=true) stops intake and completes every
-//   queued request; shutdown(drain=false) stops intake and completes queued
-//   requests with a "shutting down" error (the work is skipped, the future
-//   is still fulfilled — promises are never broken).
+//   When the home shard's queue is full the overflow policy decides: kBlock
+//   parks the caller until a slot frees; kReject completes the future
+//   immediately with a kResource error. A worker that dequeues an expired
+//   request (its deadline passed while queued) completes it with a
+//   kResource error without doing the work — deadlines are admission
+//   control, not preemption. shutdown(drain=true) stops intake and
+//   completes every queued request; shutdown(drain=false) stops intake and
+//   completes queued requests with a "shutting down" error (the work is
+//   skipped, the future is still fulfilled — promises are never broken).
 //
-// Degradation: when a converted layout alone would overflow the prepared
-// cache's byte budget, the server re-prepares with the bank's cheapest CSR
-// configuration instead (fallback_reason "serve: ..."), mirroring the
-// pipeline's degrade-don't-die contract. The "serve" fault-injection stage
-// (WISE_FAULT_STAGES=serve) makes the overload error path deterministic in
-// tests.
+// Degradation: when a converted layout alone would overflow its shard's
+// prepared-cache byte budget, the server re-prepares with the bank's
+// cheapest CSR configuration instead (fallback_reason "serve: ..."),
+// mirroring the pipeline's degrade-don't-die contract. The "serve"
+// fault-injection stage (WISE_FAULT_STAGES=serve) makes the overload error
+// path deterministic in tests.
 //
 // Metrics (see docs/SERVING.md): serve.request.count/.reject/.expired,
-// serve.degraded.count, serve.queue.wait + serve.request.service timers,
-// serve.queue.depth gauge, and the serve.cache.* family from cache.hpp.
+// serve.degraded.count, serve.coalesced.count, serve.queue.wait +
+// serve.request.service timers, the serve.cache.* family from cache.hpp,
+// and the serve.shards/serve.workers/serve.queue.depth gauges (queue depth
+// and cache gauges refresh on stats()/cache_stats(), keeping gauge writes
+// off the request path).
 
 #include <atomic>
 #include <chrono>
@@ -40,6 +62,8 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "serve/cache.hpp"
 #include "serve/fingerprint.hpp"
@@ -61,17 +85,24 @@ enum class OverflowPolicy {
 };
 
 struct ServerOptions {
-  int workers = 4;
-  std::size_t queue_capacity = 64;  ///< 0 = unbounded
+  int workers = 4;  ///< total across shards
+  std::size_t queue_capacity = 64;  ///< total across shards; 0 = unbounded
   OverflowPolicy overflow = OverflowPolicy::kBlock;
   std::size_t cache_bytes = 256u << 20;  ///< prepared-tier budget; 0 = unbounded
   std::size_t choice_entries = 1024;     ///< choice-tier entry cap
   bool fingerprint_values = false;  ///< hash values too (RUN-heavy loads)
   std::chrono::milliseconds default_deadline{0};  ///< 0 = none
+  /// Shard count; non-powers-of-two round down, clamped to [1, 256].
+  /// 0 = auto: hardware concurrency, capped by `workers`, rounded down to a
+  /// power of two — so a workers=1 server is a single shard with a single
+  /// queue, exactly the pre-sharding semantics. The resolved value is
+  /// reported by options().shards after construction.
+  int shards = 0;
 
   /// Reads WISE_SERVE_WORKERS, WISE_SERVE_QUEUE, WISE_SERVE_OVERFLOW
   /// (block|reject), WISE_SERVE_CACHE_BYTES, WISE_SERVE_CHOICE_ENTRIES,
-  /// WISE_SERVE_HASH_VALUES, WISE_SERVE_DEADLINE_MS over these defaults.
+  /// WISE_SERVE_HASH_VALUES, WISE_SERVE_DEADLINE_MS, WISE_SERVE_SHARDS
+  /// over these defaults.
   static ServerOptions from_env();
 };
 
@@ -85,7 +116,8 @@ struct Request {
   /// Precomputed cache key, trusted verbatim. The hash is an O(nnz) pass,
   /// so callers that load a matrix once and send many requests against it
   /// (the daemon's loader, steady-state clients) compute it at load time;
-  /// leave unset and the worker hashes per request.
+  /// leave unset and the worker hashes per request. Also the shard router:
+  /// fingerprinted requests go straight to their home shard's queue.
   std::optional<Fingerprint> fingerprint;
 };
 
@@ -100,6 +132,9 @@ struct Response {
   Fingerprint fingerprint;
   bool choice_cache_hit = false;
   bool prepared_cache_hit = false;
+  /// This request's prepare was satisfied by another in-flight request for
+  /// the same fingerprint (it waited instead of converting).
+  bool coalesced = false;
 
   double queue_seconds = 0;    ///< time spent waiting for a worker
   double service_seconds = 0;  ///< worker time (fingerprint → done)
@@ -108,7 +143,7 @@ struct Response {
 };
 
 /// Monotonic server counters (separate from the obs registry so STATS works
-/// even with metrics disabled).
+/// even with metrics disabled). Aggregated across shards at read time.
 struct ServerStats {
   std::uint64_t accepted = 0;
   std::uint64_t completed = 0;
@@ -116,6 +151,8 @@ struct ServerStats {
   std::uint64_t expired = 0;   ///< deadline passed while queued
   std::uint64_t failed = 0;    ///< completed with !ok (incl. expired)
   std::uint64_t degraded = 0;  ///< serve-level CSR demotions
+  std::uint64_t coalesced = 0;  ///< requests that joined an in-flight prepare
+  std::uint64_t prepares = 0;   ///< layout conversions actually executed
 };
 
 class Server {
@@ -146,29 +183,75 @@ class Server {
   ServerStats stats() const;
   CacheStats cache_stats() const;
   const ServerOptions& options() const { return options_; }
-  std::size_t queue_depth() const { return pool_->queue_depth(); }
+  std::size_t queue_depth() const;
+
+  /// Resolved shard count (options().shards after auto-resolution).
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Home shard index for a fingerprint — exposed so tests and benchmarks
+  /// can construct colliding / non-colliding workloads deliberately.
+  std::size_t shard_of(const Fingerprint& fp) const;
 
  private:
-  Response process(const Request& req,
+  /// Hot-path counters, one cache-line-padded block per shard. Relaxed
+  /// atomics: each event is a single uncontended fetch_add; cross-shard
+  /// totals only materialize in stats().
+  struct alignas(64) ShardCounters {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> expired{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> degraded{0};
+    std::atomic<std::uint64_t> coalesced{0};
+    std::atomic<std::uint64_t> prepares{0};
+  };
+
+  /// One slice of the serving state. The inflight table holds prepares
+  /// currently executing on this shard, keyed by fingerprint; its mutex is
+  /// cold-path only (taken on cache misses and prepare completion, never on
+  /// a warm hit).
+  struct Shard {
+    Shard(std::size_t choice_entries, std::size_t cache_bytes, int workers,
+          std::size_t queue_capacity)
+        : choice_cache(choice_entries),
+          prepared_cache(cache_bytes),
+          pool(std::make_unique<ThreadPool>(workers, queue_capacity)) {}
+
+    ChoiceCache choice_cache;
+    PreparedCache prepared_cache;
+    std::unique_ptr<ThreadPool> pool;
+    std::mutex inflight_mutex;
+    std::unordered_map<Fingerprint,
+                       std::shared_future<std::shared_ptr<PreparedEntry>>,
+                       FingerprintHash>
+        inflight;
+    ShardCounters counters;
+  };
+
+  Response process(Shard& exec, const Request& req,
                    std::chrono::steady_clock::time_point enqueued,
                    std::chrono::steady_clock::time_point deadline);
   Response run_prepared(const Request& req, Response rsp,
                         const std::shared_ptr<PreparedEntry>& entry);
-  std::shared_ptr<PreparedEntry> prepare_entry(const Request& req,
+  /// Cache-miss path: join the shard's in-flight prepare for `fp` or become
+  /// its leader. Exactly one conversion runs per fingerprint no matter how
+  /// many requests race. Marks rsp.coalesced on joiners.
+  std::shared_ptr<PreparedEntry> prepare_or_join(Shard& home,
+                                                 const Request& req,
+                                                 const Fingerprint& fp,
+                                                 Response& rsp);
+  std::shared_ptr<PreparedEntry> prepare_entry(Shard& home, const Request& req,
                                                const Fingerprint& fp,
                                                WiseChoice& choice);
   MethodConfig cheapest_csr_config() const;
 
   std::shared_ptr<const Wise> wise_;
-  ServerOptions options_;
-  ChoiceCache choice_cache_;
-  PreparedCache prepared_cache_;
-  std::unique_ptr<ThreadPool> pool_;
+  ServerOptions options_;  ///< with shards resolved to the actual count
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> rr_{0};  ///< router for unfingerprinted requests
 
   std::atomic<bool> accepting_{true};
   std::atomic<bool> cancelled_{false};
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
 };
 
 }  // namespace wise::serve

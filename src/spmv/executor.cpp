@@ -57,6 +57,11 @@ PreparedMatrix PreparedMatrix::prepare(const CsrMatrix& m,
 }
 
 void PreparedMatrix::run(std::span<const value_t> x, std::span<value_t> y) {
+  run(x, y, ws_);
+}
+
+void PreparedMatrix::run(std::span<const value_t> x, std::span<value_t> y,
+                         SrvWorkspace& ws) const {
   obs::ScopedTimer span(run_timer_, obs::MetricsRegistry::global());
   if (cfg_.kind == MethodKind::kCsr) {
     if (csr_plan_.has_value()) {
@@ -67,7 +72,7 @@ void PreparedMatrix::run(std::span<const value_t> x, std::span<value_t> y) {
   } else if (cfg_.kind == MethodKind::kBsr) {
     bsr_->spmv(x, y);
   } else {
-    spmv_srvpack(*packed_, x, y, cfg_.sched, ws_,
+    spmv_srvpack(*packed_, x, y, cfg_.sched, ws,
                  srv_plan_.has_value() ? &*srv_plan_ : nullptr);
   }
 }

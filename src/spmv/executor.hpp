@@ -31,9 +31,20 @@ class PreparedMatrix {
   static PreparedMatrix prepare(const CsrMatrix& m, const MethodConfig& cfg);
 
   /// y = A*x with the prepared layout and the config's scheduling policy.
-  /// Not safe for concurrent calls on the same object (a scratch buffer is
-  /// reused across calls).
+  /// Not safe for concurrent calls on the same object (the member scratch
+  /// buffer is reused across calls); concurrent callers use the overload
+  /// below with their own workspace.
   void run(std::span<const value_t> x, std::span<value_t> y);
+
+  /// Const-thread-safe run: identical to run(x, y) but gathers through the
+  /// caller-provided scratch workspace, so N threads may run one prepared
+  /// object concurrently as long as each brings its own `ws` (and its own
+  /// y). Everything else a run touches — layout, plan, config, metric id —
+  /// is immutable after prepare(). The serving layer's warm RUN path
+  /// (serve/server.cpp) relies on this to execute cached entries with no
+  /// per-entry lock.
+  void run(std::span<const value_t> x, std::span<value_t> y,
+           SrvWorkspace& ws) const;
 
   const MethodConfig& config() const { return cfg_; }
 

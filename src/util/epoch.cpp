@@ -1,0 +1,92 @@
+#include "util/epoch.hpp"
+
+#include <cstddef>
+
+namespace wise {
+
+// Why a pinned reader at epoch >= E is safe (the invariant retire_epoch()
+// and Pin build): the writer publishes the post-unlink state with a
+// seq_cst store, then fetch_adds the global epoch (seq_cst) producing E.
+// A reader pins by loading the global epoch (seq_cst) and stamping its
+// slot (seq_cst) *before* its first load of the shared pointer. If the
+// reader's stamp is >= E, its epoch load was ordered after the writer's
+// fetch_add in the single total order of seq_cst operations, so its later
+// pointer load is ordered after the writer's publish and must observe the
+// new state — it can never reach the retired object. Conversely a reader
+// that could hold the old pointer pinned at < E, and min_active() < E
+// keeps the object alive. The remaining race — reader claims a slot,
+// stalls, writer scans and sees the slot still idle — is also safe: the
+// writer's scan load preceding the reader's stamp in seq_cst order means
+// the reader's subsequent pointer load follows the publish too.
+
+namespace {
+
+/// Per-thread probe offset into the slot array. A plain trivially-
+/// destructible thread_local (no domain pointer, no exit-time hook), so a
+/// thread outliving a domain — or vice versa — leaves nothing dangling.
+/// The odd stride spreads threads across the 128 slots so each repeat
+/// pinner finds its previous slot free at probe position zero.
+std::size_t probe_start() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t start =
+      next.fetch_add(1, std::memory_order_relaxed) * 17;
+  return start;
+}
+
+}  // namespace
+
+EpochDomain& EpochDomain::global() {
+  static EpochDomain domain;
+  return domain;
+}
+
+EpochDomain::Slot* EpochDomain::claim_slot() {
+  const std::size_t start = probe_start();
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    Slot& s = slots_[(start + i) % kSlots];
+    bool expected = false;
+    if (!s.claimed.load(std::memory_order_relaxed) &&
+        s.claimed.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+EpochDomain::Pin::Pin(EpochDomain& domain)
+    : domain_(domain), slot_(domain.claim_slot()) {
+  if (slot_ != nullptr) {
+    slot_->epoch.store(domain.global_epoch_.load(std::memory_order_seq_cst),
+                       std::memory_order_seq_cst);
+    return;
+  }
+  // Slot array exhausted (kSlots simultaneous pins): pin through the
+  // overflow counter, which stalls (never unsafely allows) reclamation.
+  domain.overflow_pins_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+EpochDomain::Pin::~Pin() {
+  if (slot_ == nullptr) {
+    domain_.overflow_pins_.fetch_sub(1, std::memory_order_seq_cst);
+    return;
+  }
+  slot_->epoch.store(kIdle, std::memory_order_release);
+  slot_->claimed.store(false, std::memory_order_release);
+}
+
+std::uint64_t EpochDomain::retire_epoch() {
+  return global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+}
+
+std::uint64_t EpochDomain::min_active() const {
+  if (overflow_pins_.load(std::memory_order_seq_cst) > 0) return 0;
+  std::uint64_t min = kIdle;
+  for (const Slot& s : slots_) {
+    const std::uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e < min) min = e;
+  }
+  return min;
+}
+
+}  // namespace wise

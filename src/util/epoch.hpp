@@ -1,0 +1,96 @@
+#pragma once
+// Epoch-based reclamation — the memory-safety protocol behind the serving
+// layer's lock-free cache reads (serve/cache.hpp, via util/epoch_lru.hpp).
+//
+// The problem: a reader wants to follow a pointer published through an
+// atomic without taking any lock, while a writer concurrently unlinks and
+// eventually frees the object behind it. Epochs solve it with a grace
+// period. Readers *pin* before touching shared pointers: they stamp the
+// current global epoch into a slot of the domain. Writers never free an
+// unlinked object immediately; they *retire* it, advancing the global
+// epoch, and only free it once every pinned reader's stamp has reached the
+// retirement epoch — at which point no reader can still hold the old
+// pointer (a reader pinned at epoch >= E provably loads the post-unlink
+// state; see the ordering note in epoch.cpp).
+//
+// Slots are claimed per *pin*, not per thread: a Pin CASes a free slot on
+// entry and releases it on exit, probing from a per-thread start offset so
+// a thread that pins repeatedly reuses the same otherwise-untouched slot —
+// the claim is an uncontended RMW on a cache line effectively private to
+// the thread. No per-thread state references the domain, so domains can be
+// stack-local and die freely (they must only outlive their own Pins, which
+// RAII already guarantees). If all kSlots slots are briefly taken, the
+// extra pins fall back to a shared overflow counter that simply stalls
+// reclamation while nonzero — always safe, never freeing early, just
+// deferring.
+//
+// Costs: pinning is one CAS + one seq_cst load + one seq_cst store, no
+// lock, no syscall. Unpinning is two release stores. Writers pay the scan
+// over the (fixed, small) slot array, which is fine because writers
+// already serialize on their own mutex and run on cache *misses* — the
+// slow path by definition.
+
+#include <atomic>
+#include <cstdint>
+
+namespace wise {
+
+class EpochDomain {
+ public:
+  /// Sentinel slot value: the thread is not inside a read-side section.
+  static constexpr std::uint64_t kIdle = ~0ull;
+  static constexpr int kSlots = 128;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{kIdle};
+    std::atomic<bool> claimed{false};
+  };
+
+ public:
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// The process-wide domain the serving caches share.
+  static EpochDomain& global();
+
+  /// RAII read-side critical section. While a Pin lives, any object
+  /// retired at an epoch the pin precedes stays allocated. Nestable
+  /// (an inner pin claims its own slot). The domain must outlive the Pin.
+  class Pin {
+   public:
+    explicit Pin(EpochDomain& domain);
+    ~Pin();
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+   private:
+    EpochDomain& domain_;
+    Slot* slot_;  ///< nullptr: pinned through the overflow counter
+  };
+
+  /// Writer side, called *after* unlinking an object from the shared
+  /// structure: advances the global epoch and returns the retirement
+  /// epoch E. The object may be freed once min_active() >= E.
+  std::uint64_t retire_epoch();
+
+  /// Smallest epoch any pinned reader may still be inside; kIdle when no
+  /// reader is pinned. Returns 0 (blocking all reclamation) while any
+  /// overflow pin is active.
+  std::uint64_t min_active() const;
+
+  /// Current global epoch (tests/diagnostics).
+  std::uint64_t current() const {
+    return global_epoch_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  Slot* claim_slot();
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::atomic<std::uint64_t> overflow_pins_{0};
+  Slot slots_[kSlots];
+};
+
+}  // namespace wise

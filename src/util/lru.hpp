@@ -21,6 +21,25 @@
 
 namespace wise {
 
+/// Splits a total cost budget across `parts` consumers so the shares sum
+/// to `total` *exactly*: every share gets total/parts and the remainder is
+/// distributed round-robin, one unit each, to the leading shares. Used by
+/// the sharded serving caches (serve/server.cpp) so N per-shard byte
+/// budgets add up to the configured WISE_SERVE_CACHE_BYTES with no bytes
+/// lost to integer division. A `total` of 0 yields all-zero shares (the
+/// caches treat 0 as unbounded).
+inline std::vector<std::size_t> split_budget(std::size_t total,
+                                             std::size_t parts) {
+  std::vector<std::size_t> shares(parts == 0 ? 1 : parts, 0);
+  if (total == 0) return shares;
+  const std::size_t base = total / shares.size();
+  std::size_t remainder = total % shares.size();
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    shares[i] = base + (i < remainder ? 1 : 0);
+  }
+  return shares;
+}
+
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class LruMap {
  public:

@@ -17,17 +17,20 @@ ThreadPool::ThreadPool(int threads, std::size_t queue_capacity)
 ThreadPool::~ThreadPool() { drain_and_stop(); }
 
 bool ThreadPool::try_submit(std::function<void()> task) {
+  bool wake;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) return false;
     if (capacity_ > 0 && queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(task));
+    wake = idle_workers_ > 0;
   }
-  not_empty_.notify_one();
+  if (wake) not_empty_.notify_one();
   return true;
 }
 
 bool ThreadPool::submit(std::function<void()> task) {
+  bool wake;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock, [this] {
@@ -35,8 +38,9 @@ bool ThreadPool::submit(std::function<void()> task) {
     });
     if (stopping_) return false;
     queue_.push_back(std::move(task));
+    wake = idle_workers_ > 0;
   }
-  not_empty_.notify_one();
+  if (wake) not_empty_.notify_one();
   return true;
 }
 
@@ -64,7 +68,14 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // The idle counter brackets only the actual wait: a worker that finds
+      // work on re-lock never counts as idle, so submitters see idle > 0
+      // exactly when a notify can shorten someone's sleep.
+      if (!stopping_ && queue_.empty()) {
+        ++idle_workers_;
+        not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        --idle_workers_;
+      }
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -66,6 +66,11 @@ class ThreadPool {
   std::condition_variable not_full_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  /// Workers parked in not_empty_.wait(); maintained under mutex_. Lets
+  /// submitters skip the notify syscall entirely while every worker is
+  /// busy — the common state under load, where a notify would only burn a
+  /// futex wake on threads that will find the queue themselves.
+  int idle_workers_ = 0;
   std::vector<std::thread> workers_;
 };
 

@@ -194,6 +194,168 @@ TEST(Server, ConcurrentStressIsBitIdenticalToColdPath) {
   EXPECT_EQ(st.failed, 0u);
 }
 
+TEST(Server, MultiShardWarmColdStressIsBitIdenticalToColdPath) {
+  // The sharded counterpart of the stress above: 4 shards explicitly, so
+  // routing, per-shard caches, and the lock-free read path all engage even
+  // on single-core runners. Half the matrices are prepared up front (warm),
+  // half meet the server for the first time mid-stress (cold, racing
+  // coalesced prepares) — every response must still be bit-identical to a
+  // sequential cold run.
+  Server server(make_predictor(MethodKind::kSellpack),
+                {.workers = 8, .queue_capacity = 0, .shards = 4});
+  ASSERT_EQ(server.shard_count(), 4u);
+  constexpr int kMatrices = 8;
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 12;
+
+  // Reference checksums from an isolated single-shard server so the stress
+  // server's cold paths are exercised by the stress itself.
+  Server reference(make_predictor(MethodKind::kSellpack),
+                   {.workers = 1, .shards = 1});
+  std::vector<std::shared_ptr<const CsrMatrix>> matrices;
+  std::vector<double> cold_checksums;
+  for (int i = 0; i < kMatrices; ++i) {
+    matrices.push_back(shared_matrix(64 + 8 * i, 300 + i));
+    const Response cold = reference.call(
+        run_request(matrices.back(), "ref-" + std::to_string(i)));
+    ASSERT_TRUE(cold.ok) << cold.error;
+    cold_checksums.push_back(cold.checksum);
+    if (i < kMatrices / 2) {  // warm half
+      ASSERT_TRUE(
+          server.call(run_request(matrices.back(), "warm-" + std::to_string(i)))
+              .ok);
+    }
+  }
+
+  std::vector<std::thread> clients;
+  std::vector<int> bad(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        const int mi = (t + round) % kMatrices;
+        const Response rsp = server.call(
+            run_request(matrices[static_cast<std::size_t>(mi)],
+                        "t" + std::to_string(t)));
+        if (!rsp.ok ||
+            rsp.checksum != cold_checksums[static_cast<std::size_t>(mi)]) {
+          ++bad[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(bad[static_cast<std::size_t>(t)], 0)
+        << "thread " << t << " saw a response differing from the cold run";
+  }
+
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.accepted, st.completed);
+  EXPECT_EQ(st.failed, 0u);
+  // Coalescing bounds the conversions: one per distinct fingerprint, no
+  // matter how many requests raced on the cold half.
+  EXPECT_EQ(st.prepares, static_cast<std::uint64_t>(kMatrices));
+}
+
+TEST(Server, ConcurrentColdRequestsCoalesceIntoOnePrepare) {
+  // One shard, several workers: N simultaneous PREPAREs of one fingerprint
+  // must execute exactly one layout conversion. Exactly one response is the
+  // leader (neither a cache hit nor coalesced); every other is one or the
+  // other, depending on whether it arrived during or after the prepare.
+  Server server(make_predictor(MethodKind::kSellpack),
+                {.workers = 4, .queue_capacity = 0, .shards = 1});
+  const auto m = shared_matrix(160, 91);
+  const Fingerprint fp = fingerprint_matrix(*m);
+
+  constexpr int kRequests = 16;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    Request req;
+    req.kind = RequestKind::kPrepare;
+    req.matrix = m;
+    req.id = "c" + std::to_string(i);
+    req.fingerprint = fp;
+    futures.push_back(server.submit(std::move(req)));
+  }
+
+  int leaders = 0;
+  int coalesced = 0;
+  int hits = 0;
+  for (auto& f : futures) {
+    const Response rsp = f.get();
+    ASSERT_TRUE(rsp.ok) << rsp.error;
+    if (rsp.coalesced) {
+      ++coalesced;
+    } else if (rsp.prepared_cache_hit) {
+      ++hits;
+    } else {
+      ++leaders;
+    }
+  }
+  EXPECT_EQ(leaders, 1) << "exactly one request may run the conversion";
+  EXPECT_EQ(coalesced + hits, kRequests - 1);
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.prepares, 1u);
+  EXPECT_EQ(st.coalesced, static_cast<std::uint64_t>(coalesced));
+}
+
+TEST(Server, ShardEvictionIsIndependentOfSiblingShards) {
+  // Two shards; A and B collide on one shard, C homes on the other. A
+  // budget holding one entry per shard means the A/B shard thrashes while
+  // C's shard is never disturbed — per-shard eviction determinism.
+  const auto predictor = make_predictor(MethodKind::kSellpack);
+
+  ServerOptions probe_opts;
+  probe_opts.workers = 2;
+  probe_opts.shards = 2;
+  Server probe(predictor, probe_opts);
+  ASSERT_EQ(probe.shard_count(), 2u);
+
+  // Deterministic search for the colliding/non-colliding triple.
+  const auto a = shared_matrix(96, 500);
+  const Fingerprint fpa = fingerprint_matrix(*a);
+  std::shared_ptr<const CsrMatrix> b;
+  std::shared_ptr<const CsrMatrix> c;
+  for (std::uint64_t seed = 501; (!b || !c) && seed < 600; ++seed) {
+    auto m = shared_matrix(96, seed);
+    const std::size_t home = probe.shard_of(fingerprint_matrix(*m));
+    if (!b && home == probe.shard_of(fpa)) b = std::move(m);
+    else if (!c && home != probe.shard_of(fpa)) c = std::move(m);
+  }
+  ASSERT_TRUE(b) << "no same-shard matrix found in 100 seeds";
+  ASSERT_TRUE(c) << "no other-shard matrix found in 100 seeds";
+
+  std::size_t max_entry = 0;
+  for (const auto& m : {a, b, c}) {
+    WiseChoice choice;
+    const PreparedMatrix pm = predictor->prepare(*m, choice);
+    max_entry = std::max(max_entry, prepared_entry_bytes(*m, pm));
+  }
+
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.shards = 2;
+  opts.cache_bytes = 2 * (max_entry + max_entry / 2);  // 1.5 entries/shard
+  Server server(predictor, opts);
+
+  ASSERT_TRUE(server.call(run_request(a, "a")).ok);   // A's shard: {A}
+  ASSERT_TRUE(server.call(run_request(c, "c")).ok);   // C's shard: {C}
+  ASSERT_TRUE(server.call(run_request(b, "b")).ok);   // evicts A
+  const Response a2 = server.call(run_request(a, "a2"));  // evicts B
+  ASSERT_TRUE(a2.ok);
+  EXPECT_FALSE(a2.prepared_cache_hit) << "B must have displaced A";
+  const Response c2 = server.call(run_request(c, "c2"));
+  ASSERT_TRUE(c2.ok);
+  EXPECT_TRUE(c2.prepared_cache_hit)
+      << "thrash on the A/B shard must not touch C's shard";
+
+  const CacheStats cs = server.cache_stats();
+  EXPECT_EQ(cs.evictions, 2u);
+  EXPECT_EQ(cs.prepared_entries, 2u);  // one per shard
+  EXPECT_EQ(cs.prepared_misses, 4u);   // A, C, B, A-again
+  EXPECT_EQ(cs.prepared_hits, 1u);     // C-again
+}
+
 TEST(Server, ByteBudgetEvictsDeterministically) {
   // Budget sized to hold exactly one prepared entry: A, B, A again must be
   // miss, miss+evict, miss+evict.
@@ -382,6 +544,7 @@ TEST(ServerOptions, FromEnvReadsEveryKnob) {
   ::setenv("WISE_SERVE_CHOICE_ENTRIES", "9", 1);
   ::setenv("WISE_SERVE_HASH_VALUES", "1", 1);
   ::setenv("WISE_SERVE_DEADLINE_MS", "250", 1);
+  ::setenv("WISE_SERVE_SHARDS", "8", 1);
   const ServerOptions o = ServerOptions::from_env();
   EXPECT_EQ(o.workers, 3);
   EXPECT_EQ(o.queue_capacity, 17u);
@@ -390,14 +553,38 @@ TEST(ServerOptions, FromEnvReadsEveryKnob) {
   EXPECT_EQ(o.choice_entries, 9u);
   EXPECT_TRUE(o.fingerprint_values);
   EXPECT_EQ(o.default_deadline.count(), 250);
+  EXPECT_EQ(o.shards, 8);
 
   ::setenv("WISE_SERVE_OVERFLOW", "bogus", 1);
   EXPECT_THROW(ServerOptions::from_env(), Error);
   for (const char* name :
        {"WISE_SERVE_WORKERS", "WISE_SERVE_QUEUE", "WISE_SERVE_OVERFLOW",
         "WISE_SERVE_CACHE_BYTES", "WISE_SERVE_CHOICE_ENTRIES",
-        "WISE_SERVE_HASH_VALUES", "WISE_SERVE_DEADLINE_MS"}) {
+        "WISE_SERVE_HASH_VALUES", "WISE_SERVE_DEADLINE_MS",
+        "WISE_SERVE_SHARDS"}) {
     ::unsetenv(name);
+  }
+}
+
+TEST(ServerOptions, ShardCountResolvesToPowerOfTwo) {
+  const auto predictor = make_predictor(MethodKind::kSellpack);
+  {
+    Server s(predictor, {.workers = 2, .shards = 6});  // rounds down
+    EXPECT_EQ(s.shard_count(), 4u);
+    EXPECT_EQ(s.options().shards, 4);
+  }
+  {
+    Server s(predictor, {.workers = 1, .shards = 0});  // auto caps at workers
+    EXPECT_EQ(s.shard_count(), 1u);
+  }
+  {
+    // Routing stays in range and is fingerprint-deterministic.
+    Server s(predictor, {.workers = 4, .shards = 4});
+    for (std::uint64_t v = 0; v < 64; ++v) {
+      const Fingerprint fp{v * 0x100000001b3ull, 0, false};
+      EXPECT_LT(s.shard_of(fp), s.shard_count());
+      EXPECT_EQ(s.shard_of(fp), s.shard_of(fp));
+    }
   }
 }
 

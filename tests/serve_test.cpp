@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -12,6 +13,7 @@
 #include "serve/fingerprint.hpp"
 #include "spmv/method.hpp"
 #include "test_util.hpp"
+#include "util/lru.hpp"
 
 namespace wise::serve {
 namespace {
@@ -178,6 +180,41 @@ TEST(PreparedCache, EntryBytesAccountsConvertedLayouts) {
   EXPECT_EQ(prepared_entry_bytes(*m, packed),
             m->memory_bytes() + packed.memory_bytes() + packed.plan_bytes())
       << "converted entries pay for source, layout, and plan";
+}
+
+// ------------------------------------------------------------ budget split ----
+
+TEST(SplitBudget, ShardSharesSumToTheConfiguredTotalExactly) {
+  // The serving layer splits WISE_SERVE_CACHE_BYTES across shards with
+  // split_budget: base share + round-robin remainder. The shard sum must
+  // equal the configured budget to the byte — no truncation loss.
+  const std::size_t total = (256u << 20) + 5;  // indivisible by any pow2
+  for (const std::size_t parts : {1u, 2u, 4u, 8u, 16u}) {
+    const auto shares = split_budget(total, parts);
+    ASSERT_EQ(shares.size(), parts);
+    std::size_t sum = 0;
+    for (const std::size_t s : shares) sum += s;
+    EXPECT_EQ(sum, total) << parts << " shards";
+    // Round-robin remainder: shares differ by at most one unit.
+    const auto [lo, hi] = std::minmax_element(shares.begin(), shares.end());
+    EXPECT_LE(*hi - *lo, 1u) << parts << " shards";
+  }
+}
+
+TEST(SplitBudget, RemainderGoesToTheLowestShardsFirst) {
+  const auto shares = split_budget(10, 4);
+  ASSERT_EQ(shares.size(), 4u);
+  EXPECT_EQ(shares[0], 3u);
+  EXPECT_EQ(shares[1], 3u);
+  EXPECT_EQ(shares[2], 2u);
+  EXPECT_EQ(shares[3], 2u);
+}
+
+TEST(SplitBudget, ZeroTotalMeansUnboundedEverywhere) {
+  for (const std::size_t s : split_budget(0, 4)) EXPECT_EQ(s, 0u);
+  // Degenerate part counts still yield a usable vector.
+  ASSERT_EQ(split_budget(7, 0).size(), 1u);
+  EXPECT_EQ(split_budget(7, 0)[0], 7u);
 }
 
 }  // namespace

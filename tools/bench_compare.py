@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Diff two perf_smoke BENCH_<sha>.json reports benchmark-by-benchmark.
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--fail-below RATIO] [--key min|mean]
+
+BASELINE and CURRENT are wise-bench-report JSON files (see obs/report.hpp),
+or directories — a directory is searched for BENCH_*.json and the most
+recently modified one is used. Benchmarks are matched by (group, name);
+for each pair the tool prints the baseline/current timing and the speedup
+(baseline seconds / current seconds, so >1.0 means the current run is
+faster). Benchmarks present on only one side are listed but never fail
+the comparison — reports are expected to grow new stages over time.
+
+By default the exit code is 0 no matter what the numbers say: timing
+ratios across different machines (or noisy CI runners) are informational.
+Pass --fail-below 0.8 to exit 1 when any matched benchmark's speedup
+drops under 0.8x, for use on dedicated hardware where ratios mean
+something. A missing or unreadable baseline is also informational: the
+tool says so and exits 0, so the first run of a new repo (no committed
+snapshot yet) does not fail.
+"""
+
+import argparse
+import glob
+import json
+import os
+import signal
+import sys
+
+# Dying quietly when piped into `head` beats a BrokenPipeError traceback.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def resolve_report(path):
+    """Return the report file behind `path` (a file, or newest in a dir)."""
+    if os.path.isdir(path):
+        candidates = glob.glob(os.path.join(path, "BENCH_*.json"))
+        if not candidates:
+            return None
+        return max(candidates, key=os.path.getmtime)
+    return path if os.path.isfile(path) else None
+
+
+def load_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "wise-bench-report":
+        raise ValueError(f"{path}: not a wise-bench-report")
+    return doc
+
+
+def index_benchmarks(doc):
+    return {(b["group"], b["name"]): b for b in doc.get("benchmarks", [])}
+
+
+# Params worth echoing in the diff when they change between runs —
+# throughput/speedup numbers the CI gates read, not matrix dimensions.
+INTERESTING_PARAMS = (
+    "requests_per_sec",
+    "warm_vs_cold_speedup",
+    "cache_hit_ratio",
+    "speedup_vs_1shard",
+    "plan_vs_static_speedup",
+    "flat_vs_recursive_speedup",
+    "shards",
+)
+
+
+def param_notes(base, cur):
+    notes = []
+    bp, cp = base.get("params", {}), cur.get("params", {})
+    for key in INTERESTING_PARAMS:
+        if key in bp or key in cp:
+            bv, cv = bp.get(key), cp.get(key)
+            if isinstance(bv, float):
+                bv = f"{bv:.3g}"
+            if isinstance(cv, float):
+                cv = f"{cv:.3g}"
+            notes.append(f"{key} {bv}->{cv}" if bv != cv else f"{key} {cv}")
+    return "  [" + ", ".join(notes) + "]" if notes else ""
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline report file or directory")
+    ap.add_argument("current", help="current report file or directory")
+    ap.add_argument(
+        "--fail-below",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 1 if any matched benchmark's speedup falls below RATIO",
+    )
+    ap.add_argument(
+        "--key",
+        choices=("min", "mean"),
+        default="min",
+        help="which timing statistic to compare (default: min)",
+    )
+    args = ap.parse_args()
+
+    base_path = resolve_report(args.baseline)
+    if base_path is None:
+        print(f"bench_compare: no baseline report at {args.baseline!r}; "
+              "nothing to compare (ok)")
+        return 0
+    cur_path = resolve_report(args.current)
+    if cur_path is None:
+        sys.exit(f"bench_compare: no current report at {args.current!r}")
+
+    try:
+        base = load_report(base_path)
+        cur = load_report(cur_path)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"bench_compare: unreadable report ({e}); skipping (ok)")
+        return 0
+
+    print(f"baseline: {base_path} (sha {base.get('git_sha', '?')}, "
+          f"omp {base.get('omp_max_threads', '?')})")
+    print(f"current:  {cur_path} (sha {cur.get('git_sha', '?')}, "
+          f"omp {cur.get('omp_max_threads', '?')})")
+
+    base_ix = index_benchmarks(base)
+    cur_ix = index_benchmarks(cur)
+    matched = sorted(base_ix.keys() & cur_ix.keys())
+    regressions = []
+
+    for key in matched:
+        b, c = base_ix[key], cur_ix[key]
+        bs = b["seconds"][args.key]
+        cs = c["seconds"][args.key]
+        speedup = bs / cs if cs > 0 else float("inf")
+        flag = ""
+        if args.fail_below is not None and speedup < args.fail_below:
+            regressions.append((key, speedup))
+            flag = "  <-- REGRESSION"
+        print(f"  {key[0]}/{key[1]}: {bs:.3e}s -> {cs:.3e}s "
+              f"({speedup:.2f}x){param_notes(b, c)}{flag}")
+
+    for key in sorted(base_ix.keys() - cur_ix.keys()):
+        print(f"  {key[0]}/{key[1]}: removed (baseline only)")
+    for key in sorted(cur_ix.keys() - base_ix.keys()):
+        print(f"  {key[0]}/{key[1]}: new (no baseline)")
+
+    print(f"{len(matched)} matched, {len(base_ix) - len(matched)} removed, "
+          f"{len(cur_ix) - len(matched)} new")
+    if regressions:
+        worst = min(regressions, key=lambda r: r[1])
+        sys.exit(f"bench_compare: {len(regressions)} benchmark(s) below "
+                 f"{args.fail_below}x (worst: {worst[0][0]}/{worst[0][1]} "
+                 f"at {worst[1]:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
