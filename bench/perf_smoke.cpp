@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -536,6 +537,161 @@ int main(int argc, char** argv) {
                   shards, best_rps,
                   base_rps > 0.0 ? best_rps / base_rps : 1.0);
     }
+  }
+
+  // --- Stage 8: warm-hit throughput across live bank hot-swaps -------------
+  // The online-learning loop (learn/online.hpp) republishes the model bank
+  // mid-traffic through serve::Server::publish_bank: the old bank retires
+  // through the epoch domain and both cache tiers clear, so the cost to
+  // in-flight warm traffic is bounded re-preparation, never a stall. Two
+  // identical warm kPrepare passes — one quiescent, one with forced
+  // mid-run swaps — quantify that. The CI validate step gates
+  // swap_vs_noswap_ratio >= 0.9 when the recorded hw_concurrency is >= 2
+  // (on a single core the swapper and the workers fight for the same CPU,
+  // so the ratio is recorded but not gated).
+  std::printf("[perf_smoke] serve hot-swap throughput (forced mid-run swaps)...\n");
+  {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<std::shared_ptr<const CsrMatrix>> mats;
+    std::vector<serve::Fingerprint> fps;
+    for (int i = 0; i < 12; ++i) {  // tiny: re-prepare after a swap is cheap
+      const auto coo = generate_rmat(
+          rmat_class_params(RmatClass::kLowSkew, 256, 4.0),
+          9100 + static_cast<std::uint64_t>(i));
+      mats.push_back(std::make_shared<const CsrMatrix>(CsrMatrix::from_coo(coo)));
+      fps.push_back(serve::fingerprint_matrix(*mats.back()));
+    }
+    const int clients = 4;
+    // Long enough passes that the fixed number of forced swaps amortizes:
+    // each swap costs ~12 re-preparations (the cleared working set), and
+    // the ratio is requests / (requests + swap cost), so short passes
+    // would measure the working-set size instead of the swap path.
+    const int per_client = quick ? 2000 : 5000;
+    const int hot_passes = 3;
+    const int swaps_per_pass = 4;
+    const double total_requests =
+        static_cast<double>(clients) * static_cast<double>(per_client);
+
+    // Runs one measured pass and returns its wall seconds (< 0 on request
+    // failure). When `swap_spacing` > 0 a swapper thread republishes a
+    // cloned bank that many seconds apart while the clients run.
+    const auto run_pass = [&](serve::Server& server, double swap_spacing,
+                              std::int64_t* swaps_done) -> double {
+      std::atomic<bool> done{false};
+      std::thread swapper;
+      if (swap_spacing > 0.0) {
+        swapper = std::thread([&] {
+          const auto spacing = std::chrono::duration<double>(swap_spacing);
+          for (int k = 0; k < swaps_per_pass && !done.load(); ++k) {
+            std::this_thread::sleep_for(spacing);
+            server.publish_bank(std::make_shared<const Wise>(
+                ModelBank(server.predictor()->bank())));
+            if (swaps_done != nullptr) ++*swaps_done;
+          }
+        });
+      }
+      std::atomic<int> failures{0};
+      Timer wall;
+      std::vector<std::thread> threads;
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          std::vector<std::future<serve::Response>> futs;
+          futs.reserve(static_cast<std::size_t>(per_client));
+          for (int r = 0; r < per_client; ++r) {
+            const std::size_t i =
+                static_cast<std::size_t>(c + r) % mats.size();
+            serve::Request req;
+            req.kind = serve::RequestKind::kPrepare;
+            req.matrix = mats[i];
+            req.fingerprint = fps[i];
+            req.id = "hotswap";
+            futs.push_back(server.submit(std::move(req)));
+          }
+          for (auto& f : futs) {
+            if (!f.get().ok) failures.fetch_add(1);
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      const double secs = wall.seconds();
+      done.store(true);
+      if (swapper.joinable()) swapper.join();
+      return failures.load() == 0 ? secs : -1.0;
+    };
+
+    serve::ServerOptions opts;
+    opts.workers = 4;
+    opts.queue_capacity = 0;
+    opts.shards = 4;
+    serve::Server server(predictor, opts);
+    for (std::size_t i = 0; i < mats.size(); ++i) {  // warm every entry
+      serve::Request req;
+      req.kind = serve::RequestKind::kPrepare;
+      req.matrix = mats[i];
+      req.fingerprint = fps[i];
+      req.id = "warm";
+      if (!server.call(req).ok) {
+        std::fprintf(stderr, "[perf_smoke] FAIL: hotswap warm-up\n");
+        return 1;
+      }
+    }
+
+    std::vector<double> noswap_samples;
+    std::vector<double> swap_samples;
+    double best_noswap = 0.0;
+    double best_swap = 0.0;
+    std::int64_t swaps_done = 0;
+    for (int pass = 0; pass < hot_passes; ++pass) {
+      const double secs = run_pass(server, 0.0, nullptr);
+      if (secs < 0.0) {
+        std::fprintf(stderr, "[perf_smoke] FAIL: hotswap no-swap pass\n");
+        return 1;
+      }
+      noswap_samples.push_back(secs / total_requests);
+      best_noswap = std::max(best_noswap, total_requests / secs);
+    }
+    // Space the forced swaps evenly across the measured run so every pass
+    // really swaps mid-traffic instead of before/after it.
+    const double spacing =
+        (total_requests / best_noswap) / (swaps_per_pass + 1);
+    for (int pass = 0; pass < hot_passes; ++pass) {
+      const double secs = run_pass(server, spacing, &swaps_done);
+      if (secs < 0.0) {
+        std::fprintf(stderr, "[perf_smoke] FAIL: hotswap swap pass\n");
+        return 1;
+      }
+      swap_samples.push_back(secs / total_requests);
+      best_swap = std::max(best_swap, total_requests / secs);
+    }
+    if (swaps_done == 0) {
+      std::fprintf(stderr, "[perf_smoke] FAIL: hotswap passes never swapped\n");
+      return 1;
+    }
+    const double ratio = best_noswap > 0.0 ? best_swap / best_noswap : 0.0;
+
+    obs::JsonValue params = obs::JsonValue::object();
+    params.set("clients", static_cast<std::int64_t>(clients));
+    params.set("requests",
+               static_cast<std::int64_t>(clients * per_client));
+    params.set("hw_concurrency", static_cast<std::int64_t>(hw));
+    params.set("swaps", swaps_done);
+    params.set("bank_version",
+               static_cast<std::int64_t>(server.bank_version()));
+    params.set("requests_per_sec_noswap", best_noswap);
+    params.set("requests_per_sec", best_swap);
+    params.set("swap_vs_noswap_ratio", ratio);
+    report.add("serve", "hotswap/noswap",
+               obs::TimingSummary::from_samples(noswap_samples,
+                                                clients * per_client),
+               params);
+    report.add("serve", "hotswap/swap",
+               obs::TimingSummary::from_samples(swap_samples,
+                                                clients * per_client),
+               std::move(params));
+    std::printf(
+        "[perf_smoke] hotswap: %.0f req/s quiescent, %.0f req/s across %d "
+        "swaps (%.2fx)\n",
+        best_noswap, best_swap, static_cast<int>(swaps_done), ratio);
   }
 
   // --- Emit ----------------------------------------------------------------

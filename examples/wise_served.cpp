@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "example_common.hpp"
+#include "learn/online.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "serve/server.hpp"
@@ -75,7 +76,9 @@ int usage() {
                "WISE_SERVE_OVERFLOW,\n"
                "         WISE_SERVE_CACHE_BYTES, WISE_SERVE_CHOICE_ENTRIES,\n"
                "         WISE_SERVE_HASH_VALUES, WISE_SERVE_DEADLINE_MS,\n"
-               "         WISE_SERVE_SHARDS (docs/SERVING.md)\n");
+               "         WISE_SERVE_SHARDS (docs/SERVING.md)\n"
+               "         WISE_LEARN + WISE_LEARN_* for the online-learning "
+               "loop (docs/LEARNING.md)\n");
   return 2;
 }
 
@@ -114,7 +117,7 @@ class MatrixLoader {
 std::string stats_line(serve::Server& server) {
   obs::JsonValue doc = obs::JsonValue::object();
   doc.set("schema", "wise-serve-stats");
-  doc.set("version", 1);
+  doc.set("version", 2);  // v2: adds server.sampled/bank_version + `learn`
   const serve::ServerStats st = server.stats();
   obs::JsonValue sv = obs::JsonValue::object();
   sv.set("accepted", st.accepted);
@@ -125,9 +128,40 @@ std::string stats_line(serve::Server& server) {
   sv.set("degraded", st.degraded);
   sv.set("coalesced", st.coalesced);
   sv.set("prepares", st.prepares);
+  sv.set("sampled", st.sampled);
+  sv.set("bank_version", server.bank_version());
   sv.set("shards", static_cast<std::uint64_t>(server.shard_count()));
   sv.set("queue_depth", static_cast<std::uint64_t>(server.queue_depth()));
   doc.set("server", std::move(sv));
+  if (auto lr = server.learner()) {
+    const learn::LearnStats ls = lr->stats();
+    obs::JsonValue lv = obs::JsonValue::object();
+    lv.set("samples_logged", ls.samples_logged);
+    lv.set("samples_recovered", ls.samples_recovered);
+    lv.set("wal_bytes", ls.wal_bytes);
+    lv.set("wal_corrupt_skipped", ls.wal_corrupt_skipped);
+    lv.set("wal_torn_bytes", ls.wal_torn_bytes);
+    lv.set("wal_errors", ls.wal_errors);
+    lv.set("wal_rotations", ls.wal_rotations);
+    lv.set("mispredict_rate", ls.mispredict_rate);
+    lv.set("window_samples", static_cast<std::uint64_t>(ls.window_samples));
+    lv.set("baseline_mispredict_rate", ls.baseline_mispredict_rate);
+    // Online accuracy drift: how much worse (positive) or better (negative)
+    // the live bank predicts now vs. the moment it was published.
+    lv.set("accuracy_drift",
+           ls.mispredict_rate - ls.baseline_mispredict_rate);
+    lv.set("bank_version", ls.bank_version);
+    lv.set("drift_events", ls.drift_events);
+    lv.set("retrains", ls.retrains);
+    lv.set("retrain_failures", ls.retrain_failures);
+    lv.set("candidates_rejected", ls.candidates_rejected);
+    lv.set("swaps", ls.swaps);
+    lv.set("swap_failures", ls.swap_failures);
+    lv.set("rollbacks", ls.rollbacks);
+    lv.set("last_candidate_accuracy", ls.last_candidate_accuracy);
+    lv.set("last_live_accuracy", ls.last_live_accuracy);
+    doc.set("learn", std::move(lv));
+  }
   const serve::CacheStats cs = server.cache_stats();
   obs::JsonValue cv = obs::JsonValue::object();
   cv.set("choice_hits", cs.choice_hits);
@@ -350,6 +384,18 @@ int main(int argc, char** argv) {
                      ? "block"
                      : "reject",
                  server.options().cache_bytes);
+
+    const auto learn_opts = learn::LearnOptions::from_env();
+    if (learn_opts.enabled) {
+      server.attach_learner(
+          std::make_shared<learn::OnlineLearner>(learn_opts));
+      const auto& lo = server.learner()->options();
+      std::fprintf(stderr,
+                   "[wise_served] online learning on: wal=%s "
+                   "sample_rate=%.2f window=%zu threshold=%.2f\n",
+                   lo.log_path.c_str(), lo.sample_rate, lo.window,
+                   lo.drift_threshold);
+    }
 
     MatrixLoader loader(options.fingerprint_values);
     int rc = 0;

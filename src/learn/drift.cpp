@@ -1,0 +1,51 @@
+#include "learn/drift.hpp"
+
+namespace wise::learn {
+
+DriftDetector::DriftDetector(std::size_t window, std::size_t min_samples,
+                             double threshold)
+    : ring_(window < 1 ? 1 : window),
+      min_samples_(min_samples < 1 ? 1 : min_samples),
+      threshold_(threshold) {}
+
+void DriftDetector::observe(int predicted, int observed) {
+  const Entry incoming{predicted, mispredicted(predicted, observed)};
+  if (filled_ == ring_.size()) {
+    if (ring_[next_].miss) --misses_;
+  } else {
+    ++filled_;
+  }
+  ring_[next_] = incoming;
+  if (incoming.miss) ++misses_;
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+}
+
+double DriftDetector::rate() const {
+  return filled_ == 0 ? 0.0
+                      : static_cast<double>(misses_) /
+                            static_cast<double>(filled_);
+}
+
+double DriftDetector::class_rate(int predicted) const {
+  std::size_t n = 0, miss = 0;
+  for (std::size_t i = 0; i < filled_; ++i) {
+    const Entry& e = ring_[i];
+    if (e.predicted != predicted) continue;
+    ++n;
+    if (e.miss) ++miss;
+  }
+  return n == 0 ? 0.0 : static_cast<double>(miss) / static_cast<double>(n);
+}
+
+bool DriftDetector::drifted() const {
+  return filled_ >= min_samples_ && rate() > threshold_;
+}
+
+void DriftDetector::reset() {
+  next_ = 0;
+  filled_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace wise::learn

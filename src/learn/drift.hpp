@@ -1,0 +1,75 @@
+#pragma once
+// Sliding-window misprediction tracking — the trigger half of the online
+// learning loop (docs/LEARNING.md).
+//
+// Every sampled RUN contributes one (predicted class, observed class) pair.
+// A prediction counts as a MISPREDICTION when it misses the observed class
+// by more than one — the paper's ±1-class tolerance (a one-class miss
+// changes the relative-time estimate by ~10%, within measurement noise;
+// two or more classes means the model is wrong about the matrix, not the
+// clock). The detector keeps the last `window` pairs in a ring buffer and
+// reports drift once the window holds at least `min_samples` observations
+// and the misprediction rate exceeds `threshold`.
+//
+// Per-class rates (indexed by *predicted* class) let the stats surface
+// which region of the model went stale, not just that something did.
+//
+// Not internally synchronized: the OnlineLearner serializes access.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wise::learn {
+
+class DriftDetector {
+ public:
+  DriftDetector(std::size_t window, std::size_t min_samples,
+                double threshold);
+
+  /// The ±1-class tolerance shared by drift tracking and candidate
+  /// validation.
+  static bool mispredicted(int predicted, int observed) {
+    const int d = predicted - observed;
+    return d > 1 || d < -1;
+  }
+
+  void observe(int predicted, int observed);
+
+  /// Rate over the current window; 0 while the window is empty.
+  double rate() const;
+
+  /// Misprediction rate among window entries with this predicted class.
+  double class_rate(int predicted) const;
+
+  /// True once the window holds >= min_samples and rate() > threshold.
+  bool drifted() const;
+
+  /// Entries currently in the window.
+  std::size_t size() const { return filled_; }
+  /// Observations ever fed in (monotonic, survives reset()).
+  std::uint64_t total() const { return total_; }
+
+  /// Empties the window (after a bank swap: the old bank's mispredictions
+  /// say nothing about the new bank).
+  void reset();
+
+  double threshold() const { return threshold_; }
+  std::size_t min_samples() const { return min_samples_; }
+
+ private:
+  struct Entry {
+    int predicted = 0;
+    bool miss = false;
+  };
+
+  std::vector<Entry> ring_;
+  std::size_t next_ = 0;
+  std::size_t filled_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t min_samples_;
+  double threshold_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wise::learn

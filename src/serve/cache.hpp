@@ -68,6 +68,11 @@ class ChoiceCache {
   std::optional<WiseChoice> get(const Fingerprint& fp);
   void put(const Fingerprint& fp, const WiseChoice& choice);
 
+  /// Drops every entry (epoch-safe against concurrent get()). Called when
+  /// a new model bank is published: cached choices embed the old bank's
+  /// configurations.
+  void clear() { map_.clear(); }
+
   std::uint64_t hits() const {
     return hits_.load(std::memory_order_relaxed);
   }
@@ -92,6 +97,11 @@ struct PreparedEntry {
   PreparedMatrix prepared;
   WiseChoice choice;
   std::size_t bytes = 0;
+  /// Version of the model bank whose choice produced this entry — lets the
+  /// online-learning loop attribute an observed RUN to the bank that
+  /// predicted it (a swap mid-flight must not poison the new bank's
+  /// guardrail window).
+  std::uint64_t bank_version = 0;
 };
 
 /// Actual footprint an entry is charged: the owned CSR plus, for converted
@@ -119,6 +129,11 @@ class PreparedCache {
   /// already be set (prepared_entry_bytes). Evicted entries only die once
   /// every outstanding shared_ptr drops.
   void put(const Fingerprint& fp, std::shared_ptr<PreparedEntry> entry);
+
+  /// Drops every entry (epoch-safe against concurrent get()). Entries
+  /// being RUN right now stay alive through their shared_ptr — a bank swap
+  /// never interrupts an in-flight request.
+  void clear() { map_.clear(); }
 
   std::uint64_t hits() const {
     return hits_.load(std::memory_order_relaxed);

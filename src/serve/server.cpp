@@ -13,6 +13,7 @@
 #include "util/lru.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
+#include "wise/speedup_class.hpp"
 
 namespace wise::serve {
 
@@ -124,10 +125,12 @@ ServerOptions ServerOptions::from_env() {
 }
 
 Server::Server(std::shared_ptr<const Wise> predictor, ServerOptions options)
-    : wise_(std::move(predictor)), options_(options) {
-  if (!wise_) {
+    : options_(options) {
+  if (!predictor) {
     throw std::invalid_argument("serve::Server: null predictor");
   }
+  bank_.store(new BankSlot{std::move(predictor), 1},
+              std::memory_order_seq_cst);
   serve_metric_ids();  // intern before the first request can record
 
   const std::size_t n = static_cast<std::size_t>(resolve_shards(options_));
@@ -163,7 +166,88 @@ Server::Server(std::shared_ptr<const Wise> predictor, ServerOptions options)
   metrics.set_gauge("serve.shards", static_cast<double>(n));
 }
 
-Server::~Server() { shutdown(true); }
+Server::~Server() {
+  // Learners publish through this server and sample into it from worker
+  // threads; stop them (joining their retrain threads) before the pools and
+  // the bank slots go away.
+  for (auto& l : learners_) {
+    if (l) l->stop();
+  }
+  learner_raw_.store(nullptr, std::memory_order_release);
+  shutdown(true);
+  // Pools are joined: no reader can hold a pin into our slots anymore.
+  delete bank_.load(std::memory_order_relaxed);
+  for (auto& [slot, epoch] : retired_banks_) delete slot;
+  retired_banks_.clear();
+}
+
+Server::BankSlot Server::acquire_bank() const {
+  // Pin → load → copy: the copy of the shared_ptr happens while the pin
+  // guarantees the slot is not freed; after that the shared_ptr itself
+  // keeps the Wise alive regardless of slot reclamation.
+  EpochDomain::Pin pin(EpochDomain::global());
+  return *bank_.load(std::memory_order_seq_cst);
+}
+
+std::uint64_t Server::publish_bank(std::shared_ptr<const Wise> wise) {
+  if (!wise) {
+    throw std::invalid_argument("serve::Server::publish_bank: null bank");
+  }
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  BankSlot* old = bank_.load(std::memory_order_seq_cst);
+  auto* next = new BankSlot{std::move(wise), old->version + 1};
+  bank_.store(next, std::memory_order_seq_cst);
+  retired_banks_.emplace_back(old, EpochDomain::global().retire_epoch());
+
+  // Reclaim every retired slot no pinned reader can still observe. Readers
+  // that copied the shared_ptr before the swap keep serving the old bank —
+  // only the slot shell is freed here.
+  const std::uint64_t safe = EpochDomain::global().min_active();
+  std::erase_if(retired_banks_, [safe](const auto& r) {
+    if (safe < r.second) return false;
+    delete r.first;
+    return true;
+  });
+
+  // Cached choices and prepared entries embed the old bank's configurations;
+  // drop them so post-swap traffic re-infers. In-flight RUNs keep their
+  // entries alive through shared_ptr — nothing is interrupted.
+  for (auto& shard : shards_) {
+    shard->choice_cache.clear();
+    shard->prepared_cache.clear();
+  }
+  obs::MetricsRegistry::global().set_gauge(
+      "serve.bank.version", static_cast<double>(next->version));
+  return next->version;
+}
+
+std::uint64_t Server::bank_version() const { return acquire_bank().version; }
+
+std::shared_ptr<const Wise> Server::predictor() const {
+  return acquire_bank().wise;
+}
+
+void Server::attach_learner(std::shared_ptr<learn::OnlineLearner> learner) {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  if (!learner) {
+    learner_raw_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  BankSlot* slot = bank_.load(std::memory_order_seq_cst);
+  learner->bind(
+      [this](std::shared_ptr<const Wise> candidate) {
+        return publish_bank(std::move(candidate));
+      },
+      slot->wise, slot->version);
+  learner->start();
+  learners_.push_back(std::move(learner));
+  learner_raw_.store(learners_.back().get(), std::memory_order_release);
+}
+
+std::shared_ptr<learn::OnlineLearner> Server::learner() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return learners_.empty() ? nullptr : learners_.back();
+}
 
 std::size_t Server::shard_of(const Fingerprint& fp) const {
   // splitmix64-style finalizer over the fingerprint hash: home shards stay
@@ -259,6 +343,7 @@ ServerStats Server::stats() const {
     s.degraded += c.degraded.load(std::memory_order_relaxed);
     s.coalesced += c.coalesced.load(std::memory_order_relaxed);
     s.prepares += c.prepares.load(std::memory_order_relaxed);
+    s.sampled += c.sampled.load(std::memory_order_relaxed);
   }
   // Gauges refresh here, off the request path (stats() is the poll point).
   obs::MetricsRegistry::global().set_gauge(
@@ -286,8 +371,8 @@ CacheStats Server::cache_stats() const {
   return cs;
 }
 
-MethodConfig Server::cheapest_csr_config() const {
-  const auto& configs = wise_->bank().configs();
+MethodConfig Server::cheapest_csr_config(const Wise& wise) {
+  const auto& configs = wise.bank().configs();
   const MethodConfig* best = nullptr;
   for (const MethodConfig& cfg : configs) {
     if (cfg.kind != MethodKind::kCsr) continue;
@@ -304,13 +389,14 @@ std::shared_ptr<PreparedEntry> Server::prepare_entry(Shard& home,
                                                      WiseChoice& choice) {
   home.counters.prepares.fetch_add(1, std::memory_order_relaxed);
   const std::size_t shard_budget = home.prepared_cache.budget();
-  PreparedMatrix pm = wise_->prepare(*req.matrix, choice);
+  const BankSlot slot = acquire_bank();
+  PreparedMatrix pm = slot.wise->prepare(*req.matrix, choice);
   if (shard_budget > 0 && choice.config.kind != MethodKind::kCsr &&
       prepared_entry_bytes(*req.matrix, pm) > shard_budget) {
     // A layout that alone overflows its shard's prepared-cache budget would
     // evict the shard's whole working set and still not be cacheable: serve
     // it (and cache it) as the cheapest CSR variant instead.
-    choice.config = cheapest_csr_config();
+    choice.config = cheapest_csr_config(*slot.wise);
     choice.predicted_class = 0;
     choice.fallback_reason =
         "serve: converted layout exceeds WISE_SERVE_CACHE_BYTES budget of " +
@@ -325,6 +411,7 @@ std::shared_ptr<PreparedEntry> Server::prepare_entry(Shard& home,
   entry->choice = choice;
   entry->bytes = prepared_entry_bytes(*req.matrix, pm);
   entry->prepared = std::move(pm);
+  entry->bank_version = slot.version;
   home.choice_cache.put(fp, choice);
   home.prepared_cache.put(fp, entry);
   return entry;
@@ -386,7 +473,7 @@ std::shared_ptr<PreparedEntry> Server::prepare_or_join(Shard& home,
   }
 }
 
-Response Server::run_prepared(const Request& req, Response rsp,
+Response Server::run_prepared(Shard& home, const Request& req, Response rsp,
                               const std::shared_ptr<PreparedEntry>& entry) {
   const CsrMatrix& m = *entry->matrix;
   // The input vector is a pure function of the fingerprint, so a RUN served
@@ -410,7 +497,53 @@ Response Server::run_prepared(const Request& req, Response rsp,
   double sum = 0;
   for (const value_t v : y) sum += static_cast<double>(v);
   rsp.checksum = sum;
+
+  // Online-learning tap: a sampled RUN additionally times the CSR baseline
+  // on the same input, which turns (predicted class, measured relative
+  // time) into a labeled observation. Gated by one atomic load when no
+  // learner is attached.
+  auto* lr = learner_raw_.load(std::memory_order_acquire);
+  if (lr != nullptr && lr->should_sample()) {
+    observe_run(home, req, rsp, entry, {x.data(), x.size()});
+  }
   return rsp;
+}
+
+void Server::observe_run(Shard& home, const Request& req, const Response& rsp,
+                         const std::shared_ptr<PreparedEntry>& entry,
+                         std::span<const value_t> x) {
+  auto* lr = learner_raw_.load(std::memory_order_acquire);
+  if (lr == nullptr) return;
+  // Fallback choices carry no feature vector (pipeline degraded before
+  // inference) — there is nothing to retrain on.
+  if (!entry->choice.features) return;
+  try {
+    const CsrMatrix& m = *entry->matrix;
+    // Label against the same baseline the training pipeline uses: the
+    // library-default CSR configuration, on the same input vector and
+    // iteration count as the request itself.
+    PreparedMatrix baseline = PreparedMatrix::prepare(m, MethodConfig{});
+    aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()));
+    static thread_local SrvWorkspace baseline_ws;
+    const int iters = std::max(1, req.iters);
+    Timer t;
+    for (int i = 0; i < iters; ++i) baseline.run(x, y, baseline_ws);
+    const double baseline_per_iter = t.seconds() / iters;
+    if (baseline_per_iter <= 0.0) return;
+
+    learn::Sample s;
+    s.fingerprint = rsp.fingerprint.structure;
+    s.bank_version = entry->bank_version;
+    s.predicted_class = entry->choice.predicted_class;
+    s.rel_time = rsp.spmv_seconds / baseline_per_iter;
+    s.observed_class = classify_relative_time(s.rel_time);
+    s.config_name = entry->choice.config.name();
+    s.features = *entry->choice.features;
+    lr->observe(s);
+    home.counters.sampled.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    // Sampling rides on a successful request; it must never fail one.
+  }
 }
 
 Response Server::process(Shard& exec, const Request& req,
@@ -462,8 +595,14 @@ Response Server::process(Shard& exec, const Request& req,
       if (auto cached = home.choice_cache.get(rsp.fingerprint)) {
         rsp.choice = *cached;
         rsp.choice_cache_hit = true;
+        // Caches are cleared on publish, so a cached choice belongs to the
+        // current bank (modulo a benign swap race: the entry was valid when
+        // cached and the version is observability, not a correctness key).
+        rsp.bank_version = bank_version();
       } else {
-        rsp.choice = wise_->choose(*req.matrix);
+        const BankSlot slot = acquire_bank();
+        rsp.choice = slot.wise->choose(*req.matrix);
+        rsp.bank_version = slot.version;
         home.choice_cache.put(rsp.fingerprint, rsp.choice);
       }
     } else {
@@ -475,8 +614,9 @@ Response Server::process(Shard& exec, const Request& req,
       } else {
         entry = prepare_or_join(home, req, rsp.fingerprint, rsp);
       }
+      rsp.bank_version = entry->bank_version;
       if (req.kind == RequestKind::kRun) {
-        rsp = run_prepared(req, std::move(rsp), entry);
+        rsp = run_prepared(home, req, std::move(rsp), entry);
       }
     }
     rsp.config_name = rsp.choice.config.name();

@@ -61,12 +61,16 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "learn/online.hpp"
 #include "serve/cache.hpp"
 #include "serve/fingerprint.hpp"
+#include "util/epoch.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 #include "wise/pipeline.hpp"
@@ -140,6 +144,9 @@ struct Response {
   double service_seconds = 0;  ///< worker time (fingerprint → done)
   double spmv_seconds = 0;     ///< kRun: mean seconds per iteration
   double checksum = 0;         ///< kRun: sum of the final y (determinism)
+  /// Version of the model bank that served this request (hot-swap
+  /// observability; the initial bank is version 1).
+  std::uint64_t bank_version = 0;
 };
 
 /// Monotonic server counters (separate from the obs registry so STATS works
@@ -153,6 +160,7 @@ struct ServerStats {
   std::uint64_t degraded = 0;  ///< serve-level CSR demotions
   std::uint64_t coalesced = 0;  ///< requests that joined an in-flight prepare
   std::uint64_t prepares = 0;   ///< layout conversions actually executed
+  std::uint64_t sampled = 0;    ///< RUNs observed by the online learner
 };
 
 class Server {
@@ -191,6 +199,29 @@ class Server {
   /// can construct colliding / non-colliding workloads deliberately.
   std::size_t shard_of(const Fingerprint& fp) const;
 
+  /// Atomically replaces the serving model bank (the online-learning
+  /// hot-swap). The swap is an atomic pointer exchange under util/epoch
+  /// reclamation: requests already holding the old bank (or a cached entry
+  /// built from it) finish on it — zero downtime, no lock on the warm
+  /// path. Both cache tiers of every shard are cleared (their entries
+  /// embed the old bank's choices); in-flight RUNs keep their entries
+  /// alive through shared_ptr. Returns the new bank's version (the
+  /// constructor-installed bank is version 1). Thread-safe.
+  std::uint64_t publish_bank(std::shared_ptr<const Wise> wise);
+
+  /// Version of the bank serving right now.
+  std::uint64_t bank_version() const;
+
+  /// The bank serving right now (epoch-protected snapshot).
+  std::shared_ptr<const Wise> predictor() const;
+
+  /// Attaches an online learner: binds it to publish_bank and the current
+  /// bank, start()s it, and begins sampling RUN completions into it at the
+  /// learner's sample rate (each sampled RUN additionally times the CSR
+  /// baseline to label the observation). Pass nullptr to detach.
+  void attach_learner(std::shared_ptr<learn::OnlineLearner> learner);
+  std::shared_ptr<learn::OnlineLearner> learner() const;
+
  private:
   /// Hot-path counters, one cache-line-padded block per shard. Relaxed
   /// atomics: each event is a single uncontended fetch_add; cross-shard
@@ -204,6 +235,7 @@ class Server {
     std::atomic<std::uint64_t> degraded{0};
     std::atomic<std::uint64_t> coalesced{0};
     std::atomic<std::uint64_t> prepares{0};
+    std::atomic<std::uint64_t> sampled{0};
   };
 
   /// One slice of the serving state. The inflight table holds prepares
@@ -228,11 +260,30 @@ class Server {
     ShardCounters counters;
   };
 
+  /// The serving bank plus its version, swapped as one unit so a reader
+  /// never pairs a new bank with an old version number.
+  struct BankSlot {
+    std::shared_ptr<const Wise> wise;
+    std::uint64_t version = 1;
+  };
+
+  /// Epoch-protected snapshot of the current slot: pin, load, copy the
+  /// shared_ptr, unpin. Lock-free; the shared_ptr keeps the Wise alive
+  /// after the pin drops even if the slot itself is retired.
+  BankSlot acquire_bank() const;
+
   Response process(Shard& exec, const Request& req,
                    std::chrono::steady_clock::time_point enqueued,
                    std::chrono::steady_clock::time_point deadline);
-  Response run_prepared(const Request& req, Response rsp,
+  Response run_prepared(Shard& home, const Request& req, Response rsp,
                         const std::shared_ptr<PreparedEntry>& entry);
+  /// Labels a sampled RUN: times the CSR baseline on the same input,
+  /// classifies the measured relative time against the request's own
+  /// timing, and feeds the learner. Any failure is swallowed — sampling
+  /// never fails a request.
+  void observe_run(Shard& home, const Request& req, const Response& rsp,
+                   const std::shared_ptr<PreparedEntry>& entry,
+                   std::span<const value_t> x);
   /// Cache-miss path: join the shard's in-flight prepare for `fp` or become
   /// its leader. Exactly one conversion runs per fingerprint no matter how
   /// many requests race. Marks rsp.coalesced on joiners.
@@ -243,12 +294,26 @@ class Server {
   std::shared_ptr<PreparedEntry> prepare_entry(Shard& home, const Request& req,
                                                const Fingerprint& fp,
                                                WiseChoice& choice);
-  MethodConfig cheapest_csr_config() const;
+  static MethodConfig cheapest_csr_config(const Wise& wise);
 
-  std::shared_ptr<const Wise> wise_;
+  /// Current bank slot; readers go through acquire_bank(). Swapped-out
+  /// slots are retired to the global epoch domain and reclaimed on later
+  /// publishes (or at destruction, after the pools are joined).
+  std::atomic<BankSlot*> bank_{nullptr};
+  mutable std::mutex publish_mutex_;  ///< serializes publish_bank()
+  std::vector<std::pair<BankSlot*, std::uint64_t>>
+      retired_banks_;  ///< guarded by publish_mutex_; {slot, retire epoch}
+
   ServerOptions options_;  ///< with shards resolved to the actual count
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::size_t> rr_{0};  ///< router for unfingerprinted requests
+
+  /// Learner plumbing: the hot path gates on one relaxed-ish atomic load;
+  /// ownership lives in the vector (learners attached earlier are kept
+  /// alive until destruction so an in-flight observe() can never race a
+  /// re-attach). Guarded by publish_mutex_ except the atomic.
+  std::atomic<learn::OnlineLearner*> learner_raw_{nullptr};
+  std::vector<std::shared_ptr<learn::OnlineLearner>> learners_;
 
   std::atomic<bool> accepting_{true};
   std::atomic<bool> cancelled_{false};

@@ -110,6 +110,23 @@ class EpochLruMap {
     return evicted;
   }
 
+  /// Drops every entry by publishing an empty table; the old table is
+  /// retired to the epoch domain like any other write, so concurrent get()
+  /// calls stay safe (they see either the old table or the empty one).
+  /// Used by the serving layer to invalidate a shard's caches when a new
+  /// model bank is published — cached choices embed the old bank's configs.
+  void clear() {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    Table* old = table_.load(std::memory_order_relaxed);
+    std::vector<Item> none;
+    Table* next = build_table(none);
+    table_.store(next, std::memory_order_seq_cst);
+    size_.store(0, std::memory_order_relaxed);
+    cost_.store(0, std::memory_order_relaxed);
+    retired_.push_back({old, domain_->retire_epoch()});
+    reclaim_locked();
+  }
+
   std::size_t size() const { return size_.load(std::memory_order_relaxed); }
   std::size_t total_cost() const {
     return cost_.load(std::memory_order_relaxed);

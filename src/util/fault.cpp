@@ -1,6 +1,8 @@
 #include "util/fault.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+#include <set>
 
 #include "util/env.hpp"
 
@@ -24,6 +26,7 @@ std::uint64_t stage_hash(std::string_view s) {
 FaultInjector FaultInjector::from_env() {
   FaultInjector inj(static_cast<std::uint64_t>(env_int("WISE_FAULT_SEED", 0)));
   const std::string spec = env_string("WISE_FAULT_STAGES", "");
+  std::set<std::string, std::less<>> seen;
   std::size_t pos = 0;
   while (pos < spec.size()) {
     std::size_t end = spec.find(',', pos);
@@ -46,6 +49,16 @@ FaultInjector FaultInjector::from_env() {
     if (item.empty()) {
       throw Error(ErrorCategory::kValidation,
                   "WISE_FAULT_STAGES: empty stage name in '" + spec + "'");
+    }
+    // A repeated stage name is almost always a typo'd rate edit. arm() is
+    // insert_or_assign (last wins), which would silently drop the earlier
+    // rate — keep the FIRST armed rate and warn instead.
+    if (!seen.insert(item).second) {
+      std::fprintf(stderr,
+                   "FaultInjector: WISE_FAULT_STAGES names stage '%s' more "
+                   "than once; keeping the first rate\n",
+                   item.c_str());
+      continue;
     }
     inj.arm(item, rate);
   }

@@ -45,6 +45,12 @@ inline constexpr const char* kInference = "inference";
 inline constexpr const char* kConversion = "conversion";
 inline constexpr const char* kModelBank = "model_bank";
 inline constexpr const char* kServe = "serve";
+// Online-learning stages (src/learn/): every one degrades to continued
+// serving on the current bank — a WAL write error, a retrain exception, or
+// a failed publish is counted in LearnStats, never fatal.
+inline constexpr const char* kSampleLog = "sample_log";
+inline constexpr const char* kRetrain = "retrain";
+inline constexpr const char* kSwap = "swap";
 }  // namespace stage
 
 class FaultInjector {

@@ -88,6 +88,28 @@ void ModelBank::train(const std::vector<MethodConfig>& configs,
   flat_ = FlatTreeEnsemble::build(trees_);
 }
 
+ModelBank ModelBank::assemble(std::vector<MethodConfig> configs,
+                              std::vector<DecisionTree> trees) {
+  if (configs.empty() || configs.size() != trees.size()) {
+    throw std::invalid_argument(
+        "ModelBank::assemble: #configs != #trees or empty");
+  }
+  ModelBank bank;
+  bank.configs_ = std::move(configs);
+  bank.trees_ = std::move(trees);
+  // build() rejects unfitted trees, so a half-initialized bank cannot leak.
+  bank.flat_ = FlatTreeEnsemble::build(bank.trees_);
+  return bank;
+}
+
+int ModelBank::predict_class(std::size_t config_index,
+                             std::span<const double> features) const {
+  if (config_index >= trees_.size()) {
+    throw std::out_of_range("ModelBank::predict_class: bad config index");
+  }
+  return flat_.predict_one(static_cast<int>(config_index), features);
+}
+
 std::vector<int> ModelBank::predict_classes(
     std::span<const double> features) const {
   if (!trained()) {

@@ -43,6 +43,20 @@ class ModelBank {
              const std::vector<std::vector<double>>& rel_times,
              const TreeParams& params = {});
 
+  /// Builds a bank from already-fitted trees, one per configuration — the
+  /// online-learning retrainer's path (src/learn/): it refits only the
+  /// trees with enough fresh samples and carries the live bank's trees for
+  /// the rest, then reassembles here (including the flat-tree recompile).
+  /// Throws std::invalid_argument on shape mismatch, emptiness, or an
+  /// unfitted tree.
+  static ModelBank assemble(std::vector<MethodConfig> configs,
+                            std::vector<DecisionTree> trees);
+
+  /// Predicted speedup class of a single configuration (holdout validation
+  /// and spot checks; the serving path uses predict_classes_into).
+  int predict_class(std::size_t config_index,
+                    std::span<const double> features) const;
+
   /// Predicted speedup class per configuration, in configs() order.
   /// Served from the flattened ensemble: all trees are evaluated in one
   /// lockstep SoA sweep (ml/flat_tree.hpp), bit-identical to walking each

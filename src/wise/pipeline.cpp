@@ -113,6 +113,8 @@ WiseChoice Wise::choose(const CsrMatrix& m) const {
     return choice;
   }
   choice.inference_seconds = t.seconds();
+  choice.features = std::make_shared<const std::vector<double>>(
+      std::move(features.values));
   return choice;
 }
 

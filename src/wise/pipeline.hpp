@@ -33,8 +33,10 @@
 // concurrency-safe (see executor.hpp) — each caller runs its own.
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "features/extractor.hpp"
 #include "spmv/executor.hpp"
@@ -54,6 +56,14 @@ struct WiseChoice {
   /// stage is one of parse, feature, inference, conversion (see
   /// util/fault.hpp) and config has been demoted to the best CSR variant.
   std::string fallback_reason;
+
+  /// The feature vector inference ran on, kept for the online-learning
+  /// loop (src/learn/): a served RUN of this choice is a free labeled
+  /// sample, and re-extracting features would cost the O(nnz) sweep the
+  /// cache exists to avoid. Null on the fallback paths (nothing was
+  /// predicted, so there is nothing to learn from). Shared, not copied:
+  /// the vector rides along through both serve cache tiers.
+  std::shared_ptr<const std::vector<double>> features;
 
   bool fell_back() const { return !fallback_reason.empty(); }
 };

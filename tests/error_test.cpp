@@ -158,5 +158,22 @@ TEST(FaultInjector, FromEnvDisarmedWhenUnset) {
   EXPECT_FALSE(FaultInjector::from_env().armed());
 }
 
+TEST(FaultInjector, FromEnvWarnsOnDuplicateStageAndKeepsTheFirstRate) {
+  // The same stage twice: the first rate (0.0 — armed but never firing)
+  // wins; the duplicate (implicit rate 1.0) is dropped with a warning
+  // instead of silently overriding it.
+  ::setenv("WISE_FAULT_STAGES", "parse:0.0,parse", 1);
+  FaultInjector fi = FaultInjector::from_env();
+  ::unsetenv("WISE_FAULT_STAGES");
+  EXPECT_FALSE(fi.should_fail(stage::kParse))
+      << "the duplicate's rate-1.0 entry must not replace the first";
+
+  // Order flipped: the firing rate is kept, the rate-0 duplicate dropped.
+  ::setenv("WISE_FAULT_STAGES", "parse,parse:0.0", 1);
+  FaultInjector fi2 = FaultInjector::from_env();
+  ::unsetenv("WISE_FAULT_STAGES");
+  EXPECT_TRUE(fi2.should_fail(stage::kParse));
+}
+
 }  // namespace
 }  // namespace wise

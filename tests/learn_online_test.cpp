@@ -1,0 +1,505 @@
+// Tests for the online learning loop (learn/online.hpp) and its serving
+// integration (serve/server.hpp): drift-triggered retrain + validated
+// hot-swap, the rollback guardrail, fault-stage degradation, WAL recovery
+// into the learner, and bit-stable predictions across concurrent bank
+// swaps.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "features/extractor.hpp"
+#include "learn/online.hpp"
+#include "serve/server.hpp"
+#include "spmv/method.hpp"
+#include "test_util.hpp"
+#include "util/fault.hpp"
+#include "util/prng.hpp"
+#include "wise/model_bank.hpp"
+
+namespace wise::learn {
+namespace {
+
+namespace fs = std::filesystem;
+using wise::testing::random_csr;
+
+/// Bank over the full registry with constant per-config relative times:
+/// `winner` trains at `winner_rel`, everything else at `other_rel`. Each
+/// tree is a single leaf, so predictions are the same for any feature
+/// vector — the drift/rollback choreography becomes deterministic.
+ModelBank make_bank(std::size_t winner, double winner_rel, double other_rel) {
+  const auto configs = all_method_configs();
+  std::vector<std::vector<double>> features;
+  std::vector<std::vector<double>> rel_times;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 12; ++i) {
+    std::vector<double> f(feature_count());
+    for (auto& v : f) v = rng.next_double() * 100.0;
+    features.push_back(std::move(f));
+    std::vector<double> rel(configs.size(), other_rel);
+    rel[winner] = winner_rel;
+    rel_times.push_back(std::move(rel));
+  }
+  ModelBank bank;
+  bank.train(configs, features, rel_times, {.max_depth = 3});
+  return bank;
+}
+
+std::size_t first_config_of_kind(MethodKind kind) {
+  const auto configs = all_method_configs();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i].kind == kind) return i;
+  }
+  ADD_FAILURE() << "registry lacks the requested method kind";
+  return 0;
+}
+
+std::string fresh_log_path(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / ("wise_online_" + name);
+  fs::remove(p);
+  return p.string();
+}
+
+LearnOptions fast_opts(const std::string& log_name) {
+  LearnOptions o;
+  o.enabled = true;
+  o.log_path = fresh_log_path(log_name);
+  o.sample_rate = 1.0;
+  o.window = 64;
+  o.min_samples = 8;
+  o.drift_threshold = 0.5;
+  o.min_config_samples = 4;
+  o.holdout = 0.25;
+  o.swap_margin = 0.02;
+  o.guard_min_samples = 4;
+  o.rollback_margin = 0.3;
+  o.tree_params = {.max_depth = 3};
+  return o;
+}
+
+/// Synthetic labeled observation against config `ci` of the registry.
+Sample synthetic_sample(std::size_t ci, std::uint64_t bank_version,
+                        int predicted, int observed, std::uint64_t seed) {
+  Sample s;
+  s.fingerprint = 0xfeed0000u + seed;
+  s.bank_version = bank_version;
+  s.predicted_class = predicted;
+  s.observed_class = observed;
+  s.rel_time = 1.0;
+  s.config_name = all_method_configs()[ci].name();
+  Xoshiro256 rng(seed + 1);
+  s.features.resize(feature_names().size());
+  for (auto& v : s.features) v = rng.next_double() * 50.0;
+  return s;
+}
+
+bool wait_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds timeout =
+                    std::chrono::milliseconds(15'000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+std::shared_ptr<const CsrMatrix> shared_matrix(index_t n, std::uint64_t seed) {
+  return std::make_shared<const CsrMatrix>(random_csr(n, n, 6.0, seed));
+}
+
+serve::Request run_request(std::shared_ptr<const CsrMatrix> m, std::string id,
+                           int iters = 10) {
+  serve::Request req;
+  req.kind = serve::RequestKind::kRun;
+  req.matrix = std::move(m);
+  req.id = std::move(id);
+  req.iters = iters;
+  return req;
+}
+
+// -------------------------------------------------- standalone learner ----
+
+TEST(OnlineLearner, DriftTriggersValidatedRetrainAndSwap) {
+  const std::size_t winner = first_config_of_kind(MethodKind::kCsr);
+  // The live bank predicts class 6 for the winner; reality (the samples)
+  // says class 1 — every observation is a ±1-tolerance misprediction.
+  auto live = std::make_shared<const Wise>(make_bank(winner, 0.5, 1.0));
+
+  OnlineLearner learner(fast_opts("drift_swap.wal"));
+  std::mutex pub_mutex;
+  std::vector<std::shared_ptr<const Wise>> published;
+  std::uint64_t next_version = 2;
+  learner.bind(
+      [&](std::shared_ptr<const Wise> w) {
+        std::lock_guard<std::mutex> g(pub_mutex);
+        published.push_back(std::move(w));
+        return next_version++;
+      },
+      live, 1);
+  learner.start();
+
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    learner.observe(synthetic_sample(winner, 1, 6, 1, i));
+  }
+  ASSERT_TRUE(wait_until([&] { return learner.stats().swaps >= 1; }))
+      << "drift must trigger a retrain that validates and swaps";
+
+  const LearnStats ls = learner.stats();
+  EXPECT_GE(ls.drift_events, 1u);
+  EXPECT_GE(ls.retrains, 1u);
+  EXPECT_EQ(ls.swaps, 1u);
+  EXPECT_EQ(ls.bank_version, 2u);
+  EXPECT_EQ(ls.rollbacks, 0u);
+  EXPECT_GT(ls.last_candidate_accuracy, ls.last_live_accuracy)
+      << "only a candidate beating the live bank may publish";
+  EXPECT_GT(ls.samples_logged, 0u);
+
+  // The published candidate actually learned the observed class.
+  std::shared_ptr<const Wise> cand;
+  {
+    std::lock_guard<std::mutex> g(pub_mutex);
+    ASSERT_EQ(published.size(), 1u);
+    cand = published.front();
+  }
+  const Sample probe = synthetic_sample(winner, 2, 0, 0, 999);
+  const int relearned = cand->bank().predict_class(winner, probe.features);
+  EXPECT_FALSE(DriftDetector::mispredicted(relearned, 1))
+      << "refit tree predicts " << relearned << ", expected ~1";
+
+  // Healthy post-swap traffic resolves the guardrail without a rollback.
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    learner.observe(synthetic_sample(winner, 2, relearned, relearned,
+                                     100 + i));
+  }
+  learner.stop();
+  EXPECT_EQ(learner.stats().rollbacks, 0u);
+  fs::remove(learner.options().log_path);
+}
+
+TEST(OnlineLearner, RetrainFaultDegradesToContinuedServing) {
+  LearnOptions opts = fast_opts("retrain_fault.wal");
+  opts.min_samples = 2;
+  opts.drift_threshold = 2.0;  // unreachable: only poke() retrains
+  const std::size_t winner = first_config_of_kind(MethodKind::kCsr);
+  auto live = std::make_shared<const Wise>(make_bank(winner, 0.5, 1.0));
+
+  OnlineLearner learner(opts);
+  std::atomic<int> publishes{0};
+  learner.bind(
+      [&](std::shared_ptr<const Wise>) {
+        ++publishes;
+        return std::uint64_t{2};
+      },
+      live, 1);
+  learner.start();
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    learner.observe(synthetic_sample(winner, 1, 6, 1, i));
+  }
+
+  FaultInjector::global().arm(stage::kRetrain, 1.0);
+  learner.poke();
+  ASSERT_TRUE(
+      wait_until([&] { return learner.stats().retrain_failures >= 1; }));
+  FaultInjector::global().disarm(stage::kRetrain);
+
+  const LearnStats ls = learner.stats();
+  EXPECT_GE(ls.retrains, 1u);
+  EXPECT_EQ(ls.swaps, 0u);
+  EXPECT_EQ(publishes.load(), 0);
+  EXPECT_EQ(ls.bank_version, 1u) << "a failed retrain must not swap";
+
+  // The learner is still alive: with enough samples to survive the
+  // holdout split (min_config_samples must hold on the TRAIN slice), a
+  // healthy poke retrains and swaps.
+  for (std::uint64_t i = 4; i < 8; ++i) {
+    learner.observe(synthetic_sample(winner, 1, 6, 1, i));
+  }
+  learner.poke();
+  EXPECT_TRUE(wait_until([&] { return learner.stats().swaps >= 1; }));
+  learner.stop();
+  fs::remove(learner.options().log_path);
+}
+
+TEST(OnlineLearner, SwapFaultDegradesAndRecovers) {
+  LearnOptions opts = fast_opts("swap_fault.wal");
+  const std::size_t winner = first_config_of_kind(MethodKind::kCsr);
+  auto live = std::make_shared<const Wise>(make_bank(winner, 1.0, 1.2));
+
+  OnlineLearner learner(opts);
+  std::uint64_t next_version = 2;
+  learner.bind(
+      [&](std::shared_ptr<const Wise>) { return next_version++; }, live, 1);
+  learner.start();
+
+  FaultInjector::global().arm(stage::kSwap, 1.0);
+  EXPECT_FALSE(
+      learner.publish_candidate(make_bank(winner, 0.5, 1.0), false));
+  FaultInjector::global().disarm(stage::kSwap);
+  LearnStats ls = learner.stats();
+  EXPECT_EQ(ls.swap_failures, 1u);
+  EXPECT_EQ(ls.swaps, 0u);
+  EXPECT_EQ(ls.bank_version, 1u);
+
+  EXPECT_TRUE(
+      learner.publish_candidate(make_bank(winner, 0.5, 1.0), false));
+  ls = learner.stats();
+  EXPECT_EQ(ls.swaps, 1u);
+  EXPECT_EQ(ls.bank_version, 2u);
+  learner.stop();
+  fs::remove(learner.options().log_path);
+}
+
+TEST(OnlineLearner, WalSamplesSurviveRestartIntoANewLearner) {
+  LearnOptions opts = fast_opts("restart.wal");
+  opts.min_samples = 1000;  // no retrain in this test
+  const std::size_t winner = first_config_of_kind(MethodKind::kCsr);
+  auto live = std::make_shared<const Wise>(make_bank(winner, 1.0, 1.2));
+  {
+    OnlineLearner learner(opts);
+    learner.bind([](std::shared_ptr<const Wise>) { return std::uint64_t{2}; },
+                 live, 1);
+    learner.start();
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      learner.observe(synthetic_sample(winner, 1, 1, 1, i));
+    }
+    EXPECT_EQ(learner.stats().samples_logged, 5u);
+    learner.stop();
+  }
+  OnlineLearner reborn(opts);
+  reborn.bind([](std::shared_ptr<const Wise>) { return std::uint64_t{2}; },
+              live, 1);
+  reborn.start();
+  const LearnStats ls = reborn.stats();
+  EXPECT_EQ(ls.samples_recovered, 5u);
+  EXPECT_EQ(ls.wal_corrupt_skipped, 0u);
+  reborn.stop();
+  fs::remove(opts.log_path);
+}
+
+// ------------------------------------------------- serving integration ----
+
+TEST(ServerLearn, OnlineLoopLowersServedMispredictRate) {
+  // E2E: a mistrained bank (predicts class 6 for the default CSR config,
+  // whose true relative time is ~1.0) serves real traffic. Drift must fire,
+  // a retrain must produce a validated candidate, the candidate must
+  // hot-swap in, and the served misprediction rate must drop below the
+  // pre-swap baseline — all with zero failed requests.
+  const std::size_t winner = first_config_of_kind(MethodKind::kCsr);
+  serve::Server server(
+      std::make_shared<const Wise>(make_bank(winner, 0.5, 1.0)),
+      {.workers = 4});
+
+  LearnOptions opts = fast_opts("served_e2e.wal");
+  opts.min_samples = 10;
+  opts.guard_min_samples = 6;
+  opts.rollback_margin = 1.0;  // pre-swap rate ~1.0: never roll back here
+  server.attach_learner(std::make_shared<OnlineLearner>(opts));
+  auto learner = server.learner();
+  ASSERT_NE(learner, nullptr);
+
+  std::vector<std::shared_ptr<const CsrMatrix>> matrices;
+  for (int i = 0; i < 6; ++i) matrices.push_back(shared_matrix(128, 900 + i));
+
+  const auto drive_round = [&](int round) {
+    for (std::size_t i = 0; i < matrices.size(); ++i) {
+      const serve::Response rsp = server.call(run_request(
+          matrices[i], "m" + std::to_string(i) + "r" + std::to_string(round)));
+      ASSERT_TRUE(rsp.ok) << rsp.error;
+    }
+  };
+
+  int round = 0;
+  drive_round(round++);  // cold pass: every entry prepared + sampled
+  ASSERT_TRUE(wait_until([&] {
+    if (learner->stats().swaps >= 1) return true;
+    drive_round(round++);
+    return learner->stats().swaps >= 1;
+  })) << "drift never produced a published candidate; rate="
+      << learner->stats().mispredict_rate
+      << " drift_events=" << learner->stats().drift_events
+      << " retrains=" << learner->stats().retrains << " rejected="
+      << learner->stats().candidates_rejected;
+
+  // Post-swap traffic: the relearned bank serves and is re-measured.
+  for (int r = 0; r < 4; ++r) drive_round(round++);
+  ASSERT_TRUE(wait_until(
+      [&] { return learner->stats().window_samples >= opts.guard_min_samples; }));
+
+  const LearnStats ls = learner->stats();
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.failed, 0u) << "the loop must never fail a request";
+  EXPECT_GT(st.sampled, 0u);
+  EXPECT_GE(ls.drift_events, 1u);
+  EXPECT_GE(ls.retrains, 1u);
+  EXPECT_GE(ls.swaps, 1u);
+  EXPECT_GE(ls.bank_version, 2u);
+  EXPECT_GE(server.bank_version(), 2u);
+  EXPECT_GT(ls.baseline_mispredict_rate, opts.drift_threshold)
+      << "the pre-swap window must have been drifting";
+  EXPECT_LT(ls.mispredict_rate, ls.baseline_mispredict_rate)
+      << "the swap must measurably reduce served mispredictions";
+  EXPECT_GT(ls.samples_logged, 0u);
+  EXPECT_GT(ls.wal_bytes, 0u);
+  fs::remove(opts.log_path);
+}
+
+TEST(ServerLearn, GuardrailRollsBackAForcedRegression) {
+  // A healthy bank serves accurately; a regressing candidate is forced in
+  // past validation. The post-swap guardrail must detect the live
+  // regression and automatically publish the previous bank back.
+  const std::size_t winner = first_config_of_kind(MethodKind::kCsr);
+  serve::Server server(
+      std::make_shared<const Wise>(make_bank(winner, 1.0, 1.2)),
+      {.workers = 4});
+
+  LearnOptions opts = fast_opts("rollback_e2e.wal");
+  opts.drift_threshold = 0.95;  // guard, not drift, is under test
+  opts.guard_min_samples = 6;
+  opts.rollback_margin = 0.3;
+  server.attach_learner(std::make_shared<OnlineLearner>(opts));
+  auto learner = server.learner();
+
+  std::vector<std::shared_ptr<const CsrMatrix>> matrices;
+  for (int i = 0; i < 4; ++i) matrices.push_back(shared_matrix(128, 700 + i));
+  int seq = 0;
+  const auto drive_round = [&] {
+    for (std::size_t i = 0; i < matrices.size(); ++i) {
+      const serve::Response rsp = server.call(
+          run_request(matrices[i], "rb" + std::to_string(seq++)));
+      ASSERT_TRUE(rsp.ok) << rsp.error;
+    }
+  };
+  for (int r = 0; r < 2; ++r) drive_round();  // accurate pre-swap window
+
+  // Validation rejects the regressing candidate (it loses on the WAL)…
+  EXPECT_FALSE(learner->publish_candidate(make_bank(winner, 0.5, 1.0), true));
+  EXPECT_GE(learner->stats().candidates_rejected, 1u);
+  EXPECT_EQ(server.bank_version(), 1u);
+
+  // …so force it in without validation: the guardrail is the only defence.
+  ASSERT_TRUE(learner->publish_candidate(make_bank(winner, 0.5, 1.0), false));
+  EXPECT_EQ(server.bank_version(), 2u);
+  EXPECT_EQ(learner->stats().swaps, 1u);
+
+  ASSERT_TRUE(wait_until([&] {
+    if (learner->stats().rollbacks >= 1) return true;
+    drive_round();
+    return learner->stats().rollbacks >= 1;
+  })) << "live regression must trigger an automatic rollback";
+
+  const LearnStats ls = learner->stats();
+  EXPECT_EQ(ls.rollbacks, 1u);
+  EXPECT_EQ(ls.bank_version, 3u) << "rollback republishes the previous bank";
+  EXPECT_EQ(server.bank_version(), 3u);
+  EXPECT_EQ(server.stats().failed, 0u);
+
+  // The rolled-back server predicts with the healthy bank again.
+  serve::Request predict;
+  predict.kind = serve::RequestKind::kPredict;
+  predict.matrix = matrices[0];
+  predict.id = "post-rollback";
+  const serve::Response p = server.call(std::move(predict));
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.choice.predicted_class, 1);
+  EXPECT_EQ(p.bank_version, 3u);
+  fs::remove(opts.log_path);
+}
+
+TEST(ServerLearn, ConcurrentHotSwapKeepsPredictionsBitStable) {
+  // 8 client threads hammer warm RUNs while the main thread repeatedly
+  // hot-swaps (clones of) the bank. Every response must be bit-identical
+  // to the cold reference and none may fail — the epoch-protected swap is
+  // invisible to in-flight requests.
+  const std::size_t winner = first_config_of_kind(MethodKind::kSellpack);
+  serve::Server server(
+      std::make_shared<const Wise>(make_bank(winner, 0.5, 1.0)),
+      {.workers = 8, .queue_capacity = 0});
+
+  constexpr int kMatrices = 6;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 24;
+  std::vector<std::shared_ptr<const CsrMatrix>> matrices;
+  std::vector<double> cold_checksums;
+  for (int i = 0; i < kMatrices; ++i) {
+    matrices.push_back(shared_matrix(96, 400 + i));
+    const serve::Response cold = server.call(
+        run_request(matrices.back(), "cold" + std::to_string(i), 2));
+    ASSERT_TRUE(cold.ok) << cold.error;
+    cold_checksums.push_back(cold.checksum);
+  }
+
+  std::atomic<int> bad{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const int mi = (t + r) % kMatrices;
+        const serve::Response rsp = server.call(run_request(
+            matrices[static_cast<std::size_t>(mi)], "t" + std::to_string(t),
+            2));
+        if (!rsp.ok) {
+          ++failed;
+        } else if (rsp.checksum !=
+                   cold_checksums[static_cast<std::size_t>(mi)]) {
+          ++bad;
+        }
+      }
+    });
+  }
+  constexpr int kSwaps = 4;
+  for (int i = 0; i < kSwaps; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    server.publish_bank(std::make_shared<const Wise>(
+        ModelBank(server.predictor()->bank())));
+  }
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_EQ(bad.load(), 0)
+      << "a mid-swap response differed bit-for-bit from the cold run";
+  EXPECT_EQ(server.bank_version(), static_cast<std::uint64_t>(1 + kSwaps));
+  EXPECT_EQ(server.stats().failed, 0u);
+}
+
+TEST(ServerLearn, PublishBankBumpsVersionAndClearsCaches) {
+  const std::size_t winner = first_config_of_kind(MethodKind::kSellpack);
+  serve::Server server(
+      std::make_shared<const Wise>(make_bank(winner, 0.5, 1.0)),
+      {.workers = 1});
+  EXPECT_EQ(server.bank_version(), 1u);
+  EXPECT_THROW(server.publish_bank(nullptr), std::invalid_argument);
+
+  const auto m = shared_matrix(96, 55);
+  const serve::Response cold = server.call(run_request(m, "cold", 2));
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(cold.bank_version, 1u);
+  const serve::Response warm = server.call(run_request(m, "warm", 2));
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.prepared_cache_hit);
+
+  const std::uint64_t v = server.publish_bank(
+      std::make_shared<const Wise>(ModelBank(server.predictor()->bank())));
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(server.bank_version(), 2u);
+
+  const serve::Response fresh = server.call(run_request(m, "fresh", 2));
+  ASSERT_TRUE(fresh.ok);
+  EXPECT_FALSE(fresh.prepared_cache_hit)
+      << "publish must clear the prepared tier (entries embed old choices)";
+  EXPECT_EQ(fresh.bank_version, 2u);
+  EXPECT_EQ(fresh.checksum, cold.checksum)
+      << "an identical bank must reproduce identical results";
+}
+
+}  // namespace
+}  // namespace wise::learn

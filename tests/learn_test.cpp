@@ -1,0 +1,316 @@
+// Tests for the online-learning durability layer (learn/sample_log.hpp)
+// and the drift detector (learn/drift.hpp): WAL round-trips, crash
+// recovery (torn tail, flipped checksum byte, truncated header), rotation,
+// the sample_log fault stage, and the sliding-window drift semantics.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "learn/drift.hpp"
+#include "learn/online.hpp"
+#include "learn/sample_log.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace wise::learn {
+namespace {
+
+namespace fs = std::filesystem;
+
+Sample make_sample(int i) {
+  Sample s;
+  s.fingerprint = 0x1000u + static_cast<std::uint64_t>(i);
+  s.bank_version = 1 + static_cast<std::uint64_t>(i % 3);
+  s.predicted_class = i % 7;
+  s.observed_class = (i + 1) % 7;
+  s.rel_time = 0.5 + 0.01 * i;
+  s.config_name = "config-" + std::to_string(i);
+  s.features = {1.0 * i, 2.0 * i, 3.5, -4.25};
+  return s;
+}
+
+std::string fresh_log_path(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / ("wise_learn_" + name);
+  fs::remove(p);
+  return p.string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ------------------------------------------------------------- encoding ----
+
+TEST(SampleCodec, RoundTripsEveryField) {
+  const Sample s = make_sample(5);
+  const std::string payload = encode_sample(s);
+  const Sample back = decode_sample(payload);
+  EXPECT_EQ(back, s);
+}
+
+TEST(SampleCodec, RejectsTruncatedPayloads) {
+  const std::string payload = encode_sample(make_sample(1));
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{3},
+                                payload.size() / 2, payload.size() - 1}) {
+    EXPECT_THROW(decode_sample(payload.substr(0, cut)), Error)
+        << "cut at " << cut << " must not decode";
+  }
+}
+
+// ------------------------------------------------------------- recovery ----
+
+TEST(SampleLog, AppendsPersistAcrossReopen) {
+  const std::string path = fresh_log_path("reopen.wal");
+  std::vector<Sample> written;
+  {
+    SampleLog log(path);
+    const RecoveryStats rec = log.open();
+    EXPECT_EQ(rec.records, 0u);
+    for (int i = 0; i < 5; ++i) {
+      written.push_back(make_sample(i));
+      log.append(written.back());
+    }
+    EXPECT_EQ(log.samples().size(), 5u);
+    EXPECT_GT(log.bytes(), SampleLog::kMagic.size());
+  }
+  SampleLog log(path);
+  const RecoveryStats rec = log.open();
+  EXPECT_EQ(rec.records, 5u);
+  EXPECT_EQ(rec.corrupt_skipped, 0u);
+  EXPECT_EQ(rec.torn_tail_bytes, 0u);
+  EXPECT_FALSE(rec.header_rewritten);
+  EXPECT_EQ(log.samples(), written);
+  fs::remove(path);
+}
+
+TEST(SampleLog, TornTailIsTruncatedAndAppendableAfter) {
+  const std::string path = fresh_log_path("torn.wal");
+  {
+    SampleLog log(path);
+    log.open();
+    for (int i = 0; i < 3; ++i) log.append(make_sample(i));
+  }
+  // Simulate a crash mid-append: a frame header promising more bytes than
+  // the file holds.
+  const std::string good = read_file(path);
+  const std::string payload = encode_sample(make_sample(99));
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string torn(reinterpret_cast<const char*>(&len), sizeof len);
+  torn += payload.substr(0, 2);  // checksum + most of the payload missing
+  write_file(path, good + torn);
+
+  SampleLog log(path);
+  const RecoveryStats rec = log.open();
+  EXPECT_EQ(rec.records, 3u);
+  EXPECT_EQ(rec.torn_tail_bytes, torn.size());
+  EXPECT_EQ(rec.corrupt_skipped, 0u);
+  // The tail was physically truncated, so the next append starts a clean
+  // frame that a further reopen recovers.
+  EXPECT_EQ(fs::file_size(path), good.size());
+  log.append(make_sample(3));
+  SampleLog again(path);
+  EXPECT_EQ(again.open().records, 4u);
+  fs::remove(path);
+}
+
+TEST(SampleLog, FlippedChecksumByteSkipsOnlyThatRecord) {
+  const std::string path = fresh_log_path("corrupt.wal");
+  std::vector<Sample> written;
+  std::size_t second_record_off = 0;
+  {
+    SampleLog log(path);
+    log.open();
+    for (int i = 0; i < 4; ++i) {
+      if (i == 1) second_record_off = log.bytes();
+      written.push_back(make_sample(i));
+      log.append(written.back());
+    }
+  }
+  // Flip one byte inside the second record's payload: framing stays intact,
+  // the checksum no longer matches.
+  std::string bytes = read_file(path);
+  const std::size_t victim = second_record_off + 12 + 4;  // past the frame
+  ASSERT_LT(victim, bytes.size());
+  bytes[victim] = static_cast<char>(bytes[victim] ^ 0x40);
+  write_file(path, bytes);
+
+  SampleLog log(path);
+  const RecoveryStats rec = log.open();
+  EXPECT_EQ(rec.corrupt_skipped, 1u);
+  EXPECT_EQ(rec.records, 3u) << "records after the corrupt one must survive";
+  EXPECT_EQ(rec.torn_tail_bytes, 0u);
+  ASSERT_EQ(log.samples().size(), 3u);
+  EXPECT_EQ(log.samples()[0], written[0]);
+  EXPECT_EQ(log.samples()[1], written[2]);
+  EXPECT_EQ(log.samples()[2], written[3]);
+  fs::remove(path);
+}
+
+TEST(SampleLog, TruncatedHeaderRewritesFresh) {
+  const std::string path = fresh_log_path("header.wal");
+  write_file(path, "wise-sample");  // shorter than the magic
+  SampleLog log(path);
+  const RecoveryStats rec = log.open();
+  EXPECT_TRUE(rec.header_rewritten);
+  EXPECT_EQ(rec.records, 0u);
+  log.append(make_sample(0));
+  SampleLog again(path);
+  const RecoveryStats rec2 = again.open();
+  EXPECT_FALSE(rec2.header_rewritten);
+  EXPECT_EQ(rec2.records, 1u);
+  fs::remove(path);
+}
+
+TEST(SampleLog, GarbledHeaderAlsoRewritesFresh) {
+  const std::string path = fresh_log_path("garble.wal");
+  write_file(path, "definitely-not-a-wal-header-at-all\n plus junk");
+  SampleLog log(path);
+  EXPECT_TRUE(log.open().header_rewritten);
+  EXPECT_EQ(log.samples().size(), 0u);
+  fs::remove(path);
+}
+
+TEST(SampleLog, RotationCompactsToNewestHalf) {
+  const std::string path = fresh_log_path("rotate.wal");
+  SampleLog log(path, /*max_records=*/8);
+  log.open();
+  std::vector<Sample> written;
+  for (int i = 0; i < 9; ++i) {
+    written.push_back(make_sample(i));
+    log.append(written.back());
+  }
+  EXPECT_EQ(log.rotations(), 1u);
+  ASSERT_EQ(log.samples().size(), 4u) << "compacts to the newest half";
+  EXPECT_EQ(log.samples().front(), written[5]);
+  EXPECT_EQ(log.samples().back(), written[8]);
+  // The compacted file is a valid log (temp + atomic rename, never torn).
+  SampleLog again(path, 8);
+  const RecoveryStats rec = again.open();
+  EXPECT_EQ(rec.records, 4u);
+  EXPECT_EQ(rec.corrupt_skipped, 0u);
+  EXPECT_FALSE(rec.header_rewritten);
+  EXPECT_EQ(again.samples(), log.samples());
+  fs::remove(path);
+}
+
+TEST(SampleLog, SampleLogFaultStageDegradesAppend) {
+  const std::string path = fresh_log_path("fault.wal");
+  SampleLog log(path);
+  log.open();
+  log.append(make_sample(0));
+  FaultInjector::global().arm(stage::kSampleLog, 1.0);
+  EXPECT_THROW(log.append(make_sample(1)), Error);
+  FaultInjector::global().disarm(stage::kSampleLog);
+  EXPECT_EQ(log.samples().size(), 1u) << "a failed append must not be kept";
+  log.append(make_sample(2));  // healthy again after disarm
+  EXPECT_EQ(log.samples().size(), 2u);
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------- drift ----
+
+TEST(DriftDetector, MispredictionUsesPlusMinusOneClassTolerance) {
+  EXPECT_FALSE(DriftDetector::mispredicted(3, 3));
+  EXPECT_FALSE(DriftDetector::mispredicted(3, 4));
+  EXPECT_FALSE(DriftDetector::mispredicted(3, 2));
+  EXPECT_TRUE(DriftDetector::mispredicted(3, 5));
+  EXPECT_TRUE(DriftDetector::mispredicted(3, 1));
+  EXPECT_TRUE(DriftDetector::mispredicted(6, 0));
+}
+
+TEST(DriftDetector, NoDriftBelowMinSamples) {
+  DriftDetector d(/*window=*/16, /*min_samples=*/8, /*threshold=*/0.25);
+  for (int i = 0; i < 7; ++i) d.observe(6, 0);  // 100% mispredictions
+  EXPECT_FALSE(d.drifted()) << "window floor not reached yet";
+  d.observe(6, 0);
+  EXPECT_TRUE(d.drifted());
+  EXPECT_DOUBLE_EQ(d.rate(), 1.0);
+}
+
+TEST(DriftDetector, WindowEvictsOldestObservations) {
+  DriftDetector d(/*window=*/4, /*min_samples=*/1, /*threshold=*/0.5);
+  for (int i = 0; i < 4; ++i) d.observe(6, 0);  // all misses
+  EXPECT_DOUBLE_EQ(d.rate(), 1.0);
+  for (int i = 0; i < 4; ++i) d.observe(2, 2);  // all hits push misses out
+  EXPECT_DOUBLE_EQ(d.rate(), 0.0);
+  EXPECT_FALSE(d.drifted());
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.total(), 8u);
+}
+
+TEST(DriftDetector, ClassRateIsPerPredictedClass) {
+  DriftDetector d(8, 1, 0.5);
+  d.observe(6, 0);  // class 6: miss
+  d.observe(6, 6);  // class 6: hit
+  d.observe(1, 1);  // class 1: hit
+  EXPECT_DOUBLE_EQ(d.class_rate(6), 0.5);
+  EXPECT_DOUBLE_EQ(d.class_rate(1), 0.0);
+  EXPECT_DOUBLE_EQ(d.class_rate(3), 0.0);  // never predicted
+}
+
+TEST(DriftDetector, ResetEmptiesWindowButKeepsTotal) {
+  DriftDetector d(8, 2, 0.1);
+  for (int i = 0; i < 4; ++i) d.observe(6, 0);
+  EXPECT_TRUE(d.drifted());
+  d.reset();
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_EQ(d.total(), 4u);
+  EXPECT_FALSE(d.drifted());
+  EXPECT_DOUBLE_EQ(d.rate(), 0.0);
+}
+
+// -------------------------------------------------------------- options ----
+
+TEST(LearnOptions, FromEnvReadsEveryKnob) {
+  ::setenv("WISE_LEARN", "1", 1);
+  ::setenv("WISE_LEARN_LOG", "/tmp/custom.wal", 1);
+  ::setenv("WISE_LEARN_SAMPLE_RATE", "0.5", 1);
+  ::setenv("WISE_LEARN_LOG_MAX", "128", 1);
+  ::setenv("WISE_LEARN_WINDOW", "99", 1);
+  ::setenv("WISE_LEARN_MIN_SAMPLES", "17", 1);
+  ::setenv("WISE_LEARN_DRIFT_THRESHOLD", "0.4", 1);
+  ::setenv("WISE_LEARN_INTERVAL_MS", "1500", 1);
+  ::setenv("WISE_LEARN_MIN_CONFIG_SAMPLES", "5", 1);
+  ::setenv("WISE_LEARN_HOLDOUT", "0.3", 1);
+  ::setenv("WISE_LEARN_SWAP_MARGIN", "0.05", 1);
+  ::setenv("WISE_LEARN_GUARD_MIN", "11", 1);
+  ::setenv("WISE_LEARN_ROLLBACK_MARGIN", "0.2", 1);
+  const LearnOptions o = LearnOptions::from_env();
+  EXPECT_TRUE(o.enabled);
+  EXPECT_EQ(o.log_path, "/tmp/custom.wal");
+  EXPECT_DOUBLE_EQ(o.sample_rate, 0.5);
+  EXPECT_EQ(o.log_max_records, 128u);
+  EXPECT_EQ(o.window, 99u);
+  EXPECT_EQ(o.min_samples, 17u);
+  EXPECT_DOUBLE_EQ(o.drift_threshold, 0.4);
+  EXPECT_EQ(o.interval.count(), 1500);
+  EXPECT_EQ(o.min_config_samples, 5u);
+  EXPECT_DOUBLE_EQ(o.holdout, 0.3);
+  EXPECT_DOUBLE_EQ(o.swap_margin, 0.05);
+  EXPECT_EQ(o.guard_min_samples, 11u);
+  EXPECT_DOUBLE_EQ(o.rollback_margin, 0.2);
+  for (const char* name :
+       {"WISE_LEARN", "WISE_LEARN_LOG", "WISE_LEARN_SAMPLE_RATE",
+        "WISE_LEARN_LOG_MAX", "WISE_LEARN_WINDOW", "WISE_LEARN_MIN_SAMPLES",
+        "WISE_LEARN_DRIFT_THRESHOLD", "WISE_LEARN_INTERVAL_MS",
+        "WISE_LEARN_MIN_CONFIG_SAMPLES", "WISE_LEARN_HOLDOUT",
+        "WISE_LEARN_SWAP_MARGIN", "WISE_LEARN_GUARD_MIN",
+        "WISE_LEARN_ROLLBACK_MARGIN"}) {
+    ::unsetenv(name);
+  }
+}
+
+}  // namespace
+}  // namespace wise::learn

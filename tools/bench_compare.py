@@ -61,6 +61,7 @@ INTERESTING_PARAMS = (
     "warm_vs_cold_speedup",
     "cache_hit_ratio",
     "speedup_vs_1shard",
+    "swap_vs_noswap_ratio",
     "plan_vs_static_speedup",
     "flat_vs_recursive_speedup",
     "shards",
