@@ -24,6 +24,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -122,8 +123,36 @@ obs::TimingSummary time_passes(int passes, int iters, Fn&& fn) {
   return obs::TimingSummary::from_samples(samples, iters);
 }
 
+/// Times two competing kernels with alternating passes (A,B,A,B,...) so a
+/// transient load burst on a shared runner degrades both sides' windows
+/// instead of silently skewing whichever ran second. The perf-gate reads
+/// the A/B ratio of the returned min estimates, so this symmetry matters
+/// more than it would for a standalone timing.
+template <typename FnA, typename FnB>
+std::pair<obs::TimingSummary, obs::TimingSummary> time_passes_interleaved(
+    int passes, int iters, FnA&& a, FnB&& b) {
+  std::vector<double> sa, sb;
+  sa.reserve(static_cast<std::size_t>(passes));
+  sb.reserve(static_cast<std::size_t>(passes));
+  for (int p = 0; p < passes; ++p) {
+    {
+      Timer t;
+      for (int i = 0; i < iters; ++i) a();
+      sa.push_back(t.seconds() / iters);
+    }
+    {
+      Timer t;
+      for (int i = 0; i < iters; ++i) b();
+      sb.push_back(t.seconds() / iters);
+    }
+  }
+  return {obs::TimingSummary::from_samples(sa, iters),
+          obs::TimingSummary::from_samples(sb, iters)};
+}
+
 int usage() {
-  std::fprintf(stderr, "usage: perf_smoke [--quick] [--out-dir DIR]\n");
+  std::fprintf(stderr,
+               "usage: perf_smoke [--quick] [--out-dir DIR] [--passes N]\n");
   return 2;
 }
 
@@ -132,11 +161,15 @@ int usage() {
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_dir = ".";
+  int passes_override = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--passes") == 0 && i + 1 < argc) {
+      passes_override = std::atoi(argv[++i]);
+      if (passes_override < 1) return usage();
     } else {
       return usage();
     }
@@ -149,7 +182,11 @@ int main(int argc, char** argv) {
   metrics.reset();
 
   obs::BenchReport report("perf_smoke", obs::bench_git_sha());
-  const int passes = quick ? 3 : 5;
+  // --passes raises every stage's repetition count (the nightly workflow
+  // runs --passes 9 for tighter minima); the kernel stages never drop
+  // below their 3-pass floor.
+  const int passes = passes_override > 0 ? passes_override : (quick ? 3 : 5);
+  const int kernel_passes = std::max(3, passes);
 
   // --- Stage 1: feature extraction over the seeded suite ------------------
   std::printf("[perf_smoke] feature extraction (%s mode)...\n",
@@ -176,7 +213,7 @@ int main(int argc, char** argv) {
     for (const MethodConfig& cfg : all_method_configs()) {
       PreparedMatrix pm = PreparedMatrix::prepare(m, cfg);
       pm.run(x, y);  // warm-up
-      const auto timing = time_passes(3, iters, [&] { pm.run(x, y); });
+      const auto timing = time_passes(kernel_passes, iters, [&] { pm.run(x, y); });
       obs::JsonValue params = matrix_params(m);
       params.set("prep_seconds", pm.prep_seconds());
       report.add("spmv", "run/" + cfg.name(), timing, std::move(params));
@@ -203,12 +240,12 @@ int main(int argc, char** argv) {
     const double gflop = 2.0 * static_cast<double>(m.nnz()) / 1e9;
 
     spmv_csr(m, x, y, Schedule::kStCont);  // warm-up
-    const auto legacy = time_passes(3, iters, [&] {
+    const auto legacy = time_passes(kernel_passes, iters, [&] {
       spmv_csr(m, x, y, Schedule::kStCont);
       do_not_optimize(y.data());
     });
     spmv_csr(m, x, y, Schedule::kStCont, plan);  // warm-up
-    const auto planned = time_passes(3, iters, [&] {
+    const auto planned = time_passes(kernel_passes, iters, [&] {
       spmv_csr(m, x, y, Schedule::kStCont, plan);
       do_not_optimize(y.data());
     });
@@ -228,7 +265,133 @@ int main(int argc, char** argv) {
                 legacy.min_seconds / planned.min_seconds);
   }
 
-  // --- Stage 4: full pipeline choose/prepare ------------------------------
+  // --- Stage 4: specialized kernel variants vs generic plan ---------------
+  // Plan-time specialization (WISE_PLAN_SPECIALIZE, spmv/plan.hpp)
+  // classifies each block's row shape and dispatches uniform/wide/merge
+  // loops. The skewed RMAT fixture is the headline case (tiny-row scalar
+  // fast path); the uniform banded fixture exercises the hoisted-length
+  // unroll. The perf-gate CI job gates specialize_vs_generic_speedup >=
+  // 1.2 on rmat-hs; both sides are also self-checked bit-identical here,
+  // so a miscompiled variant fails the run before CI ever reads a ratio.
+  std::printf("[perf_smoke] specialized variants vs generic plan...\n");
+  {
+    const index_t n = quick ? 2048 : 8192;
+    const CsrMatrix banded =
+        CsrMatrix::from_coo(generate_banded(n, 8, 1.0, 42));
+    const std::vector<std::pair<std::string, const CsrMatrix*>> fixtures = {
+        {"rmat-hs", &suite[0].m}, {"banded-u", &banded}};
+    // The perf-gate reads this stage's ratio, so the min estimate gets
+    // more iterations than the informational stages to shrink its noise.
+    const int iters = quick ? 20 : 100;
+    const int threads = omp_get_max_threads();
+
+    for (const auto& [name, mp] : fixtures) {
+      const CsrMatrix& m = *mp;
+      aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()));
+      aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()));
+      Xoshiro256 rng(0xc1a55f1);
+      for (auto& v : x) v = static_cast<value_t>(rng.next_double());
+
+      const SpmvPlan generic =
+          build_csr_plan(m, Schedule::kStCont, threads, /*specialize=*/false);
+      const SpmvPlan spec =
+          build_csr_plan(m, Schedule::kStCont, threads, /*specialize=*/true);
+
+      // Self-check: specialization must never change the bits.
+      std::vector<value_t> y_generic(y.size()), y_spec(y.size());
+      spmv_csr(m, x, y_generic, Schedule::kStCont, generic);
+      spmv_csr(m, x, y_spec, Schedule::kStCont, spec);
+      if (y_generic != y_spec) {
+        std::fprintf(stderr,
+                     "[perf_smoke] FAIL: specialized plan not bit-identical "
+                     "on %s\n",
+                     name.c_str());
+        return 1;
+      }
+
+      spmv_csr(m, x, y, Schedule::kStCont, generic);  // warm-up
+      spmv_csr(m, x, y, Schedule::kStCont, spec);     // warm-up
+      const auto [gen_t, spec_t] = time_passes_interleaved(
+          kernel_passes, iters,
+          [&] {
+            spmv_csr(m, x, y, Schedule::kStCont, generic);
+            do_not_optimize(y.data());
+          },
+          [&] {
+            spmv_csr(m, x, y, Schedule::kStCont, spec);
+            do_not_optimize(y.data());
+          });
+
+      const auto hist = spec.variant_histogram();
+      obs::JsonValue params = matrix_params(m);
+      params.set("threads", static_cast<std::int64_t>(threads));
+      params.set("plan_blocks",
+                 static_cast<std::int64_t>(spec.num_blocks()));
+      params.set("plan_bytes",
+                 static_cast<std::int64_t>(spec.memory_bytes()));
+      for (std::size_t v = 0; v < kNumKernelVariants; ++v) {
+        params.set(std::string("blocks_") +
+                       kernel_variant_name(static_cast<KernelVariant>(v)),
+                   static_cast<std::int64_t>(hist[v]));
+      }
+      params.set("specialize_vs_generic_speedup",
+                 gen_t.min_seconds / spec_t.min_seconds);
+      report.add("specialize", "csr_generic/" + name, gen_t, params);
+      report.add("specialize", "csr_special/" + name, spec_t,
+                 std::move(params));
+      std::printf(
+          "[perf_smoke] specialize %s: %d blocks "
+          "(g/u/w/m %u/%u/%u/%u), specialized vs generic %.2fx\n",
+          name.c_str(), static_cast<int>(spec.num_blocks()), hist[0],
+          hist[1], hist[2], hist[3], gen_t.min_seconds / spec_t.min_seconds);
+    }
+
+    // SRVPack side of the menu (informational): chunk-level variants on
+    // the skewed fixture at the packed format's native lane width.
+    {
+      const CsrMatrix& m = suite[0].m;
+      const SrvPackMatrix p = SrvPackMatrix::build(m, {.c = 8, .sigma = 64});
+      aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()));
+      std::vector<value_t> y_generic(static_cast<std::size_t>(m.nrows()));
+      std::vector<value_t> y_spec(y_generic.size());
+      Xoshiro256 rng(0xc1a55f2);
+      for (auto& v : x) v = static_cast<value_t>(rng.next_double());
+      const SrvPlan generic =
+          build_srv_plan(p, Schedule::kStCont, threads, /*specialize=*/false);
+      const SrvPlan spec =
+          build_srv_plan(p, Schedule::kStCont, threads, /*specialize=*/true);
+      SrvWorkspace ws;
+      spmv_srvpack(p, x, y_generic, Schedule::kStCont, ws, &generic);
+      spmv_srvpack(p, x, y_spec, Schedule::kStCont, ws, &spec);
+      if (y_generic != y_spec) {
+        std::fprintf(stderr,
+                     "[perf_smoke] FAIL: specialized SRVPack plan not "
+                     "bit-identical on rmat-hs\n");
+        return 1;
+      }
+      const auto [gen_t, spec_t] = time_passes_interleaved(
+          kernel_passes, iters,
+          [&] {
+            spmv_srvpack(p, x, y_generic, Schedule::kStCont, ws, &generic);
+            do_not_optimize(y_generic.data());
+          },
+          [&] {
+            spmv_srvpack(p, x, y_spec, Schedule::kStCont, ws, &spec);
+            do_not_optimize(y_spec.data());
+          });
+      obs::JsonValue params = matrix_params(m);
+      params.set("threads", static_cast<std::int64_t>(threads));
+      params.set("specialize_vs_generic_speedup",
+                 gen_t.min_seconds / spec_t.min_seconds);
+      report.add("specialize", "srv_generic/rmat-hs", gen_t, params);
+      report.add("specialize", "srv_special/rmat-hs", spec_t,
+                 std::move(params));
+      std::printf("[perf_smoke] specialize srvpack: %.2fx\n",
+                  gen_t.min_seconds / spec_t.min_seconds);
+    }
+  }
+
+  // --- Stage 5: full pipeline choose/prepare ------------------------------
   std::printf("[perf_smoke] pipeline choose (training smoke bank)...\n");
   std::shared_ptr<const Wise> predictor;
   {
@@ -252,7 +415,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- Stage 5: flattened vs recursive tree inference ---------------------
+  // --- Stage 6: flattened vs recursive tree inference ---------------------
   // The model bank serves predictions from the flattened packed-node
   // ensemble (ml/flat_tree.hpp). Time it against the per-tree recursive
   // walk it replaced, over feature vectors the bank has not seen. The bank
@@ -298,13 +461,13 @@ int main(int argc, char** argv) {
     const int iters = quick ? 200 : 1000;
     std::size_t which = 0;
 
-    const auto recursive = time_passes(3, iters, [&] {
+    const auto recursive = time_passes(kernel_passes, iters, [&] {
       const auto& x = probes[which++ % probes.size()];
       for (std::size_t c = 0; c < nc; ++c) out[c] = bank.trees()[c].predict(x);
       do_not_optimize(out.data());
     });
     which = 0;
-    const auto flat = time_passes(3, iters, [&] {
+    const auto flat = time_passes(kernel_passes, iters, [&] {
       bank.predict_classes_into(probes[which++ % probes.size()], out);
       do_not_optimize(out.data());
     });
@@ -325,7 +488,7 @@ int main(int argc, char** argv) {
                 recursive.min_seconds / flat.min_seconds);
   }
 
-  // --- Stage 6: serving layer (serve.throughput scenario) -----------------
+  // --- Stage 7: serving layer (serve.throughput scenario) -----------------
   std::printf("[perf_smoke] serve throughput (repeated-matrix workload)...\n");
   {
     serve::ServerOptions opts;
@@ -337,7 +500,7 @@ int main(int argc, char** argv) {
     std::vector<std::shared_ptr<const CsrMatrix>> shared;
     std::vector<serve::Fingerprint> fingerprints;
     shared.reserve(suite.size());
-    for (auto& s : suite) {  // stage 4 is last: the suite can be consumed
+    for (auto& s : suite) {  // final suite stage: the suite can be consumed
       shared.push_back(std::make_shared<const CsrMatrix>(std::move(s.m)));
       // Steady-state clients fingerprint at load time, once per matrix.
       fingerprints.push_back(serve::fingerprint_matrix(*shared.back()));
@@ -432,7 +595,7 @@ int main(int argc, char** argv) {
         cold_mean / warm_mean);
   }
 
-  // --- Stage 7: shard scaling sweep (serve.shard_sweep scenario) -----------
+  // --- Stage 8: shard scaling sweep (serve.shard_sweep scenario) -----------
   // Isolates the dispatch + warm-cache path the sharding refactor targets:
   // warm kPrepare requests are pure fingerprint-route + lock-free cache hits
   // (no OpenMP inner loop), so throughput here measures the serving core,
@@ -539,7 +702,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- Stage 8: warm-hit throughput across live bank hot-swaps -------------
+  // --- Stage 9: warm-hit throughput across live bank hot-swaps -------------
   // The online-learning loop (learn/online.hpp) republishes the model bank
   // mid-traffic through serve::Server::publish_bank: the old bank retires
   // through the epoch domain and both cache tiers clear, so the cost to

@@ -37,11 +37,13 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <array>
 #include <iostream>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -51,6 +53,7 @@
 #include "obs/sink.hpp"
 #include "serve/server.hpp"
 #include "sparse/mmio.hpp"
+#include "spmv/plan.hpp"
 #include "util/lru.hpp"
 #include "wise/model_bank.hpp"
 
@@ -117,7 +120,8 @@ class MatrixLoader {
 std::string stats_line(serve::Server& server) {
   obs::JsonValue doc = obs::JsonValue::object();
   doc.set("schema", "wise-serve-stats");
-  doc.set("version", 2);  // v2: adds server.sampled/bank_version + `learn`
+  doc.set("version", 3);  // v3: adds `plan` (cumulative kernel-variant
+                          // histogram); v2 added sampled/bank_version+learn
   const serve::ServerStats st = server.stats();
   obs::JsonValue sv = obs::JsonValue::object();
   sv.set("accepted", st.accepted);
@@ -175,7 +179,42 @@ std::string stats_line(serve::Server& server) {
   // Per-batch metrics: snapshot-then-reset, so each STATS line covers the
   // requests since the previous one.
   auto& metrics = obs::MetricsRegistry::global();
-  doc.set("metrics", obs::metrics_to_json(metrics.snapshot()));
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  // Kernel-variant histogram (spmv.plan.variant.<name>, emitted once per
+  // prepare). Unlike the per-batch `metrics` block this accumulates across
+  // the daemon's lifetime — the mix of specialized plans in play is a
+  // fleet-level property, not a batch-level one — so the counters are
+  // folded into process-wide totals before the registry resets.
+  {
+    static std::mutex plan_mutex;
+    static std::array<std::uint64_t, kNumKernelVariants> plan_totals{};
+    std::lock_guard<std::mutex> lock(plan_mutex);
+    for (const auto& c : snap.counters) {
+      constexpr std::string_view kPrefix = "spmv.plan.variant.";
+      if (c.name.size() <= kPrefix.size() ||
+          c.name.compare(0, kPrefix.size(), kPrefix) != 0) {
+        continue;
+      }
+      const std::string_view suffix(c.name.c_str() + kPrefix.size());
+      for (std::size_t v = 0; v < kNumKernelVariants; ++v) {
+        if (suffix == kernel_variant_name(static_cast<KernelVariant>(v))) {
+          plan_totals[v] += c.value;
+          break;
+        }
+      }
+    }
+    obs::JsonValue pv = obs::JsonValue::object();
+    std::uint64_t total = 0;
+    for (std::size_t v = 0; v < kNumKernelVariants; ++v) {
+      pv.set(kernel_variant_name(static_cast<KernelVariant>(v)),
+             plan_totals[v]);
+      total += plan_totals[v];
+    }
+    pv.set("blocks_total", total);
+    pv.set("specialize_enabled", plan_specialization_enabled());
+    doc.set("plan", std::move(pv));
+  }
+  doc.set("metrics", obs::metrics_to_json(snap));
   metrics.reset();
   return doc.dump(0);
 }

@@ -17,16 +17,98 @@ void check_dims(const CsrMatrix& a, std::span<const value_t> x,
   }
 }
 
-inline value_t row_dot(const nnz_t* row_ptr, const index_t* col_idx,
-                       const value_t* vals, const value_t* x, index_t i) {
-  const nnz_t lo = row_ptr[i];
-  const nnz_t hi = row_ptr[i + 1];
+/// The one reduction loop every variant shares. Bit-identity across the
+/// specialized paths rests on this: any row with 3+ nonzeros — where the
+/// simd reduction's association order is compiler-chosen — always runs
+/// this exact loop, so specialization can never change the bits.
+inline value_t range_dot(const index_t* col_idx, const value_t* vals,
+                         const value_t* x, nnz_t lo, nnz_t hi) {
   value_t acc = 0;
 #pragma omp simd reduction(+ : acc)
   for (nnz_t k = lo; k < hi; ++k) {
     acc += vals[k] * x[col_idx[k]];
   }
   return acc;
+}
+
+inline value_t row_dot(const nnz_t* row_ptr, const index_t* col_idx,
+                       const value_t* vals, const value_t* x, index_t i) {
+  return range_dot(col_idx, vals, x, row_ptr[i], row_ptr[i + 1]);
+}
+
+/// Rows with <= 2 nonzeros evaluate as scalar expressions: zero or one FP
+/// addition, where every association order is the same order, so this is
+/// bit-identical to range_dot on any compiler. Longer rows fall through to
+/// the shared loop. This is the kMerge workhorse — on power-law matrices
+/// most rows take the scalar exit and skip all vector-loop setup.
+inline value_t short_row_dot(const nnz_t* row_ptr, const index_t* col_idx,
+                             const value_t* vals, const value_t* x,
+                             index_t i) {
+  const nnz_t lo = row_ptr[i];
+  const nnz_t len = row_ptr[i + 1] - lo;
+  if (len > 2) return range_dot(col_idx, vals, x, lo, lo + len);
+  // Written as the generic loop's exact += chain (not bare products) so
+  // even signed-zero edge cases (0 + -0.0 == +0.0) match bit-for-bit.
+  value_t acc = 0;
+  if (len >= 1) acc += vals[lo] * x[col_idx[lo]];
+  if (len == 2) acc += vals[lo + 1] * x[col_idx[lo + 1]];
+  return acc;
+}
+
+// --- per-block loops, one per KernelVariant -------------------------------
+
+inline void run_block_generic(const nnz_t* rp, const index_t* ci,
+                              const value_t* va, const value_t* x,
+                              value_t* y, index_t lo, index_t hi) {
+  for (index_t i = lo; i < hi; ++i) y[i] = row_dot(rp, ci, va, x, i);
+}
+
+/// kUniform: every row in the block has the same length, so the trip count
+/// hoists out of the row loop and row starts become arithmetic instead of
+/// row_ptr loads; four rows per iteration give the compiler independent
+/// reduction chains to interleave.
+inline void run_block_uniform(const nnz_t* rp, const index_t* ci,
+                              const value_t* va, const value_t* x,
+                              value_t* y, index_t lo, index_t hi) {
+  const nnz_t len = rp[lo + 1] - rp[lo];
+  nnz_t k = rp[lo];
+  index_t i = lo;
+  for (; i + 4 <= hi; i += 4, k += 4 * len) {
+    y[i] = range_dot(ci, va, x, k, k + len);
+    y[i + 1] = range_dot(ci, va, x, k + len, k + 2 * len);
+    y[i + 2] = range_dot(ci, va, x, k + 2 * len, k + 3 * len);
+    y[i + 3] = range_dot(ci, va, x, k + 3 * len, k + 4 * len);
+  }
+  for (; i < hi; ++i, k += len) y[i] = range_dot(ci, va, x, k, k + len);
+}
+
+/// kWide: long/dense rows — two rows in flight so two independent
+/// multi-lane accumulator chains overlap their gather latencies.
+inline void run_block_wide(const nnz_t* rp, const index_t* ci,
+                           const value_t* va, const value_t* x, value_t* y,
+                           index_t lo, index_t hi) {
+  index_t i = lo;
+  for (; i + 2 <= hi; i += 2) {
+    y[i] = row_dot(rp, ci, va, x, i);
+    y[i + 1] = row_dot(rp, ci, va, x, i + 1);
+  }
+  if (i < hi) y[i] = row_dot(rp, ci, va, x, i);
+}
+
+/// kMerge: pathological skew — mostly-tiny rows take the scalar exit in
+/// short_row_dot, four rows per iteration keep the loads flowing, and the
+/// occasional hub row falls back to the shared reduction loop.
+inline void run_block_merge(const nnz_t* rp, const index_t* ci,
+                            const value_t* va, const value_t* x, value_t* y,
+                            index_t lo, index_t hi) {
+  index_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    y[i] = short_row_dot(rp, ci, va, x, i);
+    y[i + 1] = short_row_dot(rp, ci, va, x, i + 1);
+    y[i + 2] = short_row_dot(rp, ci, va, x, i + 2);
+    y[i + 3] = short_row_dot(rp, ci, va, x, i + 3);
+  }
+  for (; i < hi; ++i) y[i] = short_row_dot(rp, ci, va, x, i);
 }
 
 }  // namespace
@@ -73,10 +155,30 @@ void spmv_csr(const CsrMatrix& a, std::span<const value_t> x,
   value_t* yp = y.data();
   const index_t nb = plan.num_blocks();
   const index_t* bd = plan.bounds.data();
+  const std::uint8_t* vt =
+      plan.variants.empty() ? nullptr : plan.variants.data();
 
   auto block = [=](index_t b) {
+    const index_t lo = bd[b];
     const index_t hi = bd[b + 1];
-    for (index_t i = bd[b]; i < hi; ++i) yp[i] = row_dot(rp, ci, va, xp, i);
+    const KernelVariant v =
+        vt == nullptr ? KernelVariant::kGeneric
+                      : static_cast<KernelVariant>(vt[b]);
+    switch (v) {
+      case KernelVariant::kUniform:
+        run_block_uniform(rp, ci, va, xp, yp, lo, hi);
+        break;
+      case KernelVariant::kWide:
+        run_block_wide(rp, ci, va, xp, yp, lo, hi);
+        break;
+      case KernelVariant::kMerge:
+        run_block_merge(rp, ci, va, xp, yp, lo, hi);
+        break;
+      case KernelVariant::kGeneric:
+      default:
+        run_block_generic(rp, ci, va, xp, yp, lo, hi);
+        break;
+    }
   };
 
   // Blocks already carry ~equal nonzero counts, so the static policies run

@@ -16,9 +16,11 @@ void spmv_csr(const CsrMatrix& a, std::span<const value_t> x,
 
 /// y = A*x over a precomputed nnz-balanced plan (see spmv/plan.hpp). Blocks
 /// run one per thread for the static policies and work-stolen for Dyn.
-/// Bit-identical to the legacy loop above at any thread count. Throws
-/// std::invalid_argument on dimension mismatch or a plan that does not
-/// cover the matrix's rows.
+/// A specialized plan dispatches each block to its recorded KernelVariant
+/// (uniform / wide / merge loops); an unspecialized plan runs every block
+/// through the generic loop. Bit-identical to the legacy loop above at any
+/// thread count and any variant table. Throws std::invalid_argument on
+/// dimension mismatch or a plan that does not cover the matrix's rows.
 void spmv_csr(const CsrMatrix& a, std::span<const value_t> x,
               std::span<value_t> y, Schedule sched, const SpmvPlan& plan);
 

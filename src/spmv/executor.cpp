@@ -49,7 +49,24 @@ PreparedMatrix PreparedMatrix::prepare(const CsrMatrix& m,
   if (metrics.enabled()) {
     pm.run_timer_ = metrics.timer_id("spmv.run." + cfg.name());
     metrics.add("spmv.prepare.count");
-    if (pm.has_plan()) metrics.add("spmv.prepare.plan.count");
+    if (pm.has_plan()) {
+      metrics.add("spmv.prepare.plan.count");
+      // Variant histogram: how many plan blocks will dispatch to each
+      // specialized loop. Surfaced through STATS so operators can see
+      // whether the classifier is actually firing on live traffic.
+      const auto hist = pm.csr_plan_.has_value()
+                            ? pm.csr_plan_->variant_histogram()
+                            : pm.srv_plan_.has_value()
+                                  ? pm.srv_plan_->variant_histogram()
+                                  : std::array<std::uint32_t,
+                                               kNumKernelVariants>{};
+      for (std::size_t v = 0; v < kNumKernelVariants; ++v) {
+        if (hist[v] == 0) continue;
+        metrics.add(std::string("spmv.plan.variant.") +
+                        kernel_variant_name(static_cast<KernelVariant>(v)),
+                    hist[v]);
+      }
+    }
     metrics.set_gauge("spmv.prepare.memory_bytes",
                       static_cast<double>(pm.memory_bytes()));
   }

@@ -7,26 +7,34 @@ namespace wise {
 
 namespace {
 
-/// Runs `chunk` over every chunk index, either with the legacy OpenMP
-/// schedules (plan == nullptr) or block-by-block over a precomputed
-/// nnz-balanced partition. Every chunk executes exactly once either way,
-/// so the two paths are bit-identical.
-template <typename ChunkFn>
+/// Runs the segment either with the legacy OpenMP schedules over single
+/// chunks (plan == nullptr, `chunk(k)` per chunk) or block-by-block over a
+/// precomputed nnz-balanced partition (`run_block(lo, hi, variant)` per
+/// block, which dispatches to the block's specialized loop). Every chunk
+/// executes exactly once either way, and every specialized loop reuses the
+/// generic slot reduction for chunks with 3+ slots, so all paths are
+/// bit-identical.
+template <typename ChunkFn, typename BlockFn>
 void dispatch_chunks(index_t nchunks, Schedule sched, int grain,
-                     const SpmvPlan* plan, ChunkFn&& chunk) {
+                     const SpmvPlan* plan, ChunkFn&& chunk,
+                     BlockFn&& run_block) {
   if (plan != nullptr) {
     const index_t nb = plan->num_blocks();
     const index_t* bd = plan->bounds.data();
+    const std::uint8_t* vt =
+        plan->variants.empty() ? nullptr : plan->variants.data();
+    auto body = [&](index_t b) {
+      const KernelVariant v = vt == nullptr
+                                  ? KernelVariant::kGeneric
+                                  : static_cast<KernelVariant>(vt[b]);
+      run_block(bd[b], bd[b + 1], v);
+    };
     if (sched == Schedule::kDyn) {
 #pragma omp parallel for schedule(dynamic, 1)
-      for (index_t b = 0; b < nb; ++b) {
-        for (index_t k = bd[b]; k < bd[b + 1]; ++k) chunk(k);
-      }
+      for (index_t b = 0; b < nb; ++b) body(b);
     } else {
 #pragma omp parallel for schedule(static)
-      for (index_t b = 0; b < nb; ++b) {
-        for (index_t k = bd[b]; k < bd[b + 1]; ++k) chunk(k);
-      }
+      for (index_t b = 0; b < nb; ++b) body(b);
     }
     return;
   }
@@ -60,6 +68,18 @@ void run_chunks(const SrvSegment& seg, const value_t* x, value_t* y,
   const index_t* order = seg.row_order.data();
   const int grain = std::max(1, kScheduleGrainRows / C);
 
+  auto scatter = [=](index_t k, const value_t* acc) {
+    const index_t base = k * C;
+    const int lanes = static_cast<int>(
+        std::min<index_t>(C, nrows_seg - base));
+    for (int l = 0; l < lanes; ++l) {
+      y[order[base + l]] += acc[l];
+    }
+  };
+
+  // The generic chunk body: every specialized block loop below either
+  // reuses this exact slot reduction (3+ slots) or hand-unrolls <= 2 slot
+  // iterations of the same += chain, so all variants stay bit-identical.
   auto chunk = [=](index_t k) {
     const nnz_t lo = off[k];
     const nnz_t len = off[k + 1] - lo;
@@ -72,15 +92,77 @@ void run_chunks(const SrvSegment& seg, const value_t* x, value_t* y,
         acc[l] += v[j * C + l] * x[ci[j * C + l]];
       }
     }
-    const index_t base = k * C;
-    const int lanes = static_cast<int>(
-        std::min<index_t>(C, nrows_seg - base));
-    for (int l = 0; l < lanes; ++l) {
-      y[order[base + l]] += acc[l];
+    scatter(k, acc);
+  };
+
+  // kMerge fast path: chunks holding <= 2 slots skip the slot loop and run
+  // the unrolled iterations directly — at most one FP addition per lane,
+  // where every association order is the same order.
+  auto tiny_chunk = [=](index_t k) {
+    const nnz_t lo = off[k];
+    const nnz_t len = off[k + 1] - lo;
+    if (len > 2) {
+      chunk(k);
+      return;
+    }
+    value_t acc[C] = {};
+    const value_t* v = vals + lo * C;
+    const index_t* ci = cols + lo * C;
+    if (len >= 1) {
+#pragma omp simd
+      for (int l = 0; l < C; ++l) acc[l] += v[l] * x[ci[l]];
+    }
+    if (len == 2) {
+#pragma omp simd
+      for (int l = 0; l < C; ++l) acc[l] += v[C + l] * x[ci[C + l]];
+    }
+    scatter(k, acc);
+  };
+
+  auto run_block = [=](index_t blo, index_t bhi, KernelVariant var) {
+    switch (var) {
+      case KernelVariant::kUniform: {
+        // Every chunk in the block has the same slot count: hoist it and
+        // derive chunk starts arithmetically instead of loading offsets.
+        const nnz_t len = off[blo + 1] - off[blo];
+        nnz_t lo = off[blo];
+        for (index_t k = blo; k < bhi; ++k, lo += len) {
+          value_t acc[C] = {};
+          const value_t* v = vals + lo * C;
+          const index_t* ci = cols + lo * C;
+          for (nnz_t j = 0; j < len; ++j) {
+#pragma omp simd
+            for (int l = 0; l < C; ++l) {
+              acc[l] += v[j * C + l] * x[ci[j * C + l]];
+            }
+          }
+          scatter(k, acc);
+        }
+        break;
+      }
+      case KernelVariant::kWide:
+        // Long chunks: two chunks in flight so two C-lane accumulator sets
+        // overlap their gather latencies.
+        {
+          index_t k = blo;
+          for (; k + 2 <= bhi; k += 2) {
+            chunk(k);
+            chunk(k + 1);
+          }
+          if (k < bhi) chunk(k);
+        }
+        break;
+      case KernelVariant::kMerge:
+        for (index_t k = blo; k < bhi; ++k) tiny_chunk(k);
+        break;
+      case KernelVariant::kGeneric:
+      default:
+        for (index_t k = blo; k < bhi; ++k) chunk(k);
+        break;
     }
   };
 
-  dispatch_chunks(nchunks, sched, grain, plan, chunk);
+  dispatch_chunks(nchunks, sched, grain, plan, chunk, run_block);
 }
 
 /// Runtime-width fallback for c values other than the instantiated 4/8.
@@ -114,7 +196,14 @@ void run_chunks_generic(const SrvSegment& seg, int c, const value_t* x,
     }
   };
 
-  dispatch_chunks(nchunks, sched, grain, plan, chunk);
+  // The runtime-width path ignores the variant table: every block runs the
+  // generic chunk body (still bit-identical — variants only change loop
+  // structure, never the math).
+  auto run_block = [=](index_t blo, index_t bhi, KernelVariant) {
+    for (index_t k = blo; k < bhi; ++k) chunk(k);
+  };
+
+  dispatch_chunks(nchunks, sched, grain, plan, chunk, run_block);
 }
 
 }  // namespace

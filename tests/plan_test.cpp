@@ -72,7 +72,10 @@ TEST(PlanBuild, SingleDenseRowDominates) {
   const CsrMatrix m = CsrMatrix::from_coo(coo);
   ASSERT_GT(m.row_nnz(0) * 2, m.nnz());
   for (const int threads : {1, 2, 8, 64}) {
-    const SpmvPlan plan = build_csr_plan(m, Schedule::kStCont, threads);
+    // Pin specialize=false: the block budget (one per thread) is the
+    // balanced partition's contract; specialized plans subdivide it.
+    const SpmvPlan plan =
+        build_csr_plan(m, Schedule::kStCont, threads, /*specialize=*/false);
     expect_covers_exactly_once(plan, 64);
     EXPECT_LE(plan.num_blocks(), threads);
   }
@@ -124,8 +127,10 @@ TEST(PlanBuild, BalancesSkewedMatrixWithinOneRow) {
 
 TEST(PlanBuild, DynOversubscribesBlocks) {
   const CsrMatrix m = random_csr(4096, 4096, 8.0, 21);
-  const SpmvPlan st = build_csr_plan(m, Schedule::kStCont, 4);
-  const SpmvPlan dyn = build_csr_plan(m, Schedule::kDyn, 4);
+  const SpmvPlan st =
+      build_csr_plan(m, Schedule::kStCont, 4, /*specialize=*/false);
+  const SpmvPlan dyn =
+      build_csr_plan(m, Schedule::kDyn, 4, /*specialize=*/false);
   EXPECT_EQ(st.num_blocks(), 4);
   EXPECT_GT(dyn.num_blocks(), st.num_blocks());
 }
