@@ -45,6 +45,7 @@
 #include "obs/report.hpp"
 #include "obs/sink.hpp"
 #include "serve/server.hpp"
+#include "spmm/spmm.hpp"
 #include "spmv/csr_kernels.hpp"
 #include "spmv/executor.hpp"
 #include "spmv/method.hpp"
@@ -52,6 +53,7 @@
 #include "util/aligned.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
+#include "wise/amortized.hpp"
 #include "wise/pipeline.hpp"
 
 using namespace wise;
@@ -394,8 +396,10 @@ int main(int argc, char** argv) {
   // --- Stage 5: full pipeline choose/prepare ------------------------------
   std::printf("[perf_smoke] pipeline choose (training smoke bank)...\n");
   std::shared_ptr<const Wise> predictor;
+  // Kept past this stage: the SOLVE session stage trains the amortized
+  // dual-model selector from the same measurement records.
+  std::vector<MatrixRecord> records;
   {
-    std::vector<MatrixRecord> records;
     for (const MatrixSpec& spec : training_corpus(quick)) {
       records.push_back(measure_matrix(spec, {.iters = 2, .repeats = 1}));
     }
@@ -488,7 +492,171 @@ int main(int argc, char** argv) {
                 recursive.min_seconds / flat.min_seconds);
   }
 
-  // --- Stage 7: serving layer (serve.throughput scenario) -----------------
+  // --- Stage 7: blocked SpMM vs k independent plan-SpMVs ------------------
+  // The multi-vector kernels (spmm/spmm.hpp) stream A once per register
+  // block of RHS columns instead of once per column. Both arms share the
+  // same nnz-balanced plan on the skewed fixture, so the ratio isolates
+  // the blocking; the blocked result is self-checked bit-identical to the
+  // serial reference before anything is timed. The CI perf-gate reads
+  // spmm_vs_repeated_spmv_speedup >= 1.3 at k = 8.
+  std::printf("[perf_smoke] blocked SpMM vs repeated SpMV (k=8, rmat-hs)...\n");
+  {
+    const CsrMatrix& m = suite[0].m;  // rmat-hs
+    const index_t k = 8;
+    const int threads = omp_get_max_threads();
+    const SpmvPlan plan = build_csr_plan(m, Schedule::kDyn, threads);
+    const spmm::SpmmConfig blocked_cfg = spmm::parse_spmm_config("SpMM/b8/Dyn");
+
+    const std::size_t nc = static_cast<std::size_t>(m.ncols());
+    const std::size_t nr = static_cast<std::size_t>(m.nrows());
+    const std::size_t ku = static_cast<std::size_t>(k);
+    aligned_vector<value_t> xb(nc * ku);
+    aligned_vector<value_t> yb(nr * ku);
+    Xoshiro256 rng(0x5b0cced);
+    for (auto& v : xb) v = static_cast<value_t>(rng.next_double());
+
+    // The repeated-SpMV client holds one contiguous vector per column.
+    std::vector<aligned_vector<value_t>> xcols(ku), ycols(ku);
+    for (std::size_t j = 0; j < ku; ++j) {
+      xcols[j].resize(nc);
+      for (std::size_t i = 0; i < nc; ++i) xcols[j][i] = xb[i * ku + j];
+      ycols[j].resize(nr);
+    }
+
+    // Self-check: blocking must never change the bits.
+    std::vector<value_t> y_ref(nr * ku);
+    spmm::spmm_reference(m, xb, y_ref, k);
+    spmm::spmm_csr(m, xb, yb, k, blocked_cfg, plan);
+    if (!std::equal(y_ref.begin(), y_ref.end(), yb.begin())) {
+      std::fprintf(stderr,
+                   "[perf_smoke] FAIL: blocked SpMM not bit-identical on "
+                   "rmat-hs\n");
+      return 1;
+    }
+
+    const int iters = quick ? 10 : 30;
+    const auto [repeated_t, blocked_t] = time_passes_interleaved(
+        kernel_passes, iters,
+        [&] {
+          for (std::size_t j = 0; j < ku; ++j) {
+            spmv_csr(m, xcols[j], ycols[j], Schedule::kDyn, plan);
+          }
+          do_not_optimize(ycols[0].data());
+        },
+        [&] {
+          spmm::spmm_csr(m, xb, yb, k, blocked_cfg, plan);
+          do_not_optimize(yb.data());
+        });
+
+    const double gflop = 2.0 * static_cast<double>(m.nnz()) *
+                         static_cast<double>(k) / 1e9;
+    obs::JsonValue params = matrix_params(m);
+    params.set("k", static_cast<std::int64_t>(k));
+    params.set("kb", static_cast<std::int64_t>(blocked_cfg.kb));
+    params.set("threads", static_cast<std::int64_t>(threads));
+    params.set("gflops_repeated", gflop / repeated_t.min_seconds);
+    params.set("gflops_blocked", gflop / blocked_t.min_seconds);
+    params.set("spmm_vs_repeated_spmv_speedup",
+               repeated_t.min_seconds / blocked_t.min_seconds);
+    report.add("spmm", "repeated_spmv/rmat-hs", repeated_t, params);
+    report.add("spmm", "blocked/rmat-hs", blocked_t, std::move(params));
+    std::printf("[perf_smoke] spmm: blocked vs %d repeated SpMVs %.2fx\n",
+                static_cast<int>(k),
+                repeated_t.min_seconds / blocked_t.min_seconds);
+  }
+
+  // --- Stage 8: SOLVE session amortization --------------------------------
+  // A SOLVE session pays choose + layout conversion once, then every
+  // solver iteration reuses the prepared layout out of the sharded cache.
+  // The baseline is the sessionless client: choose + prepare + one SpMV
+  // per iteration. The cold request routes through the amortized
+  // dual-model selector trained from the pipeline stage's measurement
+  // records; warm requests must hit the prepared cache. The CI perf-gate
+  // reads session_vs_per_iter_speedup >= 2.0.
+  std::printf("[perf_smoke] SOLVE session amortization (cg, stencil)...\n");
+  {
+    // Large enough that a CG iteration is real work (SpMV + vector ops)
+    // rather than OpenMP region overhead; CG's iteration count is set by
+    // the shifted stencil's condition number, not the grid side, so the
+    // stage stays fast.
+    const index_t side = quick ? 64 : 128;
+    CooMatrix coo = generate_stencil2d(side, side, 5);
+    for (auto& e : coo.entries()) {  // diagonal shift: SPD, so CG converges
+      if (e.row == e.col) e.val += 0.1;
+    }
+    coo.canonicalize();
+    auto spd = std::make_shared<const CsrMatrix>(CsrMatrix::from_coo(coo));
+    const serve::Fingerprint fp = serve::fingerprint_matrix(*spd);
+
+    // Baseline arm: what each iteration costs without a session.
+    aligned_vector<value_t> x(static_cast<std::size_t>(spd->ncols()));
+    aligned_vector<value_t> y(static_cast<std::size_t>(spd->nrows()));
+    Xoshiro256 rng(0x501feed);
+    for (auto& v : x) v = static_cast<value_t>(rng.next_double());
+    const auto per_iter = time_passes(kernel_passes, 1, [&] {
+      WiseChoice c;
+      PreparedMatrix pm = predictor->prepare(*spd, c);
+      pm.run(x, y);
+      do_not_optimize(y.data());
+    });
+
+    serve::ServerOptions opts;
+    opts.workers = 2;
+    opts.queue_capacity = 0;
+    opts.shards = 4;
+    serve::Server server(predictor, opts);
+    server.set_amortized(
+        std::make_shared<const AmortizedWise>(train_amortized(records)));
+
+    serve::Request req;
+    req.kind = serve::RequestKind::kSolve;
+    req.matrix = spd;
+    req.fingerprint = fp;
+    req.id = "solve-session";
+    req.solver = "cg";
+    req.iters = 500;
+
+    const serve::Response cold = server.call(req);
+    if (!cold.ok || cold.solve_iterations <= 0) {
+      std::fprintf(stderr, "[perf_smoke] FAIL: cold SOLVE session: %s\n",
+                   cold.error.c_str());
+      return 1;
+    }
+    const double n_iters = static_cast<double>(cold.solve_iterations);
+    std::vector<double> warm_samples;  // per solver iteration
+    for (int p = 0; p < kernel_passes; ++p) {
+      const serve::Response w = server.call(req);
+      if (!w.ok || !w.prepared_cache_hit) {
+        std::fprintf(stderr,
+                     "[perf_smoke] FAIL: warm SOLVE missed the prepared "
+                     "cache\n");
+        return 1;
+      }
+      warm_samples.push_back(w.service_seconds / n_iters);
+    }
+    const auto warm_t =
+        obs::TimingSummary::from_samples(warm_samples, cold.solve_iterations);
+    const double speedup = per_iter.min_seconds / warm_t.min_seconds;
+
+    const serve::ServerStats st = server.stats();
+    obs::JsonValue params = matrix_params(*spd);
+    params.set("solver", std::string("cg"));
+    params.set("solve_iterations",
+               static_cast<std::int64_t>(cold.solve_iterations));
+    params.set("converged", cold.converged);
+    params.set("sessions_completed",
+               static_cast<std::int64_t>(st.sessions_completed));
+    params.set("session_iters", static_cast<std::int64_t>(st.session_iters));
+    params.set("session_vs_per_iter_speedup", speedup);
+    report.add("solve", "per_iter/cg-stencil", per_iter, params);
+    report.add("solve", "session_warm/cg-stencil", warm_t, std::move(params));
+    std::printf(
+        "[perf_smoke] solve session: %d iters, warm vs per-iteration "
+        "choose+prepare %.1fx\n",
+        cold.solve_iterations, speedup);
+  }
+
+  // --- Stage 9: serving layer (serve.throughput scenario) -----------------
   std::printf("[perf_smoke] serve throughput (repeated-matrix workload)...\n");
   {
     serve::ServerOptions opts;
@@ -595,7 +763,7 @@ int main(int argc, char** argv) {
         cold_mean / warm_mean);
   }
 
-  // --- Stage 8: shard scaling sweep (serve.shard_sweep scenario) -----------
+  // --- Stage 10: shard scaling sweep (serve.shard_sweep scenario) ----------
   // Isolates the dispatch + warm-cache path the sharding refactor targets:
   // warm kPrepare requests are pure fingerprint-route + lock-free cache hits
   // (no OpenMP inner loop), so throughput here measures the serving core,
@@ -702,7 +870,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- Stage 9: warm-hit throughput across live bank hot-swaps -------------
+  // --- Stage 11: warm-hit throughput across live bank hot-swaps ------------
   // The online-learning loop (learn/online.hpp) republishes the model bank
   // mid-traffic through serve::Server::publish_bank: the old bank retires
   // through the epoch domain and both cache tiers clear, so the cost to

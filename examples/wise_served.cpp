@@ -8,6 +8,16 @@
 //   PREDICT <matrix.mtx>         selection only (feature + inference)
 //   PREPARE <matrix.mtx>         selection + layout conversion (cached)
 //   RUN <matrix.mtx> <iters>     PREPARE + <iters> SpMV iterations
+//   SPMM <matrix.mtx> [k] [iters]
+//                                multi-vector run Y = A·X with a k-column
+//                                RHS (default 8), config chosen by the
+//                                SpMM bank (its own models, never the
+//                                SpMV bank's)
+//   SOLVE <matrix.mtx> [solver] [max_iters]
+//                                iterative-solve session (cg | jacobi |
+//                                bicgstab, default cg/200): one amortized
+//                                choose+prepare serves every iteration;
+//                                a warm session reuses the cached layout
 //   STATS                        one-line JSON: server/cache counters plus
 //                                the obs metrics snapshot for the batch of
 //                                requests since the previous STATS
@@ -16,7 +26,7 @@
 // Responses are single lines:
 //   OK id=<path> config=<name> class=<n> cached=<none|choice|prepared>
 //      queue_us=<..> service_us=<..> [spmv_us=<..> checksum=<..>]
-//      [fallback=<reason>]
+//      [iters=<..> residual=<..> converged=<0|1>] [fallback=<reason>]
 //   ERR <category> <message>
 //
 // Concurrency: every request goes through the shared serve::Server (worker
@@ -53,8 +63,10 @@
 #include "obs/sink.hpp"
 #include "serve/server.hpp"
 #include "sparse/mmio.hpp"
+#include "spmm/model.hpp"
 #include "spmv/plan.hpp"
 #include "util/lru.hpp"
+#include "wise/amortized.hpp"
 #include "wise/model_bank.hpp"
 
 using namespace wise;
@@ -73,6 +85,8 @@ int usage() {
                "    PREDICT <matrix.mtx>\n"
                "    PREPARE <matrix.mtx>\n"
                "    RUN <matrix.mtx> <iters>\n"
+               "    SPMM <matrix.mtx> [k] [iters]\n"
+               "    SOLVE <matrix.mtx> [cg|jacobi|bicgstab] [max_iters]\n"
                "    STATS\n"
                "    QUIT\n"
                "  knobs: WISE_SERVE_WORKERS, WISE_SERVE_QUEUE, "
@@ -120,8 +134,8 @@ class MatrixLoader {
 std::string stats_line(serve::Server& server) {
   obs::JsonValue doc = obs::JsonValue::object();
   doc.set("schema", "wise-serve-stats");
-  doc.set("version", 3);  // v3: adds `plan` (cumulative kernel-variant
-                          // histogram); v2 added sampled/bank_version+learn
+  doc.set("version", 4);  // v4: adds `sessions` (SOLVE) + `spmm`; v3 added
+                          // `plan`; v2 added sampled/bank_version+learn
   const serve::ServerStats st = server.stats();
   obs::JsonValue sv = obs::JsonValue::object();
   sv.set("accepted", st.accepted);
@@ -137,6 +151,17 @@ std::string stats_line(serve::Server& server) {
   sv.set("shards", static_cast<std::uint64_t>(server.shard_count()));
   sv.set("queue_depth", static_cast<std::uint64_t>(server.queue_depth()));
   doc.set("server", std::move(sv));
+  // v4: SOLVE-session and SpMM counters, their own groups so dashboards
+  // (and tools/bench_compare.py) can track the workload mix.
+  obs::JsonValue sessions = obs::JsonValue::object();
+  sessions.set("active", st.sessions_active);
+  sessions.set("completed", st.sessions_completed);
+  sessions.set("iters", st.session_iters);
+  doc.set("sessions", std::move(sessions));
+  obs::JsonValue spmm_v = obs::JsonValue::object();
+  spmm_v.set("requests", st.spmm_requests);
+  spmm_v.set("bank_installed", server.spmm_bank() != nullptr);
+  doc.set("spmm", std::move(spmm_v));
   if (auto lr = server.learner()) {
     const learn::LearnStats ls = lr->stats();
     obs::JsonValue lv = obs::JsonValue::object();
@@ -219,7 +244,8 @@ std::string stats_line(serve::Server& server) {
   return doc.dump(0);
 }
 
-std::string render_response(const serve::Response& rsp, bool with_spmv) {
+std::string render_response(const serve::Response& rsp, bool with_spmv,
+                            bool with_solve = false) {
   if (!rsp.ok) {
     return std::string("ERR ") + error_category_name(rsp.category) + " " +
            rsp.error;
@@ -235,6 +261,11 @@ std::string render_response(const serve::Response& rsp, bool with_spmv) {
   if (with_spmv) {
     out << " spmv_us=" << rsp.spmv_seconds * 1e6
         << " checksum=" << rsp.checksum;
+  }
+  if (with_solve) {
+    out << " iters=" << rsp.solve_iterations
+        << " residual=" << rsp.residual_norm
+        << " converged=" << (rsp.converged ? 1 : 0);
   }
   if (rsp.choice.fell_back()) {
     out << " fallback=\"" << rsp.choice.fallback_reason << '"';
@@ -269,6 +300,10 @@ bool handle_line(const std::string& line, serve::Server& server,
     req.kind = serve::RequestKind::kPrepare;
   } else if (cmd == "RUN") {
     req.kind = serve::RequestKind::kRun;
+  } else if (cmd == "SPMM") {
+    req.kind = serve::RequestKind::kSpmm;
+  } else if (cmd == "SOLVE") {
+    req.kind = serve::RequestKind::kSolve;
   } else {
     reply = "ERR validation unknown command '" + cmd + "'";
     return true;
@@ -282,6 +317,14 @@ bool handle_line(const std::string& line, serve::Server& server,
   if (req.kind == serve::RequestKind::kRun) {
     req.iters = 10;
     in >> req.iters;
+  } else if (req.kind == serve::RequestKind::kSpmm) {
+    req.rhs_cols = 8;
+    req.iters = 10;
+    in >> req.rhs_cols >> req.iters;
+  } else if (req.kind == serve::RequestKind::kSolve) {
+    req.solver = "cg";
+    req.iters = 200;  // max solver iterations == the selector's expected N
+    in >> req.solver >> req.iters;
   }
   req.id = path;
   try {
@@ -297,7 +340,8 @@ bool handle_line(const std::string& line, serve::Server& server,
     return true;
   }
   const serve::Response rsp = server.call(std::move(req));
-  reply = render_response(rsp, rsp.ok && cmd == "RUN");
+  reply = render_response(rsp, rsp.ok && (cmd == "RUN" || cmd == "SPMM"),
+                          rsp.ok && cmd == "SOLVE");
   return true;
 }
 
@@ -423,6 +467,51 @@ int main(int argc, char** argv) {
                      ? "block"
                      : "reject",
                  server.options().cache_bytes);
+
+    // SpMM bank: loaded from the same --models directory when present
+    // (spmm_models.txt, trained/saved independently of models.txt), else
+    // trained quickly on small generated matrices. Either way the SpMV
+    // bank is never touched — the §7 add-a-method separation.
+    std::shared_ptr<const spmm::SpmmBank> spmm_bank;
+    if (!model_dir.empty()) {
+      try {
+        spmm_bank = std::make_shared<const spmm::SpmmBank>(
+            spmm::SpmmBank::load(model_dir));
+        for (const auto& w : spmm_bank->warnings()) {
+          std::fprintf(stderr, "[wise_served] spmm bank: %s\n", w.c_str());
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "[wise_served] no usable SpMM bank in %s (%s); "
+                     "training a mini one\n",
+                     model_dir.c_str(), e.what());
+      }
+    }
+    if (spmm_bank == nullptr) {
+      std::vector<CsrMatrix> spmm_corpus;
+      for (const auto& spec : examples::mini_corpus()) {
+        if (spec.n <= 1024) spmm_corpus.push_back(spec.materialize());
+      }
+      spmm_bank = std::make_shared<const spmm::SpmmBank>(
+          spmm::train_spmm_bank(spmm_corpus, {.k = 8, .iters = 1}));
+    }
+    server.set_spmm_bank(spmm_bank);
+
+    // Amortized dual-model selector for SOLVE sessions, trained from the
+    // cached mini-corpus measurements (per-config prep times ride along
+    // with the speed labels, so this is free once the cache is warm).
+    try {
+      MeasurementCache amortized_cache;
+      const auto records = amortized_cache.get_or_measure(
+          examples::mini_corpus(), {.iters = 2, .repeats = 1});
+      server.set_amortized(
+          std::make_shared<const AmortizedWise>(train_amortized(records)));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "[wise_served] amortized selector unavailable (%s); "
+                   "SOLVE degrades to the bank's N-agnostic choice\n",
+                   e.what());
+    }
 
     const auto learn_opts = learn::LearnOptions::from_env();
     if (learn_opts.enabled) {

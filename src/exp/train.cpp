@@ -27,4 +27,42 @@ ModelBank train_model_bank(const std::vector<MatrixRecord>& records,
   return bank;
 }
 
+AmortizedWise train_amortized(const std::vector<MatrixRecord>& records,
+                              const TreeParams& params) {
+  if (records.empty()) {
+    throw std::invalid_argument("train_amortized: no records");
+  }
+  const auto configs = all_method_configs();
+  std::vector<std::vector<double>> features;
+  std::vector<std::vector<double>> rel_times;
+  std::vector<std::vector<double>> prep_iters;
+  features.reserve(records.size());
+  rel_times.reserve(records.size());
+  prep_iters.reserve(records.size());
+  for (const auto& rec : records) {
+    if (rec.config_prep_seconds.size() != configs.size()) {
+      throw std::invalid_argument(
+          "train_amortized: record '" + rec.id +
+          "' carries no per-config prep times");
+    }
+    const double base = rec.best_csr_seconds();
+    if (base <= 0.0) {
+      throw std::invalid_argument("train_amortized: record '" + rec.id +
+                                  "' has a non-positive CSR baseline");
+    }
+    features.push_back(rec.features);
+    std::vector<double> rel(configs.size());
+    std::vector<double> prep(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      rel[c] = rec.rel_time(c);
+      prep[c] = rec.config_prep_seconds[c] / base;
+    }
+    rel_times.push_back(std::move(rel));
+    prep_iters.push_back(std::move(prep));
+  }
+  AmortizedWise model;
+  model.train(configs, features, rel_times, prep_iters, params);
+  return model;
+}
+
 }  // namespace wise

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "exp/measure.hpp"
+#include "wise/amortized.hpp"
 #include "wise/model_bank.hpp"
 
 namespace wise {
@@ -11,5 +12,12 @@ namespace wise {
 /// Trains one decision tree per configuration from measured records.
 ModelBank train_model_bank(const std::vector<MatrixRecord>& records,
                            const TreeParams& params = {});
+
+/// Trains the dual-model amortized selector (wise/amortized.hpp) from the
+/// same records: speed trees from rel_time, prep trees from
+/// config_prep_seconds normalized to best-CSR iterations. Records must
+/// carry per-config prep times (measure_matrix fills them).
+AmortizedWise train_amortized(const std::vector<MatrixRecord>& records,
+                              const TreeParams& params = {});
 
 }  // namespace wise

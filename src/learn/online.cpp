@@ -115,6 +115,20 @@ std::optional<ModelBank> build_candidate(const ModelBank& live,
   return ModelBank::assemble(configs, std::move(trees));
 }
 
+/// The learner's retraining corpus: only samples of its own workload
+/// class. Foreign-class records stay in the shared WAL for their own
+/// bank's tooling but must never reach this bank's trees or holdout.
+std::vector<Sample> own_class_samples(const std::vector<Sample>& all,
+                                      WorkloadClass cls) {
+  std::vector<Sample> out;
+  out.reserve(all.size());
+  const auto want = static_cast<std::uint8_t>(cls);
+  for (const Sample& s : all) {
+    if (s.workload_class == want) out.push_back(s);
+  }
+  return out;
+}
+
 /// Temporal split: train on the oldest (1 - holdout) fraction, validate on
 /// the newest — the distribution the next bank will actually serve.
 std::size_t holdout_count(std::size_t n, double fraction) {
@@ -152,6 +166,17 @@ LearnOptions LearnOptions::from_env() {
               static_cast<std::int64_t>(o.guard_min_samples)));
   o.rollback_margin =
       env_double("WISE_LEARN_ROLLBACK_MARGIN", o.rollback_margin);
+  const std::string workload = env_string("WISE_LEARN_WORKLOAD", "spmv");
+  if (workload == "spmm") {
+    o.workload_class = WorkloadClass::kSpmm;
+  } else if (workload == "session") {
+    o.workload_class = WorkloadClass::kSession;
+  } else if (workload != "spmv") {
+    std::fprintf(stderr,
+                 "LearnOptions: unknown WISE_LEARN_WORKLOAD '%s'; using "
+                 "spmv\n",
+                 workload.c_str());
+  }
   return o;
 }
 
@@ -185,6 +210,7 @@ void OnlineLearner::start() {
       stats_.samples_recovered = rec.records;
       stats_.wal_corrupt_skipped = rec.corrupt_skipped;
       stats_.wal_torn_bytes = rec.torn_tail_bytes;
+      stats_.wal_legacy_records = rec.legacy_records;
       // Recovered samples are retrainable material that postdates the last
       // retrain (there was none in this process).
       samples_seen_ += rec.records;
@@ -242,6 +268,14 @@ void OnlineLearner::observe(const Sample& s) {
     // durability, never a request.
     ++stats_.wal_errors;
     metrics.add(ids.wal_error_count);
+  }
+
+  // Foreign workload classes (SpMM, SOLVE sessions) are durable in the
+  // shared WAL above, but this learner's drift window, guardrail, and
+  // retrains describe only its own bank — don't let them pollute it.
+  if (s.workload_class != static_cast<std::uint8_t>(opts_.workload_class)) {
+    ++stats_.samples_foreign_class;
+    return;
   }
 
   // Only the live bank's predictions say anything about the live bank;
@@ -302,7 +336,8 @@ void OnlineLearner::thread_main() {
 
 void OnlineLearner::retrain_cycle(std::unique_lock<std::mutex>& lk) {
   drift_pending_ = false;
-  const std::vector<Sample> all = log_.samples();
+  const std::vector<Sample> all =
+      own_class_samples(log_.samples(), opts_.workload_class);
   if (all.size() < std::max<std::size_t>(2, opts_.min_samples)) return;
   if (samples_seen_ <= last_retrain_samples_) return;  // nothing new
   const std::uint64_t prev_retrain_mark = last_retrain_samples_;
@@ -457,7 +492,8 @@ bool OnlineLearner::publish_candidate(ModelBank bank, bool validate) {
   }
 
   if (validate) {
-    const std::vector<Sample> all = log_.samples();
+    const std::vector<Sample> all =
+        own_class_samples(log_.samples(), opts_.workload_class);
     lk.unlock();
     double cand_acc = 0;
     double live_acc = 0;

@@ -73,6 +73,13 @@ struct LearnOptions {
   std::size_t guard_min_samples = 32;  ///< post-swap observations before verdict
   double rollback_margin = 0.10;  ///< regression beyond this rolls back
 
+  /// Which workload this learner's drift window and retrains track. All
+  /// observed samples land in the WAL regardless of class (one durable log
+  /// per daemon), but only own-class samples feed the drift detector,
+  /// guardrail, and retraining corpus — SpMM and SOLVE traffic must not
+  /// trigger SpMV retrains or dilute the SpMV window.
+  WorkloadClass workload_class = WorkloadClass::kSpmv;
+
   TreeParams tree_params;  ///< refit hyperparameters
 
   /// Reads WISE_LEARN, WISE_LEARN_LOG, WISE_LEARN_SAMPLE_RATE,
@@ -80,7 +87,8 @@ struct LearnOptions {
   /// WISE_LEARN_DRIFT_THRESHOLD, WISE_LEARN_INTERVAL_MS,
   /// WISE_LEARN_MIN_CONFIG_SAMPLES, WISE_LEARN_HOLDOUT,
   /// WISE_LEARN_SWAP_MARGIN, WISE_LEARN_GUARD_MIN,
-  /// WISE_LEARN_ROLLBACK_MARGIN over these defaults.
+  /// WISE_LEARN_ROLLBACK_MARGIN, WISE_LEARN_WORKLOAD (spmv|spmm|session)
+  /// over these defaults.
   static LearnOptions from_env();
 };
 
@@ -93,6 +101,10 @@ struct LearnStats {
   std::uint64_t wal_torn_bytes = 0;       ///< torn tail truncated at start()
   std::uint64_t wal_errors = 0;     ///< append failures (serving continued)
   std::uint64_t wal_rotations = 0;  ///< log compactions
+  std::uint64_t wal_legacy_records = 0;  ///< v1 records read as spmv
+  /// Samples logged but outside this learner's workload class (kept out of
+  /// the drift window and retrains).
+  std::uint64_t samples_foreign_class = 0;
 
   double mispredict_rate = 0;  ///< current sliding window (±1-class)
   std::size_t window_samples = 0;

@@ -1,5 +1,7 @@
 #include "learn/sample_log.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <iterator>
 #include <filesystem>
@@ -67,6 +69,15 @@ std::uint64_t wal_checksum(std::string_view payload) {
   return fnv1a(payload);
 }
 
+const char* workload_class_name(WorkloadClass c) {
+  switch (c) {
+    case WorkloadClass::kSpmv: return "spmv";
+    case WorkloadClass::kSpmm: return "spmm";
+    case WorkloadClass::kSession: return "session";
+  }
+  return "unknown";
+}
+
 std::string encode_sample(const Sample& s) {
   std::string out;
   put(out, s.fingerprint);
@@ -78,10 +89,13 @@ std::string encode_sample(const Sample& s) {
   out += s.config_name;
   put(out, static_cast<std::uint32_t>(s.features.size()));
   for (double f : s.features) put(out, f);
+  // v2: workload class rides at the end so a v1 reader's fields all stay
+  // at their old offsets.
+  put(out, s.workload_class);
   return out;
 }
 
-Sample decode_sample(std::string_view payload) {
+Sample decode_sample(std::string_view payload, bool* legacy) {
   std::size_t off = 0;
   Sample s;
   s.fingerprint = take<std::uint64_t>(payload, off);
@@ -103,6 +117,15 @@ Sample decode_sample(std::string_view payload) {
   }
   s.features.resize(feat_count);
   for (auto& f : s.features) f = take<double>(payload, off);
+  if (off == payload.size()) {
+    // v1 payload: no workload byte. Those logs predate SpMM/session
+    // serving, so every record is an SpMV sample.
+    s.workload_class = static_cast<std::uint8_t>(WorkloadClass::kSpmv);
+    if (legacy) *legacy = true;
+    return s;
+  }
+  s.workload_class = take<std::uint8_t>(payload, off);
+  if (legacy) *legacy = false;
   if (off != payload.size()) {
     throw Error(ErrorCategory::kParse, "sample payload has trailing bytes",
                 {.offset = off});
@@ -137,12 +160,16 @@ RecoveryStats SampleLog::open() {
     }
   }
 
+  // v1 and v2 headers are the same length and frame records identically,
+  // so an old log reads in place; its records just lack the workload byte.
+  static_assert(kMagic.size() == kMagicV1.size());
+  const auto header = std::string_view(data).substr(
+      0, std::min(data.size(), kMagic.size()));
   bool rewrite = false;
   std::size_t good_end = 0;
   if (data.empty()) {
     rewrite = true;  // new (or empty) log: write the header
-  } else if (data.size() < kMagic.size() ||
-             std::string_view(data).substr(0, kMagic.size()) != kMagic) {
+  } else if (header != kMagic && header != kMagicV1) {
     stats.header_rewritten = true;
     rewrite = true;
   } else {
@@ -163,14 +190,22 @@ RecoveryStats SampleLog::open() {
         continue;
       }
       try {
-        samples_.push_back(decode_sample(payload));
+        bool legacy = false;
+        samples_.push_back(decode_sample(payload, &legacy));
         ++stats.records;
+        if (legacy) ++stats.legacy_records;
       } catch (const Error&) {
         ++stats.corrupt_skipped;
       }
       good_end = off;
     }
     stats.torn_tail_bytes = data.size() - good_end;
+    if (stats.legacy_records > 0) {
+      std::fprintf(stderr,
+                   "SampleLog: %zu v1 record(s) in %s read as spmv "
+                   "(no workload byte)\n",
+                   stats.legacy_records, path_.c_str());
+    }
   }
 
   if (rewrite) {

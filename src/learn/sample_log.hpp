@@ -11,8 +11,16 @@
 // On-disk format (single file, platform-native byte order — a local log,
 // like serve fingerprints, not an interchange format):
 //
-//   "wise-sample-log v1\n"                    header (magic)
+//   "wise-sample-log v2\n"                    header (magic)
 //   [u32 payload bytes][u64 FNV-1a of payload][payload] ...   records
+//
+// v2 appends one workload-class byte (SpMV / SpMM / solver session) to the
+// payload so multi-workload deployments can keep their drift windows
+// separate. The bump is compatible both ways: open() accepts a v1 header
+// unchanged (same length, records decode normally), and a v1 payload —
+// one byte short — decodes as SpMV with the record counted in
+// RecoveryStats::legacy_records and warned about once, the same
+// skip-and-warn posture corrupt records get.
 //
 // The payload is the Sample encoded by encode_sample(). The length field
 // frames the record; the checksum detects payload corruption independently
@@ -47,6 +55,20 @@
 
 namespace wise::learn {
 
+/// Which operation class produced a sample. Values are stable — they are
+/// the WAL's on-disk workload byte. Each OnlineLearner tracks exactly one
+/// class in its drift window (LearnOptions::workload_class); samples of
+/// other classes are still WAL-appended (they are valid training material
+/// for their own bank) but never pollute a foreign window.
+enum class WorkloadClass : std::uint8_t {
+  kSpmv = 0,     ///< single-vector RUN requests
+  kSpmm = 1,     ///< multi-vector SpMM requests (src/spmm/)
+  kSession = 2,  ///< iterative SOLVE sessions
+};
+
+/// Stable lowercase name ("spmv", "spmm", "session").
+const char* workload_class_name(WorkloadClass c);
+
 /// One labeled observation of a served RUN.
 struct Sample {
   std::uint64_t fingerprint = 0;   ///< structural matrix fingerprint
@@ -56,6 +78,9 @@ struct Sample {
   double rel_time = 0;  ///< measured t_chosen / t_csr_baseline
   std::string config_name;
   std::vector<double> features;
+  /// On-disk workload byte; v1 records decode as kSpmv.
+  std::uint8_t workload_class =
+      static_cast<std::uint8_t>(WorkloadClass::kSpmv);
 
   friend bool operator==(const Sample&, const Sample&) = default;
 };
@@ -65,8 +90,9 @@ struct Sample {
 std::string encode_sample(const Sample& s);
 
 /// Inverse of encode_sample. Throws wise::Error (kParse) on malformed
-/// payloads.
-Sample decode_sample(std::string_view payload);
+/// payloads. A v1 payload (no workload byte) decodes as kSpmv and sets
+/// *legacy when the caller asks.
+Sample decode_sample(std::string_view payload, bool* legacy = nullptr);
 
 /// The checksum the WAL frames carry (FNV-1a over the payload bytes).
 std::uint64_t wal_checksum(std::string_view payload);
@@ -76,12 +102,15 @@ struct RecoveryStats {
   std::size_t records = 0;          ///< samples recovered intact
   std::size_t corrupt_skipped = 0;  ///< framed records with bad checksum/body
   std::size_t torn_tail_bytes = 0;  ///< trailing bytes truncated
+  std::size_t legacy_records = 0;   ///< v1 records read as SpMV (warned)
   bool header_rewritten = false;    ///< header unusable; started fresh
 };
 
 class SampleLog {
  public:
-  static constexpr std::string_view kMagic = "wise-sample-log v1\n";
+  static constexpr std::string_view kMagic = "wise-sample-log v2\n";
+  /// Still accepted by open(); same length, so records read identically.
+  static constexpr std::string_view kMagicV1 = "wise-sample-log v1\n";
 
   /// `max_records` caps the log; crossing it compacts to the newest half.
   explicit SampleLog(std::string path, std::size_t max_records = 4096);

@@ -1,12 +1,17 @@
 #include "serve/server.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cmath>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "features/extractor.hpp"
 #include "obs/metrics.hpp"
+#include "solvers/solvers.hpp"
+#include "spmv/plan.hpp"
 #include "util/aligned.hpp"
 #include "util/env.hpp"
 #include "util/fault.hpp"
@@ -249,6 +254,26 @@ std::shared_ptr<learn::OnlineLearner> Server::learner() const {
   return learners_.empty() ? nullptr : learners_.back();
 }
 
+void Server::set_spmm_bank(std::shared_ptr<const spmm::SpmmBank> bank) {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  spmm_bank_ = std::move(bank);
+}
+
+std::shared_ptr<const spmm::SpmmBank> Server::spmm_bank() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return spmm_bank_;
+}
+
+void Server::set_amortized(std::shared_ptr<const AmortizedWise> model) {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  amortized_ = std::move(model);
+}
+
+std::shared_ptr<const AmortizedWise> Server::amortized() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return amortized_;
+}
+
 std::size_t Server::shard_of(const Fingerprint& fp) const {
   // splitmix64-style finalizer over the fingerprint hash: home shards stay
   // uniform even when structure hashes share low bits (similar matrices).
@@ -344,6 +369,11 @@ ServerStats Server::stats() const {
     s.coalesced += c.coalesced.load(std::memory_order_relaxed);
     s.prepares += c.prepares.load(std::memory_order_relaxed);
     s.sampled += c.sampled.load(std::memory_order_relaxed);
+    s.spmm_requests += c.spmm_requests.load(std::memory_order_relaxed);
+    s.sessions_active += c.sessions_active.load(std::memory_order_relaxed);
+    s.sessions_completed +=
+        c.sessions_completed.load(std::memory_order_relaxed);
+    s.session_iters += c.session_iters.load(std::memory_order_relaxed);
   }
   // Gauges refresh here, off the request path (stats() is the poll point).
   obs::MetricsRegistry::global().set_gauge(
@@ -386,11 +416,16 @@ MethodConfig Server::cheapest_csr_config(const Wise& wise) {
 std::shared_ptr<PreparedEntry> Server::prepare_entry(Shard& home,
                                                      const Request& req,
                                                      const Fingerprint& fp,
-                                                     WiseChoice& choice) {
+                                                     WiseChoice& choice,
+                                                     bool preset) {
   home.counters.prepares.fetch_add(1, std::memory_order_relaxed);
   const std::size_t shard_budget = home.prepared_cache.budget();
   const BankSlot slot = acquire_bank();
-  PreparedMatrix pm = slot.wise->prepare(*req.matrix, choice);
+  // A preset choice (the SOLVE path's amortized selection) is converted
+  // as-is; otherwise the bank chooses as part of prepare.
+  PreparedMatrix pm = preset
+                          ? PreparedMatrix::prepare(*req.matrix, choice.config)
+                          : slot.wise->prepare(*req.matrix, choice);
   if (shard_budget > 0 && choice.config.kind != MethodKind::kCsr &&
       prepared_entry_bytes(*req.matrix, pm) > shard_budget) {
     // A layout that alone overflows its shard's prepared-cache budget would
@@ -412,7 +447,9 @@ std::shared_ptr<PreparedEntry> Server::prepare_entry(Shard& home,
   entry->bytes = prepared_entry_bytes(*req.matrix, pm);
   entry->prepared = std::move(pm);
   entry->bank_version = slot.version;
-  home.choice_cache.put(fp, choice);
+  // An amortized (preset) choice answers "best for N iterations", not the
+  // bank's N-agnostic PREDICT — keep it out of the choice tier.
+  if (!preset) home.choice_cache.put(fp, choice);
   home.prepared_cache.put(fp, entry);
   return entry;
 }
@@ -420,7 +457,8 @@ std::shared_ptr<PreparedEntry> Server::prepare_entry(Shard& home,
 std::shared_ptr<PreparedEntry> Server::prepare_or_join(Shard& home,
                                                        const Request& req,
                                                        const Fingerprint& fp,
-                                                       Response& rsp) {
+                                                       Response& rsp,
+                                                       bool preset) {
   std::promise<std::shared_ptr<PreparedEntry>> my_promise;
   std::shared_future<std::shared_ptr<PreparedEntry>> fut;
   bool leader = false;
@@ -458,7 +496,7 @@ std::shared_ptr<PreparedEntry> Server::prepare_or_join(Shard& home,
 
   try {
     std::shared_ptr<PreparedEntry> entry =
-        prepare_entry(home, req, fp, rsp.choice);
+        prepare_entry(home, req, fp, rsp.choice, preset);
     my_promise.set_value(entry);
     std::lock_guard<std::mutex> lock(home.inflight_mutex);
     home.inflight.erase(fp);
@@ -546,6 +584,239 @@ void Server::observe_run(Shard& home, const Request& req, const Response& rsp,
   }
 }
 
+Response Server::process_spmm(Shard& home, const Request& req, Response rsp) {
+  const CsrMatrix& m = *req.matrix;
+  const index_t k = static_cast<index_t>(std::clamp(req.rhs_cols, 1, 64));
+  const auto bank = spmm_bank();
+  rsp.bank_version = bank_version();
+
+  spmm::SpmmChoice choice;
+  std::shared_ptr<const std::vector<double>> features;
+  if (bank != nullptr && bank->trained()) {
+    auto fv =
+        std::make_shared<std::vector<double>>(extract_features(m).values);
+    choice = bank->choose(*fv);
+    features = std::move(fv);
+    rsp.choice.predicted_class = choice.predicted_class;
+  } else {
+    choice.config = spmm::spmm_method_configs()[0];
+    rsp.choice.fallback_reason =
+        "spmm: no bank installed; serving the kb=1 baseline";
+  }
+  rsp.config_name = choice.config.name();
+
+  // Seeded like kRun: the RHS is a pure function of the fingerprint, so
+  // repeated SPMMs of one matrix are bit-identical at any shard count.
+  aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()) *
+                            static_cast<std::size_t>(k));
+  aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()) *
+                            static_cast<std::size_t>(k));
+  Xoshiro256 rng(0x517e5eedull ^ rsp.fingerprint.structure);
+  for (auto& v : x) v = static_cast<value_t>(rng.next_double());
+
+  const int iters = std::max(1, req.iters);
+  const SpmvPlan plan =
+      build_csr_plan(m, choice.config.sched, omp_get_max_threads(), false);
+  Timer t;
+  for (int i = 0; i < iters; ++i) {
+    spmm::spmm_csr(m, x, y, k, choice.config, plan);
+  }
+  rsp.spmv_seconds = t.seconds() / iters;
+  double sum = 0;
+  for (const value_t v : y) sum += static_cast<double>(v);
+  rsp.checksum = sum;
+  home.counters.spmm_requests.fetch_add(1, std::memory_order_relaxed);
+
+  auto* lr = learner_raw_.load(std::memory_order_acquire);
+  if (lr != nullptr && features != nullptr && lr->should_sample()) {
+    observe_spmm(home, rsp, choice, features, m, x, y, k, iters,
+                 rsp.spmv_seconds);
+  }
+  return rsp;
+}
+
+void Server::observe_spmm(
+    Shard& home, const Response& rsp, const spmm::SpmmChoice& choice,
+    const std::shared_ptr<const std::vector<double>>& features,
+    const CsrMatrix& m, std::span<const value_t> x, std::span<value_t> y,
+    index_t k, int iters, double chosen_per_iter) {
+  auto* lr = learner_raw_.load(std::memory_order_acquire);
+  if (lr == nullptr || features == nullptr) return;
+  try {
+    // Label against the SpMM training baseline: kb=1/Dyn, i.e. k repeated
+    // plan-SpMVs, on the same RHS.
+    const spmm::SpmmConfig& baseline = spmm::spmm_method_configs()[0];
+    Timer t;
+    for (int i = 0; i < iters; ++i) {
+      spmm::spmm_csr(m, x, y, k, baseline);
+    }
+    const double baseline_per_iter = t.seconds() / iters;
+    if (baseline_per_iter <= 0.0 || chosen_per_iter <= 0.0) return;
+
+    learn::Sample s;
+    s.fingerprint = rsp.fingerprint.structure;
+    s.bank_version = rsp.bank_version;
+    s.predicted_class = choice.predicted_class;
+    s.rel_time = chosen_per_iter / baseline_per_iter;
+    s.observed_class = classify_relative_time(s.rel_time);
+    s.config_name = choice.config.name();
+    s.features = *features;
+    s.workload_class = static_cast<std::uint8_t>(learn::WorkloadClass::kSpmm);
+    lr->observe(s);
+    home.counters.sampled.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    // Sampling rides on a successful request; it must never fail one.
+  }
+}
+
+Response Server::process_solve(Shard& home, const Request& req, Response rsp) {
+  const CsrMatrix& m = *req.matrix;
+  if (m.nrows() != m.ncols()) {
+    throw Error(ErrorCategory::kValidation,
+                "SOLVE requires a square matrix", {.stage = stage::kServe});
+  }
+  home.counters.sessions_active.fetch_add(1, std::memory_order_relaxed);
+  struct ActiveGuard {
+    std::atomic<std::uint64_t>& active;
+    ~ActiveGuard() { active.fetch_sub(1, std::memory_order_relaxed); }
+  } guard{home.counters.sessions_active};
+
+  const int max_iters = std::max(1, req.iters);
+
+  // Warm session: the layout a previous session (or RUN) prepared for this
+  // fingerprint serves every iteration — no choose, no prepare. This cache
+  // hit IS the amortization the solve-session perf stage measures.
+  std::shared_ptr<PreparedEntry> entry =
+      home.prepared_cache.get(rsp.fingerprint);
+  if (entry != nullptr) {
+    rsp.prepared_cache_hit = true;
+    rsp.choice = entry->choice;
+  } else {
+    const auto model = amortized();
+    bool preset = false;
+    if (model != nullptr && model->trained()) {
+      try {
+        auto fv =
+            std::make_shared<std::vector<double>>(extract_features(m).values);
+        const AmortizedChoice ac =
+            model->choose(*fv, static_cast<double>(max_iters));
+        rsp.choice = WiseChoice{};
+        rsp.choice.config = ac.config;
+        rsp.choice.predicted_class = ac.speed_class;
+        rsp.choice.features = std::move(fv);
+        preset = true;
+      } catch (const std::exception&) {
+        preset = false;  // degrade to the bank's N-agnostic choose
+      }
+    }
+    entry = prepare_or_join(home, req, rsp.fingerprint, rsp, preset);
+  }
+  rsp.bank_version = entry->bank_version;
+
+  // Time each SpMV through the operator wrapper: the per-SpMV cost is what
+  // the amortized model predicted, and what a sampled session is labeled
+  // with (the solver's vector work is excluded from the label).
+  static thread_local SrvWorkspace solve_ws;
+  double spmv_total = 0;
+  int spmv_calls = 0;
+  const SpmvOperator op = [&](std::span<const value_t> vx,
+                              std::span<value_t> vy) {
+    Timer t;
+    entry->prepared.run(vx, vy, solve_ws);
+    spmv_total += t.seconds();
+    ++spmv_calls;
+  };
+
+  // b is a pure function of the fingerprint (same seed family as kRun), so
+  // a warm session reproduces a cold session's iterates bit for bit.
+  aligned_vector<value_t> b(static_cast<std::size_t>(m.nrows()));
+  Xoshiro256 rng(0x517e5eedull ^ rsp.fingerprint.structure);
+  for (auto& v : b) v = static_cast<value_t>(rng.next_double());
+
+  SolverOptions sopts;
+  sopts.max_iterations = max_iters;
+  SolverResult result;
+  Timer solve_t;
+  if (req.solver == "jacobi") {
+    aligned_vector<value_t> diag(static_cast<std::size_t>(m.nrows()), 0.0);
+    const nnz_t* rp = m.row_ptr().data();
+    const index_t* ci = m.col_idx().data();
+    const value_t* va = m.vals().data();
+    for (index_t i = 0; i < m.nrows(); ++i) {
+      for (nnz_t p = rp[i]; p < rp[i + 1]; ++p) {
+        if (ci[p] == i) diag[static_cast<std::size_t>(i)] = va[p];
+      }
+    }
+    result = solve_jacobi(op, diag, b, sopts);
+  } else if (req.solver == "bicgstab") {
+    result = solve_bicgstab(op, b, sopts);
+  } else if (req.solver == "cg") {
+    result = solve_cg(op, b, sopts);
+  } else {
+    throw Error(ErrorCategory::kValidation,
+                "unknown solver '" + req.solver +
+                    "' (expected cg, jacobi, or bicgstab)",
+                {.stage = stage::kServe});
+  }
+  const double solve_seconds = solve_t.seconds();
+
+  rsp.solve_iterations = result.iterations;
+  rsp.residual_norm = result.residual_norm;
+  rsp.converged = result.converged;
+  rsp.spmv_seconds = result.iterations > 0
+                         ? solve_seconds / result.iterations
+                         : solve_seconds;
+  double sum = 0;
+  for (const value_t v : result.x) sum += static_cast<double>(v);
+  rsp.checksum = sum;
+
+  home.counters.sessions_completed.fetch_add(1, std::memory_order_relaxed);
+  home.counters.session_iters.fetch_add(
+      static_cast<std::uint64_t>(std::max(0, result.iterations)),
+      std::memory_order_relaxed);
+
+  auto* lr = learner_raw_.load(std::memory_order_acquire);
+  if (lr != nullptr && spmv_calls > 0 && entry->choice.features != nullptr &&
+      lr->should_sample()) {
+    observe_session(home, rsp, entry, b, spmv_total / spmv_calls);
+  }
+  return rsp;
+}
+
+void Server::observe_session(Shard& home, const Response& rsp,
+                             const std::shared_ptr<PreparedEntry>& entry,
+                             std::span<const value_t> b,
+                             double chosen_per_spmv) {
+  auto* lr = learner_raw_.load(std::memory_order_acquire);
+  if (lr == nullptr || entry->choice.features == nullptr) return;
+  try {
+    const CsrMatrix& m = *entry->matrix;
+    PreparedMatrix baseline = PreparedMatrix::prepare(m, MethodConfig{});
+    aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()));
+    static thread_local SrvWorkspace baseline_ws;
+    const int iters = std::clamp(rsp.solve_iterations, 1, 4);
+    Timer t;
+    for (int i = 0; i < iters; ++i) baseline.run(b, y, baseline_ws);
+    const double baseline_per_iter = t.seconds() / iters;
+    if (baseline_per_iter <= 0.0 || chosen_per_spmv <= 0.0) return;
+
+    learn::Sample s;
+    s.fingerprint = rsp.fingerprint.structure;
+    s.bank_version = entry->bank_version;
+    s.predicted_class = entry->choice.predicted_class;
+    s.rel_time = chosen_per_spmv / baseline_per_iter;
+    s.observed_class = classify_relative_time(s.rel_time);
+    s.config_name = entry->choice.config.name();
+    s.features = *entry->choice.features;
+    s.workload_class =
+        static_cast<std::uint8_t>(learn::WorkloadClass::kSession);
+    lr->observe(s);
+    home.counters.sampled.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    // Sampling rides on a successful request; it must never fail one.
+  }
+}
+
 Response Server::process(Shard& exec, const Request& req,
                          std::chrono::steady_clock::time_point enqueued,
                          std::chrono::steady_clock::time_point deadline) {
@@ -605,6 +876,10 @@ Response Server::process(Shard& exec, const Request& req,
         rsp.bank_version = slot.version;
         home.choice_cache.put(rsp.fingerprint, rsp.choice);
       }
+    } else if (req.kind == RequestKind::kSpmm) {
+      rsp = process_spmm(home, req, std::move(rsp));
+    } else if (req.kind == RequestKind::kSolve) {
+      rsp = process_solve(home, req, std::move(rsp));
     } else {
       std::shared_ptr<PreparedEntry> entry =
           home.prepared_cache.get(rsp.fingerprint);
@@ -619,7 +894,10 @@ Response Server::process(Shard& exec, const Request& req,
         rsp = run_prepared(home, req, std::move(rsp), entry);
       }
     }
-    rsp.config_name = rsp.choice.config.name();
+    // kSpmm names its SpmmConfig itself; everything else echoes the choice.
+    if (rsp.config_name.empty()) {
+      rsp.config_name = rsp.choice.config.name();
+    }
     rsp.ok = true;
   } catch (const Error& e) {
     rsp = error_response(req, e.category(), e.what());

@@ -70,9 +70,11 @@
 #include "learn/online.hpp"
 #include "serve/cache.hpp"
 #include "serve/fingerprint.hpp"
+#include "spmm/model.hpp"
 #include "util/epoch.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
+#include "wise/amortized.hpp"
 #include "wise/pipeline.hpp"
 
 namespace wise::serve {
@@ -81,6 +83,20 @@ enum class RequestKind {
   kPredict,  ///< choose() only: selection + predicted class
   kPrepare,  ///< choose() + layout conversion, result cached
   kRun,      ///< kPrepare + `iters` SpMV iterations on a seeded vector
+  /// Blocked SpMM on a seeded `rhs_cols`-column dense RHS, configuration
+  /// chosen by the SpMM bank (set_spmm_bank; src/spmm/). Served from the
+  /// CSR arrays directly — no prepared-cache entry — so only the choice is
+  /// model work.
+  kSpmm,
+  /// One whole iterative solve (src/solvers/) as a single request: choose
+  /// once with the amortized dual-model selector (set_amortized;
+  /// src/wise/amortized.hpp) using `iters` as the expected iteration
+  /// count, prepare once into the shard's prepared cache, then run every
+  /// solver iteration on that layout. A warm session (fingerprint already
+  /// prepared) skips choose AND prepare — the paper's "one-time selection,
+  /// many iterations" amortization, measured by the solve-session perf
+  /// stage.
+  kSolve,
 };
 
 enum class OverflowPolicy {
@@ -114,7 +130,12 @@ struct Request {
   RequestKind kind = RequestKind::kPredict;
   std::shared_ptr<const CsrMatrix> matrix;
   std::string id;  ///< caller tag (e.g. file path), echoed in the response
-  int iters = 1;   ///< SpMV iterations for kRun
+  /// kRun: SpMV iterations. kSpmm: SpMM iterations. kSolve: the solver's
+  /// max iteration count AND the amortized selector's expected-N.
+  int iters = 1;
+  int rhs_cols = 4;  ///< kSpmm: dense RHS column count, clamped to [1, 64]
+  /// kSolve: "cg" (default), "jacobi", or "bicgstab".
+  std::string solver = "cg";
   /// Per-request deadline override; 0 uses ServerOptions::default_deadline.
   std::chrono::milliseconds deadline{0};
   /// Precomputed cache key, trusted verbatim. The hash is an O(nnz) pass,
@@ -142,8 +163,16 @@ struct Response {
 
   double queue_seconds = 0;    ///< time spent waiting for a worker
   double service_seconds = 0;  ///< worker time (fingerprint → done)
-  double spmv_seconds = 0;     ///< kRun: mean seconds per iteration
-  double checksum = 0;         ///< kRun: sum of the final y (determinism)
+  /// kRun/kSpmm: mean seconds per iteration. kSolve: mean seconds per
+  /// solver iteration (SpMV + vector work).
+  double spmv_seconds = 0;
+  /// kRun: sum of the final y. kSpmm: sum of the final Y block. kSolve:
+  /// sum of the solution x. Bit-stable across cache temperature and shard
+  /// count (the determinism contract).
+  double checksum = 0;
+  int solve_iterations = 0;  ///< kSolve: iterations the solver executed
+  double residual_norm = 0;  ///< kSolve: final ||b - Ax||_2
+  bool converged = false;    ///< kSolve: tolerance reached before `iters`
   /// Version of the model bank that served this request (hot-swap
   /// observability; the initial bank is version 1).
   std::uint64_t bank_version = 0;
@@ -161,6 +190,10 @@ struct ServerStats {
   std::uint64_t coalesced = 0;  ///< requests that joined an in-flight prepare
   std::uint64_t prepares = 0;   ///< layout conversions actually executed
   std::uint64_t sampled = 0;    ///< RUNs observed by the online learner
+  std::uint64_t spmm_requests = 0;   ///< kSpmm requests completed
+  std::uint64_t sessions_active = 0;     ///< kSolve sessions running now
+  std::uint64_t sessions_completed = 0;  ///< kSolve sessions finished
+  std::uint64_t session_iters = 0;  ///< solver iterations across sessions
 };
 
 class Server {
@@ -222,6 +255,19 @@ class Server {
   void attach_learner(std::shared_ptr<learn::OnlineLearner> learner);
   std::shared_ptr<learn::OnlineLearner> learner() const;
 
+  /// Installs the SpMM model bank serving kSpmm requests. Independent of
+  /// the SpMV bank (publish_bank never touches it — the §7 add-a-method
+  /// separation). Without one, kSpmm serves the kb=1 baseline with a
+  /// fallback note. Thread-safe.
+  void set_spmm_bank(std::shared_ptr<const spmm::SpmmBank> bank);
+  std::shared_ptr<const spmm::SpmmBank> spmm_bank() const;
+
+  /// Installs the amortized dual-model selector kSolve sessions choose
+  /// with. Without one, sessions fall back to the SpMV bank's N-agnostic
+  /// choose(). Thread-safe.
+  void set_amortized(std::shared_ptr<const AmortizedWise> model);
+  std::shared_ptr<const AmortizedWise> amortized() const;
+
  private:
   /// Hot-path counters, one cache-line-padded block per shard. Relaxed
   /// atomics: each event is a single uncontended fetch_add; cross-shard
@@ -236,6 +282,10 @@ class Server {
     std::atomic<std::uint64_t> coalesced{0};
     std::atomic<std::uint64_t> prepares{0};
     std::atomic<std::uint64_t> sampled{0};
+    std::atomic<std::uint64_t> spmm_requests{0};
+    std::atomic<std::uint64_t> sessions_active{0};
+    std::atomic<std::uint64_t> sessions_completed{0};
+    std::atomic<std::uint64_t> session_iters{0};
   };
 
   /// One slice of the serving state. The inflight table holds prepares
@@ -277,6 +327,12 @@ class Server {
                    std::chrono::steady_clock::time_point deadline);
   Response run_prepared(Shard& home, const Request& req, Response rsp,
                         const std::shared_ptr<PreparedEntry>& entry);
+  /// kSpmm: choose from the SpMM bank, run the blocked kernel on a seeded
+  /// RHS, optionally sample (workload class spmm).
+  Response process_spmm(Shard& home, const Request& req, Response rsp);
+  /// kSolve: amortized choose + cached prepare + full iterative solve.
+  /// Samples carry workload class session.
+  Response process_solve(Shard& home, const Request& req, Response rsp);
   /// Labels a sampled RUN: times the CSR baseline on the same input,
   /// classifies the measured relative time against the request's own
   /// timing, and feeds the learner. Any failure is swallowed — sampling
@@ -284,16 +340,34 @@ class Server {
   void observe_run(Shard& home, const Request& req, const Response& rsp,
                    const std::shared_ptr<PreparedEntry>& entry,
                    std::span<const value_t> x);
+  /// Labels a sampled SpMM: times the kb=1/Dyn baseline on the same RHS.
+  /// Workload class spmm; failures swallowed like observe_run.
+  void observe_spmm(Shard& home, const Response& rsp,
+                    const spmm::SpmmChoice& choice,
+                    const std::shared_ptr<const std::vector<double>>& features,
+                    const CsrMatrix& m, std::span<const value_t> x,
+                    std::span<value_t> y, index_t k, int iters,
+                    double chosen_per_iter);
+  /// Labels a sampled SOLVE session: times the CSR baseline SpMV against
+  /// the session's measured per-SpMV time. Workload class session.
+  void observe_session(Shard& home, const Response& rsp,
+                       const std::shared_ptr<PreparedEntry>& entry,
+                       std::span<const value_t> b, double chosen_per_spmv);
   /// Cache-miss path: join the shard's in-flight prepare for `fp` or become
   /// its leader. Exactly one conversion runs per fingerprint no matter how
-  /// many requests race. Marks rsp.coalesced on joiners.
+  /// many requests race. Marks rsp.coalesced on joiners. With `preset` the
+  /// choice already in rsp.choice is converted as-is (the SOLVE path, whose
+  /// amortized selection must not be re-chosen by the SpMV bank); without
+  /// it the bank chooses during prepare.
   std::shared_ptr<PreparedEntry> prepare_or_join(Shard& home,
                                                  const Request& req,
                                                  const Fingerprint& fp,
-                                                 Response& rsp);
+                                                 Response& rsp,
+                                                 bool preset = false);
   std::shared_ptr<PreparedEntry> prepare_entry(Shard& home, const Request& req,
                                                const Fingerprint& fp,
-                                               WiseChoice& choice);
+                                               WiseChoice& choice,
+                                               bool preset = false);
   static MethodConfig cheapest_csr_config(const Wise& wise);
 
   /// Current bank slot; readers go through acquire_bank(). Swapped-out
@@ -314,6 +388,11 @@ class Server {
   /// re-attach). Guarded by publish_mutex_ except the atomic.
   std::atomic<learn::OnlineLearner*> learner_raw_{nullptr};
   std::vector<std::shared_ptr<learn::OnlineLearner>> learners_;
+
+  /// SpMM bank + amortized selector (guarded by publish_mutex_; read once
+  /// per request on the cold inference path — never on a warm hit).
+  std::shared_ptr<const spmm::SpmmBank> spmm_bank_;
+  std::shared_ptr<const AmortizedWise> amortized_;
 
   std::atomic<bool> accepting_{true};
   std::atomic<bool> cancelled_{false};

@@ -1,0 +1,100 @@
+#pragma once
+// The SpMM model bank: per-configuration speedup-class trees, trained and
+// persisted independently of the SpMV ModelBank.
+//
+// This is the paper's §7 add-a-method claim exercised end-to-end with a
+// different operation class: SpMM configurations get their own decision
+// trees over the same 67-feature vector (features/extractor.hpp), their
+// own training run, and their own file (<dir>/spmm_models.txt) — adding
+// SpMM prediction to a deployment never touches, retrains, or re-validates
+// the SpMV bank's models.txt. Classes are the same C0..C6 relative-time
+// buckets (wise/speedup_class.hpp), normalized against the kb=1/Dyn
+// repeated-SpMV baseline instead of best-CSR.
+//
+// Persistence format (<dir>/spmm_models.txt), version 1 — the ModelBank v2
+// framing with an SpMM header:
+//
+//   wise-spmm-bank v1
+//   <#configs>
+//   <config name>
+//   tree <payload bytes> <fnv1a checksum, hex>
+//   <payload>
+//   ...
+//
+// Corrupt individual trees are skipped with a warning (degrade, don't
+// die); a bank in which no tree survives throws wise::Error (kModelBank).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+#include "spmm/spmm.hpp"
+
+namespace wise::spmm {
+
+struct SpmmChoice {
+  SpmmConfig config;
+  int predicted_class = 0;  ///< C0..C6 vs the kb=1/Dyn baseline
+};
+
+class SpmmBank {
+ public:
+  /// Trains one tree per configuration.
+  ///   features[i]     — 67-feature vector of training matrix i
+  ///   rel_times[i][c] — t_config / t_baseline of matrix i, configuration
+  ///                     configs[c] (baseline = configs()[0], kb=1/Dyn)
+  /// Throws std::invalid_argument on shape mismatches.
+  void train(const std::vector<SpmmConfig>& configs,
+             const std::vector<std::vector<double>>& features,
+             const std::vector<std::vector<double>>& rel_times,
+             const TreeParams& params = {});
+
+  /// Picks the configuration with the best predicted speedup class; ties
+  /// break toward SpmmConfig::selection_rank() (smaller register block).
+  SpmmChoice choose(std::span<const double> features) const;
+
+  /// Predicted class of one configuration (validation / spot checks).
+  int predict_class(std::size_t config_index,
+                    std::span<const double> features) const;
+
+  const std::vector<SpmmConfig>& configs() const { return configs_; }
+  bool trained() const { return !trees_.empty(); }
+
+  /// Persists as <dir>/spmm_models.txt. The SpMV bank's models.txt in the
+  /// same directory is never touched.
+  void save(const std::string& dir) const;
+
+  /// Loads a bank saved by save(). Corrupt trees are skipped with a
+  /// warning; throws wise::Error (kModelBank) when the file is missing,
+  /// the header is unreadable, or no tree survives.
+  static SpmmBank load(const std::string& dir);
+
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
+ private:
+  std::vector<SpmmConfig> configs_;
+  std::vector<DecisionTree> trees_;
+  std::vector<std::string> warnings_;
+};
+
+/// Per-configuration SpMM seconds (per iteration, min over `repeats`
+/// passes) on one matrix with a k-column RHS, in spmm_method_configs()
+/// order. Used by training and the perf_smoke spmm stage.
+std::vector<double> measure_spmm_seconds(const CsrMatrix& m, index_t k,
+                                         int iters, int repeats = 1);
+
+struct SpmmTrainOptions {
+  index_t k = 8;    ///< RHS width measured during training
+  int iters = 2;    ///< SpMM iterations per timing pass
+  int repeats = 1;  ///< timing passes (minimum taken)
+  TreeParams tree_params{.max_depth = 8, .ccp_alpha = 0.0};
+};
+
+/// Measures every configuration on each matrix and trains a bank on the
+/// results — the quick path examples, tests, and the daemon's untrained
+/// fallback use (mirrors examples' make_mini_wise()).
+SpmmBank train_spmm_bank(std::span<const CsrMatrix> mats,
+                         const SpmmTrainOptions& opts = {});
+
+}  // namespace wise::spmm

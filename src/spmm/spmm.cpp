@@ -1,0 +1,60 @@
+#include "spmm/spmm.hpp"
+
+#include <stdexcept>
+
+namespace wise::spmm {
+
+std::string SpmmConfig::name() const {
+  return std::string("SpMM/b") + std::to_string(kb) + "/" +
+         schedule_name(sched);
+}
+
+std::vector<double> SpmmConfig::selection_rank() const {
+  return {static_cast<double>(kb), static_cast<double>(sched)};
+}
+
+const std::vector<SpmmConfig>& spmm_method_configs() {
+  static const std::vector<SpmmConfig> configs = [] {
+    std::vector<SpmmConfig> out;
+    // Baseline (kb=1/Dyn) must stay at index 0: relative times are
+    // normalized against it and the daemon reports it when untrained.
+    for (int kb : kSpmmBlockWidths) {
+      out.push_back({.kb = kb, .sched = Schedule::kDyn});
+    }
+    for (int kb : kSpmmBlockWidths) {
+      out.push_back({.kb = kb, .sched = Schedule::kStCont});
+    }
+    return out;
+  }();
+  return configs;
+}
+
+SpmmConfig parse_spmm_config(const std::string& name) {
+  const auto bad = [&] {
+    return std::invalid_argument("parse_spmm_config: bad name '" + name +
+                                 "'");
+  };
+  const std::string head = "SpMM/b";
+  if (name.rfind(head, 0) != 0) throw bad();
+  const auto slash = name.find('/', head.size());
+  if (slash == std::string::npos) throw bad();
+  const std::string kb_str = name.substr(head.size(), slash - head.size());
+  int kb = 0;
+  try {
+    std::size_t used = 0;
+    kb = std::stoi(kb_str, &used);
+    if (used != kb_str.size()) throw bad();
+  } catch (const std::logic_error&) {
+    throw bad();
+  }
+  bool supported = false;
+  for (int w : kSpmmBlockWidths) supported = supported || w == kb;
+  if (!supported) throw bad();
+  const std::string sched_str = name.substr(slash + 1);
+  for (Schedule s : {Schedule::kDyn, Schedule::kSt, Schedule::kStCont}) {
+    if (sched_str == schedule_name(s)) return {.kb = kb, .sched = s};
+  }
+  throw bad();
+}
+
+}  // namespace wise::spmm

@@ -212,4 +212,10 @@ bool plan_specialization_enabled() {
   return env_flag("WISE_PLAN_SPECIALIZE", true);
 }
 
+bool srv_merge_enabled() {
+  // Cached: consulted per block on the SRVPack execution path.
+  static const bool enabled = env_flag("WISE_SRV_MERGE", false);
+  return enabled;
+}
+
 }  // namespace wise

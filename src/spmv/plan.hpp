@@ -183,4 +183,13 @@ bool plans_enabled();
 /// loop — exactly the pre-specialization behavior.
 bool plan_specialization_enabled();
 
+/// WISE_SRV_MERGE environment switch (default OFF). The SRVPack merge
+/// variant's tiny-chunk unroll measured ~0.95x of the generic chunk loop
+/// on the perf-smoke suite, so merge-classified blocks execute the generic
+/// loop unless this opts back in. Classification is unaffected either way:
+/// blocks are still labeled kMerge and variant_histogram() keeps its
+/// merge bucket populated, so plan telemetry stays shape-stable. The CSR
+/// (non-SRVPack) merge kernel is not gated. Read once and cached.
+bool srv_merge_enabled();
+
 }  // namespace wise

@@ -153,7 +153,14 @@ void run_chunks(const SrvSegment& seg, const value_t* x, value_t* y,
         }
         break;
       case KernelVariant::kMerge:
-        for (index_t k = blo; k < bhi; ++k) tiny_chunk(k);
+        // Gated off by default (WISE_SRV_MERGE): the tiny-chunk unroll
+        // measured ~0.95x of the generic loop here. The block keeps its
+        // kMerge label (histogram shape-stable); only execution demotes.
+        if (srv_merge_enabled()) {
+          for (index_t k = blo; k < bhi; ++k) tiny_chunk(k);
+        } else {
+          for (index_t k = blo; k < bhi; ++k) chunk(k);
+        }
         break;
       case KernelVariant::kGeneric:
       default:

@@ -285,6 +285,76 @@ TEST(OnlineLearner, WalSamplesSurviveRestartIntoANewLearner) {
   fs::remove(opts.log_path);
 }
 
+TEST(OnlineLearner, ForeignWorkloadClassesAreLoggedButNeverDriveDrift) {
+  // An SpMV learner receiving SpMM and session samples must persist them
+  // (the WAL is the shared corpus) while keeping its drift window, and
+  // therefore its retrain triggers, scoped to its own class — mispredicted
+  // SpMM traffic must not retrain the SpMV bank.
+  LearnOptions opts = fast_opts("foreign.wal");
+  ASSERT_EQ(opts.workload_class, WorkloadClass::kSpmv);
+  const std::size_t winner = first_config_of_kind(MethodKind::kCsr);
+  auto live = std::make_shared<const Wise>(make_bank(winner, 0.5, 1.0));
+
+  OnlineLearner learner(opts);
+  std::atomic<int> publishes{0};
+  learner.bind(
+      [&](std::shared_ptr<const Wise>) {
+        ++publishes;
+        return std::uint64_t{2};
+      },
+      live, 1);
+  learner.start();
+
+  // Mispredicting foreign traffic, enough to trip drift were it counted.
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    Sample s = synthetic_sample(winner, 1, 6, 1, i);
+    s.workload_class = static_cast<std::uint8_t>(
+        i % 2 == 0 ? WorkloadClass::kSpmm : WorkloadClass::kSession);
+    learner.observe(s);
+  }
+  LearnStats ls = learner.stats();
+  EXPECT_EQ(ls.samples_logged, 24u) << "foreign samples still hit the WAL";
+  EXPECT_EQ(ls.samples_foreign_class, 24u);
+  EXPECT_EQ(ls.window_samples, 0u) << "drift window admits only own-class";
+  EXPECT_EQ(ls.drift_events, 0u);
+  EXPECT_EQ(ls.retrains, 0u);
+  EXPECT_EQ(publishes.load(), 0);
+
+  // Own-class mispredictions still drive the loop as before.
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    learner.observe(synthetic_sample(winner, 1, 6, 1, 100 + i));
+  }
+  ASSERT_TRUE(wait_until([&] { return learner.stats().drift_events >= 1; }));
+  learner.stop();
+  fs::remove(opts.log_path);
+}
+
+TEST(OnlineLearner, WorkloadClassOptionFiltersRecoveredCorpus) {
+  // A learner bound to the spmm class retrains only on spmm samples even
+  // when the WAL holds a mixed corpus.
+  LearnOptions opts = fast_opts("classed.wal");
+  opts.workload_class = WorkloadClass::kSpmm;
+  const std::size_t winner = first_config_of_kind(MethodKind::kCsr);
+  auto live = std::make_shared<const Wise>(make_bank(winner, 0.5, 1.0));
+
+  OnlineLearner learner(opts);
+  learner.bind([](std::shared_ptr<const Wise>) { return std::uint64_t{2}; },
+               live, 1);
+  learner.start();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    Sample s = synthetic_sample(winner, 1, 6, 1, i);
+    s.workload_class = static_cast<std::uint8_t>(
+        i % 2 == 0 ? WorkloadClass::kSpmm : WorkloadClass::kSpmv);
+    learner.observe(s);
+  }
+  const LearnStats ls = learner.stats();
+  EXPECT_EQ(ls.samples_logged, 8u);
+  EXPECT_EQ(ls.samples_foreign_class, 4u);
+  EXPECT_EQ(ls.window_samples, 4u);
+  learner.stop();
+  fs::remove(opts.log_path);
+}
+
 // ------------------------------------------------- serving integration ----
 
 TEST(ServerLearn, OnlineLoopLowersServedMispredictRate) {

@@ -62,14 +62,128 @@ TEST(SampleCodec, RoundTripsEveryField) {
 
 TEST(SampleCodec, RejectsTruncatedPayloads) {
   const std::string payload = encode_sample(make_sample(1));
+  // Cutting exactly the trailing workload byte yields a well-formed v1
+  // payload (covered by V1PayloadDecodesAsLegacySpmv); any cut inside the
+  // v1 body must still throw.
   for (const std::size_t cut : {std::size_t{0}, std::size_t{3},
-                                payload.size() / 2, payload.size() - 1}) {
+                                payload.size() / 2, payload.size() - 2}) {
     EXPECT_THROW(decode_sample(payload.substr(0, cut)), Error)
         << "cut at " << cut << " must not decode";
   }
 }
 
+TEST(SampleCodec, WorkloadClassRoundTripsAndDefaultsToSpmv) {
+  Sample s = make_sample(2);
+  EXPECT_EQ(s.workload_class,
+            static_cast<std::uint8_t>(WorkloadClass::kSpmv));
+  s.workload_class = static_cast<std::uint8_t>(WorkloadClass::kSession);
+  bool legacy = true;
+  const Sample back = decode_sample(encode_sample(s), &legacy);
+  EXPECT_EQ(back, s);
+  EXPECT_FALSE(legacy);
+}
+
+TEST(SampleCodec, V1PayloadDecodesAsLegacySpmv) {
+  // A v1 payload is exactly a v2 payload minus the trailing workload byte
+  // (the byte was appended at the end so every v1 field offset survives).
+  Sample s = make_sample(3);
+  s.workload_class = static_cast<std::uint8_t>(WorkloadClass::kSpmm);
+  std::string v1 = encode_sample(s);
+  v1.pop_back();
+  bool legacy = false;
+  const Sample back = decode_sample(v1, &legacy);
+  EXPECT_TRUE(legacy);
+  EXPECT_EQ(back.workload_class,
+            static_cast<std::uint8_t>(WorkloadClass::kSpmv));
+  EXPECT_EQ(back.config_name, s.config_name);
+  EXPECT_EQ(back.features, s.features);
+}
+
 // ------------------------------------------------------------- recovery ----
+
+TEST(SampleLog, V1LogOpensRecordsReadAsSpmvAndRotationUpgrades) {
+  // Hand-build a v1-era WAL: v1 magic, frames whose payloads lack the
+  // workload byte. open() must accept it, count the records as legacy, and
+  // read every sample as kSpmv; a rotation rewrites the file with the v2
+  // magic and the workload byte, after which nothing is legacy anymore.
+  const std::string path = fresh_log_path("v1.wal");
+  auto checksum = [](const std::string& bytes) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : bytes) {
+      h ^= c;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  };
+  std::string file(SampleLog::kMagicV1);
+  std::vector<Sample> written;
+  for (int i = 0; i < 4; ++i) {
+    written.push_back(make_sample(i));
+    std::string payload = encode_sample(written.back());
+    payload.pop_back();  // back to the v1 wire format
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    const std::uint64_t sum = checksum(payload);
+    file.append(reinterpret_cast<const char*>(&len), sizeof len);
+    file.append(reinterpret_cast<const char*>(&sum), sizeof sum);
+    file += payload;
+  }
+  write_file(path, file);
+
+  SampleLog log(path, /*max_records=*/4);
+  const RecoveryStats rec = log.open();
+  EXPECT_EQ(rec.records, 4u);
+  EXPECT_EQ(rec.legacy_records, 4u);
+  EXPECT_EQ(rec.corrupt_skipped, 0u);
+  EXPECT_FALSE(rec.header_rewritten);
+  ASSERT_EQ(log.samples().size(), 4u);
+  for (const Sample& s : log.samples()) {
+    EXPECT_EQ(s.workload_class,
+              static_cast<std::uint8_t>(WorkloadClass::kSpmv));
+  }
+  EXPECT_EQ(log.samples(), written);  // defaults make them equal
+
+  // max_records=4: the next append rotates, which compacts through the v2
+  // encoder and upgrades the header.
+  log.append(make_sample(4));
+  const std::string upgraded = read_file(path);
+  EXPECT_EQ(upgraded.substr(0, SampleLog::kMagic.size()), SampleLog::kMagic);
+  SampleLog again(path, 4);
+  const RecoveryStats rec2 = again.open();
+  EXPECT_EQ(rec2.legacy_records, 0u);
+  EXPECT_EQ(rec2.corrupt_skipped, 0u);
+  EXPECT_GT(rec2.records, 0u);
+  fs::remove(path);
+}
+
+TEST(SampleLog, MixedClassesPersistTheirTags) {
+  const std::string path = fresh_log_path("classes.wal");
+  {
+    SampleLog log(path);
+    log.open();
+    for (int i = 0; i < 6; ++i) {
+      Sample s = make_sample(i);
+      s.workload_class = static_cast<std::uint8_t>(
+          i % 3 == 0 ? WorkloadClass::kSpmv
+                     : (i % 3 == 1 ? WorkloadClass::kSpmm
+                                   : WorkloadClass::kSession));
+      log.append(s);
+    }
+  }
+  SampleLog log(path);
+  const RecoveryStats rec = log.open();
+  EXPECT_EQ(rec.records, 6u);
+  EXPECT_EQ(rec.legacy_records, 0u);
+  for (int i = 0; i < 6; ++i) {
+    const auto expected = static_cast<std::uint8_t>(
+        i % 3 == 0 ? WorkloadClass::kSpmv
+                   : (i % 3 == 1 ? WorkloadClass::kSpmm
+                                 : WorkloadClass::kSession));
+    EXPECT_EQ(log.samples()[static_cast<std::size_t>(i)].workload_class,
+              expected)
+        << "record " << i;
+  }
+  fs::remove(path);
+}
 
 TEST(SampleLog, AppendsPersistAcrossReopen) {
   const std::string path = fresh_log_path("reopen.wal");

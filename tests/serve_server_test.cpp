@@ -12,11 +12,15 @@
 #include <thread>
 #include <vector>
 
+#include "gen/generators.hpp"
 #include "serve/server.hpp"
+#include "spmm/model.hpp"
+#include "spmm/spmm.hpp"
 #include "spmv/method.hpp"
 #include "test_util.hpp"
 #include "util/fault.hpp"
 #include "util/prng.hpp"
+#include "wise/amortized.hpp"
 #include "wise/model_bank.hpp"
 
 namespace wise::serve {
@@ -586,6 +590,199 @@ TEST(ServerOptions, ShardCountResolvesToPowerOfTwo) {
       EXPECT_EQ(s.shard_of(fp), s.shard_of(fp));
     }
   }
+}
+
+// ------------------------------------------------------ SOLVE sessions ----
+
+/// Square SPD system CG converges on (solvers_test.cpp's spd_system).
+std::shared_ptr<const CsrMatrix> shared_spd(index_t nx, index_t ny) {
+  CooMatrix coo = generate_stencil2d(nx, ny, 5);
+  for (auto& e : coo.entries()) {
+    if (e.row == e.col) e.val += 0.1;
+  }
+  coo.canonicalize();
+  return std::make_shared<const CsrMatrix>(CsrMatrix::from_coo(coo));
+}
+
+Request solve_request(std::shared_ptr<const CsrMatrix> m, std::string id,
+                      int max_iters = 200, std::string solver = "cg") {
+  Request req;
+  req.kind = RequestKind::kSolve;
+  req.matrix = std::move(m);
+  req.id = std::move(id);
+  req.iters = max_iters;
+  req.solver = std::move(solver);
+  return req;
+}
+
+TEST(SolveSession, ColdThenWarmAmortizesThePrepareAcrossFourShards) {
+  // The ISSUE's session contract: a SOLVE session through a sharded server
+  // prepares the layout exactly once; the warm session reuses it (that
+  // cache hit is the amortization) and reproduces the cold session's
+  // iterates bit for bit.
+  Server server(make_predictor(MethodKind::kSellpack),
+                {.workers = 4, .shards = 4});
+  ASSERT_EQ(server.shard_count(), 4u);
+  const auto m = shared_spd(16, 16);
+
+  const Response cold = server.call(solve_request(m, "cold"));
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.prepared_cache_hit);
+  EXPECT_TRUE(cold.converged);
+  EXPECT_GT(cold.solve_iterations, 0);
+  EXPECT_LT(cold.residual_norm, 1e-6);
+  EXPECT_NE(cold.checksum, 0.0);
+
+  const Response warm = server.call(solve_request(m, "warm"));
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_TRUE(warm.prepared_cache_hit)
+      << "the second session must reuse the first session's layout";
+  // Bit-stable iterates: same fingerprint-seeded b, same prepared layout,
+  // deterministic kernels — the whole Krylov trajectory repeats exactly.
+  EXPECT_EQ(warm.checksum, cold.checksum);
+  EXPECT_EQ(warm.solve_iterations, cold.solve_iterations);
+  EXPECT_EQ(warm.residual_norm, cold.residual_norm);
+  EXPECT_EQ(warm.config_name, cold.config_name);
+
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.prepares, 1u) << "exactly one prepare across both sessions";
+  EXPECT_EQ(st.sessions_completed, 2u);
+  EXPECT_EQ(st.sessions_active, 0u);
+  EXPECT_EQ(st.session_iters,
+            2u * static_cast<std::uint64_t>(cold.solve_iterations));
+}
+
+TEST(SolveSession, SolverVariantsRunAndBogusInputsFailCleanly) {
+  Server server(make_predictor(MethodKind::kSellpack), {.workers = 2});
+  const auto m = shared_spd(8, 8);
+
+  const Response jacobi = server.call(solve_request(m, "j", 300, "jacobi"));
+  ASSERT_TRUE(jacobi.ok) << jacobi.error;
+  EXPECT_GT(jacobi.solve_iterations, 0);
+
+  const Response bogus = server.call(solve_request(m, "b", 10, "sor"));
+  EXPECT_FALSE(bogus.ok);
+  EXPECT_EQ(bogus.category, ErrorCategory::kValidation);
+  EXPECT_NE(bogus.error.find("unknown solver"), std::string::npos)
+      << bogus.error;
+
+  const Response rect = server.call(solve_request(
+      std::make_shared<const CsrMatrix>(random_csr(32, 48, 4.0, 7)), "r"));
+  EXPECT_FALSE(rect.ok);
+  EXPECT_EQ(rect.category, ErrorCategory::kValidation);
+
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.sessions_active, 0u) << "failed sessions must not leak";
+}
+
+TEST(SolveSession, AmortizedSelectorDrivesTheColdChoice) {
+  // With a dual-model selector installed, a cold SOLVE session picks its
+  // configuration through AmortizedWise::choose(features, N) instead of the
+  // SpMV bank (whose constant-bank winner is kSellpack). Train the
+  // amortized model to prefer plain CSR — zero prep cost, best speed class
+  // — and the session must serve CSR.
+  const auto configs = all_method_configs();
+  const std::size_t winner = first_config_of_kind(MethodKind::kCsr);
+  std::vector<std::vector<double>> features;
+  std::vector<std::vector<double>> rel_times;
+  std::vector<std::vector<double>> prep_iters;
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 12; ++i) {
+    std::vector<double> f(feature_count());
+    for (auto& v : f) v = rng.next_double() * 100.0;
+    features.push_back(std::move(f));
+    std::vector<double> rel(configs.size(), 1.0);
+    rel[winner] = 0.5;
+    rel_times.push_back(std::move(rel));
+    std::vector<double> prep(configs.size(), 10.0);
+    prep[winner] = 0.0;
+    prep_iters.push_back(std::move(prep));
+  }
+  auto amortized = std::make_shared<AmortizedWise>();
+  amortized->train(configs, features, rel_times, prep_iters, {.max_depth = 3});
+
+  Server server(make_predictor(MethodKind::kSellpack), {.workers = 2});
+  server.set_amortized(amortized);
+  const auto m = shared_spd(12, 12);
+
+  const Response rsp = server.call(solve_request(m, "amortized", 64));
+  ASSERT_TRUE(rsp.ok) << rsp.error;
+  EXPECT_EQ(rsp.choice.config.kind, MethodKind::kCsr)
+      << "served " << rsp.config_name;
+
+  // A plain RUN of a different matrix still selects through the SpMV bank.
+  const auto m2 = shared_matrix(96, 77);
+  const Response run = server.call(run_request(m2, "run"));
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(run.choice.config.kind, MethodKind::kSellpack);
+}
+
+// ------------------------------------------------------- SPMM requests ----
+
+Request spmm_request(std::shared_ptr<const CsrMatrix> m, std::string id,
+                     int rhs_cols = 8) {
+  Request req;
+  req.kind = RequestKind::kSpmm;
+  req.matrix = std::move(m);
+  req.id = std::move(id);
+  req.rhs_cols = rhs_cols;
+  req.iters = 1;
+  return req;
+}
+
+TEST(Spmm, WithoutABankServesTheBaselineAndSaysSo) {
+  Server server(make_predictor(MethodKind::kSellpack), {.workers = 2});
+  const auto m = shared_matrix(96, 201);
+  const Response rsp = server.call(spmm_request(m, "nobank"));
+  ASSERT_TRUE(rsp.ok) << rsp.error;
+  EXPECT_EQ(rsp.config_name, spmm::spmm_method_configs()[0].name());
+  EXPECT_NE(rsp.choice.fallback_reason.find("no bank"), std::string::npos)
+      << rsp.choice.fallback_reason;
+  EXPECT_EQ(server.stats().spmm_requests, 1u);
+}
+
+TEST(Spmm, ServedFromItsOwnBankBitIdenticalToTheReference) {
+  // Train a real (tiny) SpMM bank and install it next to the SpMV bank —
+  // the §7 separation thread through serving. The response checksum must
+  // equal the serial reference on the same fingerprint-seeded RHS: the
+  // served blocked kernel is bit-identical, whatever config the bank picks.
+  std::vector<CsrMatrix> corpus;
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    corpus.push_back(random_csr(64, 64, 5.0, 210 + s));
+  }
+  spmm::SpmmTrainOptions topts;
+  topts.k = 4;
+  topts.iters = 1;
+  auto bank = std::make_shared<const spmm::SpmmBank>(
+      spmm::train_spmm_bank(corpus, topts));
+
+  Server server(make_predictor(MethodKind::kSellpack), {.workers = 2});
+  server.set_spmm_bank(bank);
+  const auto m = shared_matrix(128, 220);
+  constexpr int kCols = 8;
+
+  const Response rsp = server.call(spmm_request(m, "banked", kCols));
+  ASSERT_TRUE(rsp.ok) << rsp.error;
+  EXPECT_EQ(rsp.config_name.rfind("SpMM/", 0), 0u) << rsp.config_name;
+  EXPECT_TRUE(rsp.choice.fallback_reason.empty())
+      << rsp.choice.fallback_reason;
+
+  // Recompute what the server computed: same seeded X, serial reference.
+  std::vector<value_t> x(static_cast<std::size_t>(m->ncols()) * kCols);
+  Xoshiro256 rng(0x517e5eedull ^ rsp.fingerprint.structure);
+  for (auto& v : x) v = static_cast<value_t>(rng.next_double());
+  std::vector<value_t> y(static_cast<std::size_t>(m->nrows()) * kCols);
+  spmm::spmm_reference(*m, x, y, kCols);
+  double sum = 0;
+  for (const value_t v : y) sum += static_cast<double>(v);
+  EXPECT_EQ(rsp.checksum, sum);
+
+  // Repeated SPMM of the same matrix: deterministic, same checksum.
+  const Response again = server.call(spmm_request(m, "again", kCols));
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.checksum, rsp.checksum);
+  EXPECT_EQ(again.config_name, rsp.config_name);
+  EXPECT_EQ(server.stats().spmm_requests, 2u);
 }
 
 // ------------------------------------------- Wise const-thread-safety ----

@@ -102,6 +102,8 @@ INTERESTING_PARAMS = (
     "plan_vs_static_speedup",
     "flat_vs_recursive_speedup",
     "specialize_vs_generic_speedup",
+    "spmm_vs_repeated_spmv_speedup",
+    "session_vs_per_iter_speedup",
     "shards",
 )
 
