@@ -41,7 +41,9 @@
 #include "exp/train.hpp"
 #include "features/extractor.hpp"
 #include "gen/generators.hpp"
+#include "hw/probe.hpp"
 #include "obs/metrics.hpp"
+#include "sparse/dia.hpp"
 #include "obs/report.hpp"
 #include "obs/sink.hpp"
 #include "serve/server.hpp"
@@ -391,6 +393,135 @@ int main(int argc, char** argv) {
       std::printf("[perf_smoke] specialize srvpack: %.2fx\n",
                   gen_t.min_seconds / spec_t.min_seconds);
     }
+  }
+
+  // --- Stage 4b: extension formats vs best CSR on the banded fixture ------
+  // DIA exists for exactly this shape: a fully banded matrix is a handful
+  // of dense diagonals, so its kernel runs pure unit-stride triad loops
+  // with no column-index loads at all. The CI perf-gate reads
+  // dia_vs_best_csr_speedup >= 1.3; ELL and HYB are recorded
+  // informationally on the same fixture (docs/FORMATS.md's when-wins
+  // table cites these rows). Every format result is self-checked
+  // bit-identical to the serial CSR reference before anything is timed.
+  std::printf("[perf_smoke] extension formats vs best CSR (banded)...\n");
+  {
+    const index_t n = quick ? 2048 : 8192;
+    const CsrMatrix banded =
+        CsrMatrix::from_coo(generate_banded(n, 8, 1.0, 42));
+    aligned_vector<value_t> x(static_cast<std::size_t>(banded.ncols()));
+    aligned_vector<value_t> y(static_cast<std::size_t>(banded.nrows()));
+    Xoshiro256 rng(0xd1a60);
+    for (auto& v : x) v = static_cast<value_t>(rng.next_double());
+    std::vector<value_t> y_ref(static_cast<std::size_t>(banded.nrows()));
+    spmv_reference(banded, x, y_ref);
+
+    const int iters = quick ? 20 : 100;
+
+    // Best CSR arm: the fastest of the three CSR scheduling variants on
+    // this fixture, picked by a short calibration pass.
+    std::vector<PreparedMatrix> csr_pms;
+    std::size_t best_csr = 0;
+    double best_csr_seconds = 0.0;
+    std::string best_csr_name;
+    for (const MethodConfig& cfg : all_method_configs()) {
+      if (cfg.kind != MethodKind::kCsr) continue;
+      PreparedMatrix pm = PreparedMatrix::prepare(banded, cfg);
+      pm.run(x, y);  // warm-up
+      const auto t = time_passes(3, iters / 2, [&] { pm.run(x, y); });
+      if (csr_pms.empty() || t.min_seconds < best_csr_seconds) {
+        best_csr = csr_pms.size();
+        best_csr_seconds = t.min_seconds;
+        best_csr_name = cfg.name();
+      }
+      csr_pms.push_back(std::move(pm));
+    }
+    PreparedMatrix& csr_pm = csr_pms[best_csr];
+
+    // Bit-identity self-check, then one timed interleaved A/B per format.
+    const double gflop = 2.0 * static_cast<double>(banded.nnz()) / 1e9;
+    const DiaAnalysis dia_info = DiaMatrix::analyze(banded);
+    double dia_speedup = 0.0;
+    for (const char* fmt_name : {"ELL", "HYB/k8", "DIA"}) {
+      const MethodConfig cfg = parse_method_config(fmt_name);
+      PreparedMatrix pm = PreparedMatrix::prepare(banded, cfg);
+      std::fill(y.begin(), y.end(), static_cast<value_t>(0));
+      pm.run(x, y);
+      if (!std::equal(y_ref.begin(), y_ref.end(), y.begin())) {
+        std::fprintf(stderr,
+                     "[perf_smoke] FAIL: %s not bit-identical to the serial "
+                     "CSR reference on banded\n",
+                     fmt_name);
+        return 1;
+      }
+      const auto [csr_t, fmt_t] = time_passes_interleaved(
+          kernel_passes, iters,
+          [&] {
+            csr_pm.run(x, y);
+            do_not_optimize(y.data());
+          },
+          [&] {
+            pm.run(x, y);
+            do_not_optimize(y.data());
+          });
+      const double speedup = csr_t.min_seconds / fmt_t.min_seconds;
+      obs::JsonValue params = matrix_params(banded);
+      params.set("best_csr", best_csr_name);
+      params.set("prep_seconds", pm.prep_seconds());
+      params.set("gflops_csr", gflop / csr_t.min_seconds);
+      params.set("gflops_format", gflop / fmt_t.min_seconds);
+      if (cfg.kind == MethodKind::kDia) {
+        dia_speedup = speedup;
+        params.set("ndiags", static_cast<std::int64_t>(dia_info.ndiags));
+        params.set("diag_fill", dia_info.fill);
+        params.set("dia_vs_best_csr_speedup", speedup);
+      } else {
+        params.set("format_vs_best_csr_speedup", speedup);
+      }
+      std::string row = cfg.name();
+      for (auto& ch : row) {
+        if (ch == '/') ch = '_';
+      }
+      report.add("formats", row + "/banded", fmt_t, std::move(params));
+    }
+    {
+      obs::JsonValue params = matrix_params(banded);
+      params.set("config", best_csr_name);
+      report.add("formats", "csr_best/banded",
+                 time_passes(kernel_passes, iters,
+                             [&] {
+                               csr_pm.run(x, y);
+                               do_not_optimize(y.data());
+                             }),
+                 std::move(params));
+    }
+    std::printf("[perf_smoke] formats: DIA vs %s %.2fx (%d diagonals)\n",
+                best_csr_name.c_str(), dia_speedup,
+                static_cast<int>(dia_info.ndiags));
+  }
+
+  // --- Stage 4c: the machine probe ----------------------------------------
+  // Hardware-conditioned banks (ModelBank v3, docs/FEATURES.md) append
+  // these five columns at choose() time; the row records what this runner
+  // looks like and how long one full probe costs (the process-wide probe
+  // itself is resolved once and cached). WISE_HW_PROBE=off zeroes the
+  // numbers but the row still appears — report shape is machine-invariant.
+  {
+    Timer t;
+    const hw::MachineProbe fresh = hw::run_probe();
+    const double probe_seconds = t.seconds();
+    obs::JsonValue params = obs::JsonValue::object();
+    params.set("threads", static_cast<std::int64_t>(fresh.hardware_threads));
+    params.set("l1d_kib", static_cast<std::int64_t>(fresh.l1d_bytes / 1024));
+    params.set("l2_kib", static_cast<std::int64_t>(fresh.l2_bytes / 1024));
+    params.set("llc_kib", static_cast<std::int64_t>(fresh.llc_bytes / 1024));
+    params.set("stream_gbs", fresh.stream_triad_gbs);
+    report.add("hw", "probe",
+               obs::TimingSummary::from_samples({probe_seconds}, 1),
+               std::move(params));
+    std::printf("[perf_smoke] hw probe: %d threads, %.1f GB/s triad "
+                "(%.1f ms)\n",
+                fresh.hardware_threads, fresh.stream_triad_gbs,
+                probe_seconds * 1e3);
   }
 
   // --- Stage 5: full pipeline choose/prepare ------------------------------

@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "example_common.hpp"
+#include "hw/probe.hpp"
 #include "learn/online.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
@@ -134,8 +135,9 @@ class MatrixLoader {
 std::string stats_line(serve::Server& server) {
   obs::JsonValue doc = obs::JsonValue::object();
   doc.set("schema", "wise-serve-stats");
-  doc.set("version", 4);  // v4: adds `sessions` (SOLVE) + `spmm`; v3 added
-                          // `plan`; v2 added sampled/bank_version+learn
+  doc.set("version", 5);  // v5: adds `hw` (machine probe); v4 added
+                          // `sessions` (SOLVE) + `spmm`; v3 added `plan`;
+                          // v2 added sampled/bank_version+learn
   const serve::ServerStats st = server.stats();
   obs::JsonValue sv = obs::JsonValue::object();
   sv.set("accepted", st.accepted);
@@ -162,6 +164,18 @@ std::string stats_line(serve::Server& server) {
   spmm_v.set("requests", st.spmm_requests);
   spmm_v.set("bank_installed", server.spmm_bank() != nullptr);
   doc.set("spmm", std::move(spmm_v));
+  // v5: the machine probe conditioning inference (src/hw/probe.hpp), so
+  // operators can confirm which hardware the serving bank is seeing.
+  const hw::MachineProbe& probe = hw::machine_probe();
+  obs::JsonValue hw_v = obs::JsonValue::object();
+  hw_v.set("source", probe.source);
+  hw_v.set("measured", probe.measured);
+  hw_v.set("threads", static_cast<std::uint64_t>(probe.hardware_threads));
+  hw_v.set("l1d_kib", static_cast<std::uint64_t>(probe.l1d_bytes / 1024));
+  hw_v.set("l2_kib", static_cast<std::uint64_t>(probe.l2_bytes / 1024));
+  hw_v.set("llc_kib", static_cast<std::uint64_t>(probe.llc_bytes / 1024));
+  hw_v.set("stream_gbs", probe.stream_triad_gbs);
+  doc.set("hw", std::move(hw_v));
   if (auto lr = server.learner()) {
     const learn::LearnStats ls = lr->stats();
     obs::JsonValue lv = obs::JsonValue::object();

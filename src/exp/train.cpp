@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "hw/probe.hpp"
+
 namespace wise {
 
 ModelBank train_model_bank(const std::vector<MatrixRecord>& records,
@@ -16,6 +18,32 @@ ModelBank train_model_bank(const std::vector<MatrixRecord>& records,
   rel_times.reserve(records.size());
   for (const auto& rec : records) {
     features.push_back(rec.features);
+    std::vector<double> rel(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      rel[c] = rec.rel_time(c);
+    }
+    rel_times.push_back(std::move(rel));
+  }
+  ModelBank bank;
+  bank.train(configs, features, rel_times, params);
+  return bank;
+}
+
+ModelBank train_model_bank_conditioned(
+    const std::vector<MatrixRecord>& records, const TreeParams& params) {
+  if (records.empty()) {
+    throw std::invalid_argument("train_model_bank_conditioned: no records");
+  }
+  const auto configs = all_method_configs();
+  const std::vector<double> machine = hw::machine_features();
+  std::vector<std::vector<double>> features;
+  std::vector<std::vector<double>> rel_times;
+  features.reserve(records.size());
+  rel_times.reserve(records.size());
+  for (const auto& rec : records) {
+    std::vector<double> f = rec.features;
+    f.insert(f.end(), machine.begin(), machine.end());
+    features.push_back(std::move(f));
     std::vector<double> rel(configs.size());
     for (std::size_t c = 0; c < configs.size(); ++c) {
       rel[c] = rec.rel_time(c);

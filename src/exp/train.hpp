@@ -13,6 +13,16 @@ namespace wise {
 ModelBank train_model_bank(const std::vector<MatrixRecord>& records,
                            const TreeParams& params = {});
 
+/// Same, but appends this machine's probe features (src/hw/probe.hpp) to
+/// every record's feature vector before training, producing a
+/// hardware-conditioned bank: feature_dim() = 67 + 5 and save() persists
+/// the wider dimension (ModelBank v3). Wise::choose() completes inference
+/// vectors with the serving machine's own probe, so a bank trained across
+/// machines (concatenated record sets, each extended on its home machine)
+/// can split on hardware columns. Honors WISE_HW_PROBE.
+ModelBank train_model_bank_conditioned(
+    const std::vector<MatrixRecord>& records, const TreeParams& params = {});
+
 /// Trains the dual-model amortized selector (wise/amortized.hpp) from the
 /// same records: speed trees from rel_time, prep trees from
 /// config_prep_seconds normalized to best-CSR iterations. Records must

@@ -1,0 +1,72 @@
+#pragma once
+// Machine probe — the hardware side of hardware-conditioned selection.
+//
+// The paper trains and evaluates WISE on one 24-core Skylake server, so
+// its 67 features describe only the *matrix*; the machine is implicit in
+// the training labels. That breaks the moment one trained bank serves
+// heterogeneous fleet nodes: the fastest format flips with core count and
+// memory bandwidth, not just with the matrix (Chen et al., PAPERS.md).
+// This module measures a small, stable machine summary once per process:
+//
+//   hw:threads      std::thread::hardware_concurrency()
+//   hw:l1d_kib      L1 data cache size     (sysfs, cpu0)
+//   hw:l2_kib      L2 cache size           (sysfs, cpu0)
+//   hw:llc_kib     last-level cache size   (sysfs, cpu0, highest index)
+//   hw:stream_gbs  measured STREAM-triad bandwidth (a[i] = b[i] + s*c[i])
+//
+// ModelBank v3 records its feature width; a bank trained on 67 + these 5
+// columns makes wise::Wise::choose() append machine_features() to every
+// extracted vector, so the per-config trees can split on the machine
+// exactly like they split on the matrix (docs/FEATURES.md, docs/ML.md).
+//
+// The probe is cheap (~10 ms, dominated by the triad sweep) and runs
+// lazily on first use. WISE_HW_PROBE controls it (docs/PERFORMANCE.md):
+//   WISE_HW_PROBE=off            neutral defaults, no sysfs reads, no
+//                                measurement (deterministic CI runs)
+//   WISE_HW_PROBE=cached:<file>  load the probe from <file>; when the
+//                                file does not exist, measure once and
+//                                write it (fleet nodes probe on first
+//                                boot, then start instantly)
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wise::hw {
+
+/// One machine's probed summary.
+struct MachineProbe {
+  int hardware_threads = 1;
+  std::int64_t l1d_bytes = 0;
+  std::int64_t l2_bytes = 0;
+  std::int64_t llc_bytes = 0;
+  double stream_triad_gbs = 0.0;
+  /// False when the probe was disabled (WISE_HW_PROBE=off) or measurement
+  /// failed; the numeric fields then hold neutral defaults.
+  bool measured = false;
+  /// Provenance: "measured", "off", or "cached:<file>".
+  std::string source = "off";
+};
+
+/// The process-wide probe, resolved once on first call (honoring
+/// WISE_HW_PROBE) and cached for the process lifetime.
+const MachineProbe& machine_probe();
+
+/// Runs a fresh probe unconditionally (ignores WISE_HW_PROBE). Exposed
+/// for tests and the cached:<file> first-boot path.
+MachineProbe run_probe();
+
+/// Serialization for WISE_HW_PROBE=cached:<file> — a small key/value text
+/// file. load_probe throws wise::Error (kParse) on a malformed file.
+void save_probe(const MachineProbe& p, const std::string& path);
+MachineProbe load_probe(const std::string& path);
+
+/// The machine-feature columns appended to the 67 matrix features when a
+/// ModelBank's feature_dim() asks for them. Caches are reported in KiB
+/// and bandwidth in GB/s so the tree thresholds stay human-readable.
+std::size_t machine_feature_count();
+const std::vector<std::string>& machine_feature_names();
+std::vector<double> machine_features(const MachineProbe& p);
+std::vector<double> machine_features();  ///< from machine_probe()
+
+}  // namespace wise::hw

@@ -60,7 +60,7 @@ Validation bank_accuracy(const ModelBank& bank,
   for (std::size_t i = 0; i < configs.size(); ++i) {
     index.emplace(configs[i].name(), i);
   }
-  const std::size_t width = feature_names().size();
+  const std::size_t width = bank.feature_dim();
   Validation v;
   std::size_t good = 0;
   for (const Sample& s : samples) {
@@ -89,7 +89,9 @@ std::optional<ModelBank> build_candidate(const ModelBank& live,
   for (std::size_t i = 0; i < configs.size(); ++i) {
     index.emplace(configs[i].name(), i);
   }
-  const auto& names = feature_names();
+  // Refits must match the live bank's width — a hardware-conditioned bank
+  // (feature_dim > 67) trains its replacement trees on the same columns.
+  const auto names = bank_feature_names(live.feature_dim());
   std::vector<std::vector<const Sample*>> buckets(configs.size());
   for (const Sample& s : train) {
     const auto it = index.find(s.config_name);
@@ -112,7 +114,7 @@ std::optional<ModelBank> build_candidate(const ModelBank& live,
   }
   if (refit == 0) return std::nullopt;
   if (refit_out != nullptr) *refit_out = refit;
-  return ModelBank::assemble(configs, std::move(trees));
+  return ModelBank::assemble(configs, std::move(trees), live.feature_dim());
 }
 
 /// The learner's retraining corpus: only samples of its own workload

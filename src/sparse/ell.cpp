@@ -1,0 +1,145 @@
+#include "sparse/ell.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace wise {
+
+namespace {
+
+index_t max_row_len(const CsrMatrix& m) {
+  const auto rp = m.row_ptr();
+  nnz_t widest = 0;
+  for (std::size_t i = 1; i < rp.size(); ++i) {
+    widest = std::max(widest, rp[i] - rp[i - 1]);
+  }
+  return static_cast<index_t>(widest);
+}
+
+}  // namespace
+
+bool EllMatrix::accepts(const CsrMatrix& m) {
+  if (m.nnz() == 0) return true;
+  const double stored = static_cast<double>(max_row_len(m)) *
+                        static_cast<double>(m.nrows());
+  return stored <= kEllMaxPaddingFactor * static_cast<double>(m.nnz());
+}
+
+EllMatrix EllMatrix::from_csr(const CsrMatrix& m) {
+  if (!accepts(m)) {
+    throw std::invalid_argument(
+        "EllMatrix: padded storage " +
+        std::to_string(static_cast<nnz_t>(max_row_len(m)) *
+                       static_cast<nnz_t>(m.nrows())) +
+        " exceeds " + std::to_string(kEllMaxPaddingFactor) + " x nnz (" +
+        std::to_string(m.nnz()) + ")");
+  }
+
+  EllMatrix e;
+  e.nrows_ = m.nrows();
+  e.ncols_ = m.ncols();
+  e.nnz_ = m.nnz();
+  e.slots_ = max_row_len(m);
+  e.row_len_.resize(static_cast<std::size_t>(e.nrows_));
+  const std::size_t stored = static_cast<std::size_t>(e.slots_) *
+                             static_cast<std::size_t>(e.nrows_);
+  e.cols_.assign(stored, 0);
+  e.vals_.assign(stored, 0.0);
+
+  const std::size_t n = static_cast<std::size_t>(e.nrows_);
+  for (index_t i = 0; i < e.nrows_; ++i) {
+    const auto cols = m.row_cols(i);
+    const auto vals = m.row_vals(i);
+    e.row_len_[static_cast<std::size_t>(i)] =
+        static_cast<index_t>(cols.size());
+    for (std::size_t s = 0; s < cols.size(); ++s) {
+      e.cols_[s * n + static_cast<std::size_t>(i)] = cols[s];
+      e.vals_[s * n + static_cast<std::size_t>(i)] = vals[s];
+    }
+  }
+  return e;
+}
+
+CooMatrix EllMatrix::to_coo() const {
+  CooMatrix coo(nrows_, ncols_);
+  coo.entries().reserve(static_cast<std::size_t>(nnz_));
+  const std::size_t n = static_cast<std::size_t>(nrows_);
+  for (index_t i = 0; i < nrows_; ++i) {
+    const auto len = static_cast<std::size_t>(row_len(i));
+    for (std::size_t s = 0; s < len; ++s) {
+      coo.add(i, cols_[s * n + static_cast<std::size_t>(i)],
+              vals_[s * n + static_cast<std::size_t>(i)]);
+    }
+  }
+  return coo;
+}
+
+void EllMatrix::validate() const {
+  if (nrows_ < 0 || ncols_ < 0 || slots_ < 0) {
+    throw Error(ErrorCategory::kValidation, "EllMatrix: negative dimensions");
+  }
+  const std::size_t stored = static_cast<std::size_t>(slots_) *
+                             static_cast<std::size_t>(nrows_);
+  if (row_len_.size() != static_cast<std::size_t>(nrows_) ||
+      cols_.size() != stored || vals_.size() != stored) {
+    throw Error(ErrorCategory::kValidation,
+                "EllMatrix: array length mismatch");
+  }
+  const std::size_t n = static_cast<std::size_t>(nrows_);
+  nnz_t counted = 0;
+  for (index_t i = 0; i < nrows_; ++i) {
+    const index_t len = row_len(i);
+    if (len < 0 || len > slots_) {
+      throw Error(ErrorCategory::kValidation,
+                  "EllMatrix: row_len out of range in row " +
+                      std::to_string(i));
+    }
+    counted += len;
+    index_t prev = -1;
+    for (index_t s = 0; s < slots_; ++s) {
+      const std::size_t at =
+          static_cast<std::size_t>(s) * n + static_cast<std::size_t>(i);
+      const index_t c = cols_[at];
+      const value_t v = vals_[at];
+      if (s < len) {
+        if (c < 0 || c >= ncols_) {
+          throw Error(ErrorCategory::kValidation,
+                      "EllMatrix: column index out of range in row " +
+                          std::to_string(i));
+        }
+        if (c <= prev) {
+          throw Error(ErrorCategory::kValidation,
+                      "EllMatrix: columns not strictly sorted in row " +
+                          std::to_string(i));
+        }
+        prev = c;
+        if (!std::isfinite(v)) {
+          throw Error(ErrorCategory::kValidation,
+                      "EllMatrix: non-finite value in row " +
+                          std::to_string(i));
+        }
+      } else if (c != 0 || v != 0.0) {
+        throw Error(ErrorCategory::kValidation,
+                    "EllMatrix: dirty padding cell in row " +
+                        std::to_string(i));
+      }
+    }
+  }
+  if (counted != nnz_) {
+    throw Error(ErrorCategory::kValidation,
+                "EllMatrix: nnz " + std::to_string(nnz_) +
+                    " does not match row lengths (" + std::to_string(counted) +
+                    ")");
+  }
+}
+
+std::size_t EllMatrix::memory_bytes() const {
+  return row_len_.size() * sizeof(index_t) + cols_.size() * sizeof(index_t) +
+         vals_.size() * sizeof(value_t);
+}
+
+}  // namespace wise

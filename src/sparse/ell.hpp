@@ -1,0 +1,99 @@
+#pragma once
+// ELLPACK (ELL) — fixed-width padded rows, stored column-major (slot-major).
+//
+// Every row gets the same number of slots (the maximum row length); rows
+// shorter than that are padded with (col 0, value 0) cells that the kernel
+// never reads — a per-row length array guards them, so padding can never
+// perturb the result, not even for non-finite x. Slot s of row i lives at
+// flat index s * nrows + i: all rows' s-th entries are contiguous, which is
+// what lets the SpMV kernel stream one slot across a block of rows with
+// unit-stride loads (see spmv/format_kernels.cpp).
+//
+// ELL's failure mode is padding blow-up: one hub row widens every row.
+// from_csr() rejects matrices whose padded storage would exceed
+// kEllMaxPaddingFactor x nnz, and accepts() exposes the same predicate
+// cheaply (O(nrows)) for the selection-time applicability mask.
+
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "util/aligned.hpp"
+#include "util/types.hpp"
+
+namespace wise {
+
+/// A matrix is ELL-convertible only while slots * nrows stays within this
+/// factor of nnz; beyond it the padding dominates the stored bytes and ELL
+/// cannot win. The bound is deliberately loose — the model bank, not the
+/// predicate, decides whether ELL is *fast*; the predicate only rules out
+/// pathological blow-up (a single hub row on an RMAT graph can push the
+/// factor into the thousands).
+inline constexpr double kEllMaxPaddingFactor = 4.0;
+
+/// Column-major padded ELLPACK matrix.
+class EllMatrix {
+ public:
+  EllMatrix() = default;
+
+  /// Converts from CSR. Throws std::invalid_argument when the padding
+  /// predicate (accepts()) fails.
+  static EllMatrix from_csr(const CsrMatrix& m);
+
+  /// The conversion-applicability predicate: padded storage within
+  /// kEllMaxPaddingFactor x nnz. O(nrows); shared by from_csr() and the
+  /// selection-time mask (spmv/applicability.cpp).
+  static bool accepts(const CsrMatrix& m);
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  nnz_t nnz() const { return nnz_; }
+
+  /// Slots per row (the maximum row length).
+  index_t slots() const { return slots_; }
+
+  /// Occupied slots of row i (<= slots()).
+  index_t row_len(index_t i) const {
+    return row_len_[static_cast<std::size_t>(i)];
+  }
+  std::span<const index_t> row_lens() const { return row_len_; }
+
+  /// Flat slot-major arrays of size slots() * nrows(); cell (s, i) is at
+  /// s * nrows + i. Padding cells hold (0, 0.0).
+  std::span<const index_t> cols() const { return cols_; }
+  std::span<const value_t> vals() const { return vals_; }
+
+  /// Stored cells including padding; stored/nnz - 1 is the padding
+  /// overhead (the analogue of SRVPack's padding_ratio and BSR's fill).
+  nnz_t stored_entries() const {
+    return static_cast<nnz_t>(slots_) * static_cast<nnz_t>(nrows_);
+  }
+  double fill_ratio() const {
+    return nnz_ == 0 ? 0.0
+                     : static_cast<double>(stored_entries()) /
+                               static_cast<double>(nnz_) -
+                           1.0;
+  }
+
+  std::size_t memory_bytes() const;
+
+  /// Expands back to canonical COO (round-trip test support).
+  CooMatrix to_coo() const;
+
+  /// Throws wise::Error (kValidation) if internal invariants are violated:
+  /// array sizes, row_len bounds, in-bounds strictly ascending columns in
+  /// occupied slots, zeroed padding cells, finite values.
+  void validate() const;
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  nnz_t nnz_ = 0;
+  index_t slots_ = 0;
+  std::vector<index_t> row_len_;
+  aligned_vector<index_t> cols_;  ///< slots * nrows, slot-major
+  aligned_vector<value_t> vals_;  ///< slots * nrows, slot-major
+};
+
+}  // namespace wise

@@ -1,0 +1,187 @@
+#include "sparse/hyb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace wise {
+
+HybMatrix HybMatrix::from_csr(const CsrMatrix& m, index_t cutoff) {
+  if (cutoff < 0) {
+    throw std::invalid_argument("HybMatrix: negative cutoff " +
+                                std::to_string(cutoff));
+  }
+
+  HybMatrix h;
+  h.nrows_ = m.nrows();
+  h.ncols_ = m.ncols();
+  h.nnz_ = m.nnz();
+  h.cutoff_ = cutoff;
+
+  const auto rp = m.row_ptr();
+  nnz_t widest = 0;
+  for (std::size_t i = 1; i < rp.size(); ++i) {
+    widest = std::max(widest, rp[i] - rp[i - 1]);
+  }
+  h.ell_slots_ = std::min(cutoff, static_cast<index_t>(widest));
+
+  const std::size_t n = static_cast<std::size_t>(h.nrows_);
+  const std::size_t stored =
+      static_cast<std::size_t>(h.ell_slots_) * n;
+  h.ell_len_.resize(n);
+  h.ell_cols_.assign(stored, 0);
+  h.ell_vals_.assign(stored, 0.0);
+  h.tail_row_ptr_.assign(n + 1, 0);
+
+  for (index_t i = 0; i < h.nrows_; ++i) {
+    const auto cols = m.row_cols(i);
+    const auto vals = m.row_vals(i);
+    const std::size_t split =
+        std::min(cols.size(), static_cast<std::size_t>(h.ell_slots_));
+    h.ell_len_[static_cast<std::size_t>(i)] = static_cast<index_t>(split);
+    h.ell_nnz_ += static_cast<nnz_t>(split);
+    for (std::size_t s = 0; s < split; ++s) {
+      h.ell_cols_[s * n + static_cast<std::size_t>(i)] = cols[s];
+      h.ell_vals_[s * n + static_cast<std::size_t>(i)] = vals[s];
+    }
+    h.tail_row_ptr_[static_cast<std::size_t>(i) + 1] =
+        h.tail_row_ptr_[static_cast<std::size_t>(i)] +
+        static_cast<nnz_t>(cols.size() - split);
+  }
+
+  h.tail_cols_.resize(static_cast<std::size_t>(h.tail_nnz()));
+  h.tail_vals_.resize(static_cast<std::size_t>(h.tail_nnz()));
+  for (index_t i = 0; i < h.nrows_; ++i) {
+    const auto cols = m.row_cols(i);
+    const auto vals = m.row_vals(i);
+    const std::size_t split =
+        std::min(cols.size(), static_cast<std::size_t>(h.ell_slots_));
+    std::size_t at =
+        static_cast<std::size_t>(h.tail_row_ptr_[static_cast<std::size_t>(i)]);
+    for (std::size_t s = split; s < cols.size(); ++s, ++at) {
+      h.tail_cols_[at] = cols[s];
+      h.tail_vals_[at] = vals[s];
+    }
+  }
+  return h;
+}
+
+CooMatrix HybMatrix::to_coo() const {
+  CooMatrix coo(nrows_, ncols_);
+  coo.entries().reserve(static_cast<std::size_t>(nnz_));
+  const std::size_t n = static_cast<std::size_t>(nrows_);
+  for (index_t i = 0; i < nrows_; ++i) {
+    const auto len = static_cast<std::size_t>(ell_len(i));
+    for (std::size_t s = 0; s < len; ++s) {
+      coo.add(i, ell_cols_[s * n + static_cast<std::size_t>(i)],
+              ell_vals_[s * n + static_cast<std::size_t>(i)]);
+    }
+    for (auto k = tail_row_ptr_[static_cast<std::size_t>(i)];
+         k < tail_row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      coo.add(i, tail_cols_[static_cast<std::size_t>(k)],
+              tail_vals_[static_cast<std::size_t>(k)]);
+    }
+  }
+  return coo;
+}
+
+void HybMatrix::validate() const {
+  if (nrows_ < 0 || ncols_ < 0 || cutoff_ < 0 || ell_slots_ < 0 ||
+      ell_slots_ > cutoff_) {
+    throw Error(ErrorCategory::kValidation,
+                "HybMatrix: bad dimensions or cutoff");
+  }
+  const std::size_t n = static_cast<std::size_t>(nrows_);
+  const std::size_t stored = static_cast<std::size_t>(ell_slots_) * n;
+  if (ell_len_.size() != n || ell_cols_.size() != stored ||
+      ell_vals_.size() != stored || tail_row_ptr_.size() != n + 1 ||
+      tail_row_ptr_.front() != 0 ||
+      tail_cols_.size() != static_cast<std::size_t>(tail_row_ptr_.back()) ||
+      tail_vals_.size() != tail_cols_.size()) {
+    throw Error(ErrorCategory::kValidation,
+                "HybMatrix: array length mismatch");
+  }
+  nnz_t counted = 0;
+  nnz_t counted_ell = 0;
+  for (index_t i = 0; i < nrows_; ++i) {
+    const index_t len = ell_len(i);
+    if (len < 0 || len > ell_slots_) {
+      throw Error(ErrorCategory::kValidation,
+                  "HybMatrix: ell_len out of range in row " +
+                      std::to_string(i));
+    }
+    const nnz_t tail_lo = tail_row_ptr_[static_cast<std::size_t>(i)];
+    const nnz_t tail_hi = tail_row_ptr_[static_cast<std::size_t>(i) + 1];
+    if (tail_hi < tail_lo) {
+      throw Error(ErrorCategory::kValidation,
+                  "HybMatrix: tail_row_ptr not monotone at row " +
+                      std::to_string(i));
+    }
+    // The split rule: a row only spills into the tail when its ELL part
+    // is completely full.
+    if (tail_hi > tail_lo && len != ell_slots_) {
+      throw Error(ErrorCategory::kValidation,
+                  "HybMatrix: row " + std::to_string(i) +
+                      " spills with unused ELL slots");
+    }
+    counted += len + (tail_hi - tail_lo);
+    counted_ell += len;
+
+    index_t prev = -1;
+    for (index_t s = 0; s < ell_slots_; ++s) {
+      const std::size_t at =
+          static_cast<std::size_t>(s) * n + static_cast<std::size_t>(i);
+      const index_t c = ell_cols_[at];
+      const value_t v = ell_vals_[at];
+      if (s < len) {
+        if (c < 0 || c >= ncols_ || c <= prev) {
+          throw Error(ErrorCategory::kValidation,
+                      "HybMatrix: bad ELL column order in row " +
+                          std::to_string(i));
+        }
+        prev = c;
+        if (!std::isfinite(v)) {
+          throw Error(ErrorCategory::kValidation,
+                      "HybMatrix: non-finite ELL value in row " +
+                          std::to_string(i));
+        }
+      } else if (c != 0 || v != 0.0) {
+        throw Error(ErrorCategory::kValidation,
+                    "HybMatrix: dirty padding cell in row " +
+                        std::to_string(i));
+      }
+    }
+    for (nnz_t k = tail_lo; k < tail_hi; ++k) {
+      const index_t c = tail_cols_[static_cast<std::size_t>(k)];
+      if (c < 0 || c >= ncols_ || c <= prev) {
+        throw Error(ErrorCategory::kValidation,
+                    "HybMatrix: bad tail column order in row " +
+                        std::to_string(i));
+      }
+      prev = c;
+      if (!std::isfinite(tail_vals_[static_cast<std::size_t>(k)])) {
+        throw Error(ErrorCategory::kValidation,
+                    "HybMatrix: non-finite tail value in row " +
+                        std::to_string(i));
+      }
+    }
+  }
+  if (counted != nnz_ || counted_ell != ell_nnz_) {
+    throw Error(ErrorCategory::kValidation,
+                "HybMatrix: nnz does not match stored entries");
+  }
+}
+
+std::size_t HybMatrix::memory_bytes() const {
+  return ell_len_.size() * sizeof(index_t) +
+         ell_cols_.size() * sizeof(index_t) +
+         ell_vals_.size() * sizeof(value_t) +
+         tail_row_ptr_.size() * sizeof(nnz_t) +
+         tail_cols_.size() * sizeof(index_t) +
+         tail_vals_.size() * sizeof(value_t);
+}
+
+}  // namespace wise

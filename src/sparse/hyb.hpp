@@ -1,0 +1,105 @@
+#pragma once
+// HYB (hybrid ELL + COO) — the NVIDIA cusp-style compromise format.
+//
+// The first min(row length, cutoff) entries of every row go into a padded
+// slot-major ELL part (same layout as EllMatrix, but the width is capped at
+// the cutoff instead of the maximum row length); whatever spills past the
+// cutoff lands in an overflow tail kept in canonical COO order and
+// compressed by row (a row_ptr over the tail entries, so the kernel can
+// accumulate a row's tail right after its ELL slots and preserve the exact
+// CSR accumulation order).
+//
+// The cutoff k is the method parameter (HYB/k8, HYB/k32 in the extended
+// registry): small k keeps padding near zero but pushes more entries
+// through the irregular tail; large k approaches plain ELL. Degenerate
+// cutoffs are valid and exercised by tests: k >= max row length makes the
+// tail empty (all-ELL), k == 0 puts every entry in the tail (all-COO).
+
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "util/aligned.hpp"
+#include "util/types.hpp"
+
+namespace wise {
+
+/// Hybrid ELL + overflow-tail matrix with row-length cutoff.
+class HybMatrix {
+ public:
+  HybMatrix() = default;
+
+  /// Converts from CSR splitting each row at `cutoff` entries. Throws
+  /// std::invalid_argument for a negative cutoff.
+  static HybMatrix from_csr(const CsrMatrix& m, index_t cutoff);
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  nnz_t nnz() const { return nnz_; }
+
+  /// The row-length cutoff this matrix was built with.
+  index_t cutoff() const { return cutoff_; }
+
+  /// ELL-part width: min(cutoff, max row length).
+  index_t ell_slots() const { return ell_slots_; }
+
+  /// Occupied ELL slots of row i (<= ell_slots()).
+  index_t ell_len(index_t i) const {
+    return ell_len_[static_cast<std::size_t>(i)];
+  }
+  std::span<const index_t> ell_lens() const { return ell_len_; }
+
+  nnz_t ell_nnz() const { return ell_nnz_; }
+  nnz_t tail_nnz() const { return nnz_ - ell_nnz_; }
+
+  /// Slot-major ELL arrays of size ell_slots() * nrows(); padding cells
+  /// hold (0, 0.0).
+  std::span<const index_t> ell_cols() const { return ell_cols_; }
+  std::span<const value_t> ell_vals() const { return ell_vals_; }
+
+  /// Row-compressed overflow tail: row i's spill entries are
+  /// tail_cols()/tail_vals() in [tail_row_ptr()[i], tail_row_ptr()[i+1]),
+  /// column-ascending (canonical COO order).
+  std::span<const nnz_t> tail_row_ptr() const { return tail_row_ptr_; }
+  std::span<const index_t> tail_cols() const { return tail_cols_; }
+  std::span<const value_t> tail_vals() const { return tail_vals_; }
+
+  /// Stored cells (ELL slots incl. padding + tail entries).
+  nnz_t stored_entries() const {
+    return static_cast<nnz_t>(ell_slots_) * static_cast<nnz_t>(nrows_) +
+           tail_nnz();
+  }
+  double fill_ratio() const {
+    return nnz_ == 0 ? 0.0
+                     : static_cast<double>(stored_entries()) /
+                               static_cast<double>(nnz_) -
+                           1.0;
+  }
+
+  std::size_t memory_bytes() const;
+
+  /// Expands back to canonical COO (round-trip test support).
+  CooMatrix to_coo() const;
+
+  /// Throws wise::Error (kValidation) on violated invariants: array sizes,
+  /// the split rule (a row spills iff its ELL part is full), column order
+  /// across the ELL/tail boundary, zeroed padding, finite values.
+  void validate() const;
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  nnz_t nnz_ = 0;
+  index_t cutoff_ = 0;
+  index_t ell_slots_ = 0;
+  nnz_t ell_nnz_ = 0;
+  std::vector<index_t> ell_len_;
+  aligned_vector<index_t> ell_cols_;  ///< ell_slots * nrows, slot-major
+  aligned_vector<value_t> ell_vals_;  ///< ell_slots * nrows, slot-major
+  std::vector<nnz_t> tail_row_ptr_;   ///< nrows + 1
+  aligned_vector<index_t> tail_cols_;
+  aligned_vector<value_t> tail_vals_;
+};
+
+}  // namespace wise

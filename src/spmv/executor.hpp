@@ -17,6 +17,10 @@
 
 namespace wise {
 
+class EllMatrix;
+class HybMatrix;
+class DiaMatrix;
+
 /// A matrix converted to the layout a MethodConfig needs, plus the measured
 /// conversion (preprocessing) time.
 ///
@@ -62,7 +66,8 @@ class PreparedMatrix {
 
   /// True when run() executes over a precomputed plan.
   bool has_plan() const {
-    return csr_plan_.has_value() || srv_plan_.has_value();
+    return csr_plan_.has_value() || srv_plan_.has_value() ||
+           fmt_plan_.has_value();
   }
 
   index_t nrows() const { return csr_->nrows(); }
@@ -73,8 +78,12 @@ class PreparedMatrix {
   const CsrMatrix* csr_ = nullptr;  ///< always set; the SpMV source for kCsr
   std::optional<SrvPackMatrix> packed_;
   std::shared_ptr<const BsrMatrix> bsr_;  ///< set for the BSR extension
+  std::shared_ptr<const EllMatrix> ell_;  ///< set for the ELL extension
+  std::shared_ptr<const HybMatrix> hyb_;  ///< set for the HYB extension
+  std::shared_ptr<const DiaMatrix> dia_;  ///< set for the DIA extension
   std::optional<SpmvPlan> csr_plan_;  ///< row plan, kCsr only
   std::optional<SrvPlan> srv_plan_;   ///< per-segment chunk plans, SRVPack
+  std::optional<SpmvPlan> fmt_plan_;  ///< row plan, ELL/HYB/DIA
   SrvWorkspace ws_;
   double prep_seconds_ = 0.0;
   /// Per-configuration kernel timer ("spmv.run.<config name>"), interned

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "features/extractor.hpp"
+#include "hw/probe.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -75,8 +76,17 @@ void ModelBank::train(const std::vector<MethodConfig>& configs,
   trees_.clear();
   trees_.resize(configs.size());
 
+  const std::size_t width = features[0].size();
+  for (const auto& row : features) {
+    if (row.size() != width) {
+      throw std::invalid_argument(
+          "ModelBank::train: inconsistent feature widths");
+    }
+  }
+  feature_dim_ = width;
+
   obs::ScopedTimer total("ml.train.bank");
-  const auto& names = feature_names();
+  const auto names = bank_feature_names(width);
   for (std::size_t c = 0; c < configs.size(); ++c) {
     obs::ScopedTimer span("ml.train.tree");
     Dataset ds(names, kNumSpeedupClasses);
@@ -89,7 +99,8 @@ void ModelBank::train(const std::vector<MethodConfig>& configs,
 }
 
 ModelBank ModelBank::assemble(std::vector<MethodConfig> configs,
-                              std::vector<DecisionTree> trees) {
+                              std::vector<DecisionTree> trees,
+                              std::size_t feature_dim) {
   if (configs.empty() || configs.size() != trees.size()) {
     throw std::invalid_argument(
         "ModelBank::assemble: #configs != #trees or empty");
@@ -97,9 +108,69 @@ ModelBank ModelBank::assemble(std::vector<MethodConfig> configs,
   ModelBank bank;
   bank.configs_ = std::move(configs);
   bank.trees_ = std::move(trees);
+  bank.feature_dim_ = feature_dim;
   // build() rejects unfitted trees, so a half-initialized bank cannot leak.
   bank.flat_ = FlatTreeEnsemble::build(bank.trees_);
   return bank;
+}
+
+ModelBank ModelBank::extended(const ModelBank& base,
+                              std::vector<MethodConfig> new_configs,
+                              std::vector<DecisionTree> new_trees) {
+  if (!base.trained()) {
+    throw std::invalid_argument("ModelBank::extended: base not trained");
+  }
+  if (new_configs.empty() || new_configs.size() != new_trees.size()) {
+    throw std::invalid_argument(
+        "ModelBank::extended: #configs != #trees or empty");
+  }
+  for (const auto& cfg : new_configs) {
+    for (const auto& existing : base.configs_) {
+      if (cfg.name() == existing.name()) {
+        throw std::invalid_argument(
+            "ModelBank::extended: '" + cfg.name() +
+            "' already has a model; existing models are never replaced");
+      }
+    }
+  }
+  ModelBank bank;
+  bank.configs_ = base.configs_;
+  bank.trees_ = base.trees_;  // byte-identical on save(): trees serialize
+                              // independently, so copying preserves bytes
+  bank.feature_dim_ = base.feature_dim_;
+  bank.configs_.insert(bank.configs_.end(), new_configs.begin(),
+                       new_configs.end());
+  bank.trees_.insert(bank.trees_.end(),
+                     std::make_move_iterator(new_trees.begin()),
+                     std::make_move_iterator(new_trees.end()));
+  bank.flat_ = FlatTreeEnsemble::build(bank.trees_);
+  return bank;
+}
+
+std::size_t ModelBank::feature_dim() const {
+  return feature_dim_ != 0 ? feature_dim_ : feature_count();
+}
+
+std::vector<std::string> bank_feature_names(std::size_t dim) {
+  std::vector<std::string> names = feature_names();
+  for (const auto& n : hw::machine_feature_names()) {
+    if (names.size() >= dim) break;
+    names.push_back(n);
+  }
+  while (names.size() < dim) {
+    names.push_back("extra" + std::to_string(names.size()));
+  }
+  names.resize(dim);
+  return names;
+}
+
+void ModelBank::check_width(std::span<const double> features) const {
+  const std::size_t want = feature_dim();
+  if (features.size() != want) {
+    throw std::invalid_argument(
+        "ModelBank: feature vector has " + std::to_string(features.size()) +
+        " entries, bank expects " + std::to_string(want));
+  }
 }
 
 int ModelBank::predict_class(std::size_t config_index,
@@ -107,6 +178,7 @@ int ModelBank::predict_class(std::size_t config_index,
   if (config_index >= trees_.size()) {
     throw std::out_of_range("ModelBank::predict_class: bad config index");
   }
+  check_width(features);
   return flat_.predict_one(static_cast<int>(config_index), features);
 }
 
@@ -125,6 +197,7 @@ void ModelBank::predict_classes_into(std::span<const double> features,
   if (!trained()) {
     throw std::logic_error("ModelBank::predict_classes_into: not trained");
   }
+  check_width(features);
   flat_.predict_batch(features, out);
 }
 
@@ -137,7 +210,9 @@ void ModelBank::save(const std::string& dir) const {
     throw Error(ErrorCategory::kResource,
                 "ModelBank::save: cannot write to " + dir, {.file = path});
   }
-  out << "wise-model-bank v2\n" << configs_.size() << '\n';
+  out << "wise-model-bank v3\n";
+  out << "features " << feature_dim() << '\n';
+  out << configs_.size() << '\n';
   for (std::size_t c = 0; c < configs_.size(); ++c) {
     std::ostringstream payload;
     trees_[c].save(payload);
@@ -162,16 +237,40 @@ ModelBank ModelBank::load(const std::string& dir) {
   std::string magic, version;
   in >> magic >> version;
   if (magic != "wise-model-bank" ||
-      (version != "v1" && version != "v2")) {
+      (version != "v1" && version != "v2" && version != "v3")) {
     fail(path, "bad header");
   }
+
+  ModelBank bank;
+
+  if (version == "v3") {
+    std::string tag;
+    std::size_t dim = 0;
+    in >> tag >> dim;
+    // Cap mirrors a plausible feature-vector width, not tree sizes.
+    if (!in || tag != "features" || dim == 0 || dim > 100000) {
+      fail(path, "malformed feature-dim record");
+    }
+    bank.feature_dim_ = dim;
+  }
+
   std::size_t n = 0;
   in >> n;
   if (!in || n == 0 || n > 100000) {
     fail(path, "implausible configuration count");
   }
 
-  ModelBank bank;
+  if (version != "v3") {
+    // Legacy banks predate machine features: pin them to the 67 matrix
+    // features (feature_dim_ = 0) and record the downgrade, counted, so
+    // operators can see how many stale banks are in circulation.
+    const std::string warning = "legacy " + version +
+                                " bank (no feature-dim record); pinned to "
+                                "matrix features only";
+    std::fprintf(stderr, "ModelBank::load: %s\n", warning.c_str());
+    bank.warnings_.push_back(warning);
+  }
+
   bank.configs_.reserve(n);
   bank.trees_.reserve(n);
 

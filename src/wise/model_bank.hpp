@@ -6,9 +6,10 @@
 // The bank owns the trees, keyed by MethodConfig::name(), and can be saved
 // to / loaded from a directory so a trained WISE ships with the library.
 //
-// Persistence format (<dir>/models.txt), version 2:
+// Persistence format (<dir>/models.txt), version 3:
 //
-//   wise-model-bank v2
+//   wise-model-bank v3
+//   features <feature dim>
 //   <#configs>
 //   <config name>
 //   tree <payload bytes> <fnv1a checksum, hex>
@@ -17,9 +18,14 @@
 //
 // The per-tree length + checksum let load() detect corruption of any one
 // tree and *skip* it — the remaining configurations stay usable and a
-// warning is recorded (degrade, don't die). Version 1 files (no checksums)
-// still load, strictly. A bank in which no tree survives throws
-// wise::Error (kModelBank).
+// warning is recorded (degrade, don't die). The feature-dim record is what
+// makes hardware-conditioned banks possible: a bank trained on 67 + 5
+// machine-feature columns (src/hw/probe.hpp) declares 72 here, and
+// Wise::choose() appends hw::machine_features() to every extracted vector
+// before inference. Version 2 files (no feature-dim record) load with a
+// counted warning and are pinned to the 67 matrix features; version 1
+// files (no checksums either) still load, strictly. A bank in which no
+// tree survives throws wise::Error (kModelBank).
 
 #include <span>
 #include <string>
@@ -37,6 +43,9 @@ class ModelBank {
   ///   features[i]        — feature vector of training matrix i
   ///   rel_times[i][c]    — t_config / t_bestCSR of matrix i, configuration
   ///                        configs[c]
+  /// All feature rows must share one width; that width becomes the bank's
+  /// feature_dim() (67 for plain matrix features, 67 + 5 for
+  /// hardware-conditioned training via train_model_bank_conditioned).
   /// Throws std::invalid_argument on shape mismatches.
   void train(const std::vector<MethodConfig>& configs,
              const std::vector<std::vector<double>>& features,
@@ -49,8 +58,20 @@ class ModelBank {
   /// the rest, then reassembles here (including the flat-tree recompile).
   /// Throws std::invalid_argument on shape mismatch, emptiness, or an
   /// unfitted tree.
+  /// `feature_dim` 0 means "the default 67 matrix features".
   static ModelBank assemble(std::vector<MethodConfig> configs,
-                            std::vector<DecisionTree> trees);
+                            std::vector<DecisionTree> trees,
+                            std::size_t feature_dim = 0);
+
+  /// The §7 add-a-method path: a new bank whose configuration list is
+  /// base's plus `new_configs`, and whose trees are base's trees —
+  /// *unchanged, byte-identical on save()* — plus the freshly trained
+  /// `new_trees`. Throws std::invalid_argument on shape mismatch or a
+  /// config name already present in base (existing models must never be
+  /// replaced through this path).
+  static ModelBank extended(const ModelBank& base,
+                            std::vector<MethodConfig> new_configs,
+                            std::vector<DecisionTree> new_trees);
 
   /// Predicted speedup class of a single configuration (holdout validation
   /// and spot checks; the serving path uses predict_classes_into).
@@ -71,6 +92,13 @@ class ModelBank {
   const std::vector<MethodConfig>& configs() const { return configs_; }
   const std::vector<DecisionTree>& trees() const { return trees_; }
 
+  /// Width of the feature vectors this bank was trained on: 67 for plain
+  /// matrix-feature banks (including every v1/v2 file), larger for
+  /// hardware-conditioned banks (the extra columns are
+  /// hw::machine_feature_names()). predict_* throws std::invalid_argument
+  /// on a vector of any other width.
+  std::size_t feature_dim() const;
+
   /// The flattened inference bank, rebuilt by train() and load().
   const FlatTreeEnsemble& flat() const { return flat_; }
 
@@ -89,10 +117,19 @@ class ModelBank {
   const std::vector<std::string>& warnings() const { return warnings_; }
 
  private:
+  /// Throws std::invalid_argument unless features.size() == feature_dim().
+  void check_width(std::span<const double> features) const;
+
   std::vector<MethodConfig> configs_;
   std::vector<DecisionTree> trees_;
   FlatTreeEnsemble flat_;
   std::vector<std::string> warnings_;
+  std::size_t feature_dim_ = 0;  ///< 0 = the default 67 matrix features
 };
+
+/// Column labels for a `dim`-wide training Dataset: the 67 matrix feature
+/// names, then hw::machine_feature_names(), then generated "extra<i>"
+/// fillers — truncated or padded to exactly `dim` entries.
+std::vector<std::string> bank_feature_names(std::size_t dim);
 
 }  // namespace wise

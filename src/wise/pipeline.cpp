@@ -6,7 +6,9 @@
 
 #include <omp.h>
 
+#include "hw/probe.hpp"
 #include "obs/metrics.hpp"
+#include "spmv/applicability.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -103,8 +105,19 @@ WiseChoice Wise::choose(const CsrMatrix& m) const {
     obs::ScopedTimer span("wise.choose.inference");
     FaultInjector::global().maybe_throw(stage::kInference,
                                         ErrorCategory::kModelBank);
+    if (bank_.feature_dim() > features.values.size()) {
+      // A hardware-conditioned bank (ModelBank v3 with machine-feature
+      // columns): complete the vector with this machine's probe. Any
+      // remaining width mismatch throws below and demotes to CSR.
+      for (double v : hw::machine_features()) {
+        features.values.push_back(v);
+      }
+    }
     classes = bank_.predict_classes(features.values);
-    const std::size_t best = select_best_config(bank_.configs(), classes);
+    const std::vector<char> applicable =
+        applicability_mask(bank_.configs(), m);
+    const std::size_t best =
+        select_best_config(bank_.configs(), classes, applicable);
     choice.config = bank_.configs()[best];
     choice.predicted_class = classes[best];
   } catch (const std::exception& e) {

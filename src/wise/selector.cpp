@@ -6,12 +6,29 @@ namespace wise {
 
 std::size_t select_best_config(const std::vector<MethodConfig>& configs,
                                const std::vector<int>& predicted_classes) {
-  if (configs.empty() || configs.size() != predicted_classes.size()) {
+  return select_best_config(configs, predicted_classes, {});
+}
+
+std::size_t select_best_config(const std::vector<MethodConfig>& configs,
+                               const std::vector<int>& predicted_classes,
+                               const std::vector<char>& applicable) {
+  if (configs.empty() || configs.size() != predicted_classes.size() ||
+      (!applicable.empty() && applicable.size() != configs.size())) {
     throw std::invalid_argument("select_best_config: size mismatch");
   }
-  std::size_t best = 0;
-  auto best_rank = configs[0].selection_rank();
-  for (std::size_t i = 1; i < configs.size(); ++i) {
+  const auto is_applicable = [&](std::size_t i) {
+    return applicable.empty() || applicable[i] != 0;
+  };
+
+  std::size_t best = configs.size();
+  std::vector<double> best_rank;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (!is_applicable(i)) continue;
+    if (best == configs.size()) {
+      best = i;
+      best_rank = configs[i].selection_rank();
+      continue;
+    }
     const int cls = predicted_classes[i];
     const int best_cls = predicted_classes[best];
     if (cls > best_cls) {
@@ -24,6 +41,10 @@ std::size_t select_best_config(const std::vector<MethodConfig>& configs,
         best_rank = std::move(rank);
       }
     }
+  }
+  if (best == configs.size()) {
+    throw std::invalid_argument(
+        "select_best_config: no applicable configuration");
   }
   return best;
 }

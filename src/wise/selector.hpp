@@ -17,4 +17,11 @@ namespace wise {
 std::size_t select_best_config(const std::vector<MethodConfig>& configs,
                                const std::vector<int>& predicted_classes);
 
+/// Same, restricted to configurations whose mask entry is nonzero (an
+/// empty mask means everything is applicable; see spmv/applicability.hpp).
+/// Throws std::invalid_argument when no configuration is applicable.
+std::size_t select_best_config(const std::vector<MethodConfig>& configs,
+                               const std::vector<int>& predicted_classes,
+                               const std::vector<char>& applicable);
+
 }  // namespace wise

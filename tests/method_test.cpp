@@ -23,7 +23,10 @@ TEST(MethodRegistry, CompositionMatchesPaper) {
       case MethodKind::kSellCR: ++sell_r; break;
       case MethodKind::kLav1Seg: ++lav1; break;
       case MethodKind::kLav: ++lav; break;
-      case MethodKind::kBsr: break;  // extension; never in the paper space
+      case MethodKind::kBsr:
+      case MethodKind::kEll:
+      case MethodKind::kHyb:
+      case MethodKind::kDia: break;  // extensions; never in the paper space
     }
   }
   EXPECT_EQ(csr, 3);        // Dyn, St, StCont

@@ -104,6 +104,9 @@ INTERESTING_PARAMS = (
     "specialize_vs_generic_speedup",
     "spmm_vs_repeated_spmv_speedup",
     "session_vs_per_iter_speedup",
+    "dia_vs_best_csr_speedup",
+    "format_vs_best_csr_speedup",
+    "stream_gbs",
     "shards",
 )
 

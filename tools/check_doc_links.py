@@ -15,6 +15,10 @@ repository actually resolve, so docs cannot silently rot as code moves:
   ``serve/server.hpp`` are legitimate prose shorthand. Placeholders
   containing ``<`` or ``*`` (e.g. ``BENCH_<sha>.json``) are skipped.
   A trailing ``:LINE`` must not exceed the file's line count.
+* environment-knob references — every ``WISE_*`` token mentioned in the
+  docs must appear somewhere in the non-markdown source tree (src/,
+  tests/, bench/, examples/, tools/, .github/, CMake files), so prose
+  cannot keep advertising a knob after the code stops reading it.
 
 Exits 1 listing every dangling reference. Run from anywhere:
 the repository root is derived from this script's location (or pass it
@@ -31,6 +35,25 @@ CHECKED_PREFIXES = (
 
 MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 CODE_REF = re.compile(r"`([A-Za-z0-9_.<>/*-]+?)(?::(\d+))?`")
+ENV_KNOB = re.compile(r"\bWISE_[A-Z0-9]+(?:_[A-Z0-9]+)*\b")
+
+
+def source_knob_inventory(root: Path):
+    """Every WISE_* token in the non-markdown source tree (grep-backed)."""
+    tokens = set()
+    files = [root / "CMakeLists.txt"]
+    for tree in ("src", "tests", "bench", "examples", "tools", ".github"):
+        base = root / tree
+        if base.is_dir():
+            files.extend(p for p in base.rglob("*") if p.is_file())
+    for path in files:
+        if path.suffix == ".md" or not path.is_file():
+            continue
+        try:
+            tokens.update(ENV_KNOB.findall(path.read_text(errors="replace")))
+        except OSError:
+            continue
+    return tokens
 
 
 def doc_files(root: Path):
@@ -83,7 +106,8 @@ def main():
         else Path(__file__).resolve().parent.parent
     )
     problems = []
-    n_links = n_refs = 0
+    n_links = n_refs = n_knobs = 0
+    known_knobs = source_knob_inventory(root)
     for doc in doc_files(root):
         if not doc.is_file():
             problems.append(f"{doc.relative_to(root)}: file missing")
@@ -105,6 +129,13 @@ def main():
                     problems.append(
                         f"{doc.relative_to(root)}:{lineno}: {err}"
                     )
+            for knob in ENV_KNOB.findall(text):
+                n_knobs += 1
+                if knob not in known_knobs:
+                    problems.append(
+                        f"{doc.relative_to(root)}:{lineno}: "
+                        f"env knob -> {knob} (not found in source tree)"
+                    )
     if problems:
         print(f"{len(problems)} dangling documentation reference(s):")
         for p in problems:
@@ -112,7 +143,7 @@ def main():
         return 1
     print(
         f"doc links OK: {n_links} markdown links, "
-        f"{n_refs} code refs scanned"
+        f"{n_refs} code refs, {n_knobs} env-knob mentions scanned"
     )
     return 0
 
